@@ -1,0 +1,19 @@
+"""E12 — ablation of Algorithm 1's constants (19 repeats, damping 4).
+
+Paper reference: the constants fixed in the proof of Theorem 2 /
+Lemma 3.  Expected shape: the paper's setting dominates everywhere;
+slot cost is linear in the repeat count; the constants are conservative
+(smaller repeat counts often already dominate on benign instances).
+"""
+
+from repro.experiments import run_alg1_ablation
+
+from conftest import paper_scale
+
+
+def test_alg1_ablation(benchmark, record_result):
+    trials = 600 if paper_scale() else 200
+    result = benchmark.pedantic(
+        run_alg1_ablation, kwargs={"trials": trials}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,21 @@
+"""E10 — the Section-4 ALOHA step transformation.
+
+Paper reference: Section 4 (transform randomized protocols by running
+each step 4 times).  Expected shape: the exact 4-repeat Rayleigh success
+probability dominates the Monte-Carlo non-fading per-step success for
+every link at every q ≤ 1/2.
+"""
+
+from repro.experiments import Figure1Config, run_aloha_transform_check
+
+from conftest import paper_scale
+
+
+def test_aloha_transform(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    samples = 20000 if paper_scale() else 4000
+    result = benchmark.pedantic(
+        run_aloha_transform_check, args=(cfg,), kwargs={"mc_samples": samples},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

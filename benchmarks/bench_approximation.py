@@ -1,0 +1,20 @@
+"""E19 — measured approximation factors vs exact optima.
+
+Paper reference: the approximation-factor framing of the entire paper.
+Expected shape: the refined local search is essentially exact on every
+family; greedy stays within its constant factor; power control exceeds
+the uniform-power optimum exactly where the theory says it must (the
+nested family).
+"""
+
+from repro.experiments import run_approximation_factors
+
+from conftest import paper_scale
+
+
+def test_approximation_factors(benchmark, record_result):
+    seeds = 6 if paper_scale() else 3
+    result = benchmark.pedantic(
+        run_approximation_factors, kwargs={"seeds": seeds}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,21 @@
+"""E15 — block fading: pricing the i.i.d.-slots assumption.
+
+Paper reference: the independence assumption of Section 2 and the
+4-repeat transformation of Section 4.  Expected shape: the transformed
+step's success matches the exact i.i.d. value at coherence time L = 1
+and decreases monotonically as L grows — repeats sharing a channel stop
+helping — while the protocol's own pattern randomness keeps the step
+useful.
+"""
+
+from repro.experiments import run_block_fading_check
+
+from conftest import paper_scale
+
+
+def test_block_fading(benchmark, record_result):
+    trials = 5000 if paper_scale() else 1500
+    result = benchmark.pedantic(
+        run_block_fading_check, kwargs={"trials": trials}, rounds=1, iterations=1
+    )
+    record_result(result)

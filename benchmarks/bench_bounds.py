@@ -1,0 +1,20 @@
+"""E4 — Theorem 1 exactness and the Lemma 1 sandwich.
+
+Paper reference: Theorem 1 and Lemma 1 (Section 3).  Expected shape:
+lower ≤ exact ≤ upper on every link and setting; Monte Carlo frequencies
+agree with the closed form within sampling bands.
+"""
+
+from repro.experiments import Figure1Config, run_lemma_bounds
+
+from conftest import paper_scale
+
+
+def test_lemma_bounds(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    samples = 20000 if paper_scale() else 3000
+    result = benchmark.pedantic(
+        run_lemma_bounds, args=(cfg,), kwargs={"mc_samples": samples},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

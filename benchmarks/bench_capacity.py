@@ -1,0 +1,21 @@
+"""E7 — capacity algorithms in both models.
+
+Paper reference: Section 4's transfer claims over the algorithm toolbox
+[6], [7], [8].  Expected shape: every algorithm's Rayleigh value is at
+least 1/e of its non-fading value; the OPT estimate dominates greedy;
+power control wins decisively on the nested-pairs family where uniform
+power collapses.
+"""
+
+from repro.experiments import Figure1Config, run_capacity_compare
+
+from conftest import paper_scale
+
+
+def test_capacity_compare(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    result = benchmark.pedantic(
+        run_capacity_compare, args=(cfg,), kwargs={"nested_n": 10},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,21 @@
+"""E21 — the power-assignment hierarchy across length diversity Δ.
+
+Paper reference: the related-work ordering — uniform power O(log Δ) [5],
+square-root power O(log log Δ + log n) [4], power control O(1) [6].
+Expected shape: on nested hotspot workloads, uniform-power capacity
+stays flat (one link per hotspot) while square-root and power control
+scale with the class count; the uniform/PC ratio falls towards
+1/classes as Δ grows.
+"""
+
+from repro.experiments import run_delta_sweep
+
+from conftest import paper_scale
+
+
+def test_delta_sweep(benchmark, record_result):
+    nets = 8 if paper_scale() else 4
+    result = benchmark.pedantic(
+        run_delta_sweep, kwargs={"networks_per_delta": nets}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,19 @@
+"""E13 — density sweep: where Rayleigh overtakes non-fading.
+
+Paper reference: Section 7's interference explanation of the Figure-1
+crossover.  Expected shape: the crossover probability moves to smaller
+q as density rises (and disappears beyond q = 1 for sparse layouts);
+peak capacity falls with density.
+"""
+
+from repro.experiments import run_density_sweep
+
+from conftest import paper_scale
+
+
+def test_density_sweep(benchmark, record_result):
+    networks = 10 if paper_scale() else 5
+    result = benchmark.pedantic(
+        run_density_sweep, kwargs={"num_networks": networks}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,25 @@
+"""E16 — equilibria of the capacity game and their price of anarchy.
+
+Paper reference: Section 6's remark that no-regret sequences generalize
+Nash equilibria, transferring the game-theoretic studies of
+Andrews–Dinitz [5].  Expected shape: best-response dynamics converge on
+most starts; non-fading equilibria sit near the optimum (empirical PoA
+≈ 1); Rayleigh equilibria carry the fading discount but keep a constant
+fraction of OPT.
+"""
+
+from repro.experiments import run_equilibria_study
+
+from conftest import paper_scale
+
+
+def test_equilibria_study(benchmark, record_result):
+    kwargs = (
+        {"num_networks": 8, "num_starts": 12}
+        if paper_scale()
+        else {"num_networks": 4, "num_starts": 8}
+    )
+    result = benchmark.pedantic(
+        run_equilibria_study, kwargs=kwargs, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,20 @@
+"""E14 — Nakagami-m / Rician-K retention (beyond-Rayleigh outlook).
+
+Paper reference: Section 8's hope that the techniques extend to further
+fading models.  Expected shape: retention of the greedy schedule rises
+monotonically from the Rayleigh value towards 1 as fading gets milder
+(m or K grows); the m = 1 and K = 0 points match exact Rayleigh; every
+setting stays above the Lemma-2 floor 1/e.
+"""
+
+from repro.experiments import run_fading_families
+
+from conftest import paper_scale
+
+
+def test_fading_families(benchmark, record_result):
+    slots = 10000 if paper_scale() else 2000
+    result = benchmark.pedantic(
+        run_fading_families, kwargs={"mc_slots": slots}, rounds=1, iterations=1
+    )
+    record_result(result)

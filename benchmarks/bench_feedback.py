@@ -1,0 +1,20 @@
+"""E22 — full-information vs bandit feedback in the capacity game.
+
+Paper reference: Section 6's reliance on generic no-regret algorithms,
+citing the bandit work [23] for partial information.  Expected shape:
+both feedback models converge to constant fractions of OPT in both
+interference models; full information converges faster and higher; the
+Rayleigh discount applies to both.
+"""
+
+from repro.experiments import Figure2Config, run_feedback_comparison
+
+from conftest import paper_scale
+
+
+def test_feedback_comparison(benchmark, record_result):
+    cfg = Figure2Config.paper() if paper_scale() else Figure2Config.quick()
+    result = benchmark.pedantic(
+        run_feedback_comparison, kwargs={"config": cfg}, rounds=1, iterations=1
+    )
+    record_result(result)

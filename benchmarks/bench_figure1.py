@@ -1,0 +1,18 @@
+"""E1 — regenerate Figure 1 (successes vs transmission probability).
+
+Paper reference: Section 7, Figure 1.  Four curves on random 100-link
+networks: {uniform, square-root power} x {non-fading, Rayleigh}.
+Expected shape: interior maximum; non-fading ahead at low q, Rayleigh
+ahead at high q (smoothed curve); square-root and uniform powers behave
+similarly on this workload.
+"""
+
+from repro.experiments import Figure1Config, run_figure1
+
+from conftest import paper_scale
+
+
+def test_figure1(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    result = benchmark.pedantic(run_figure1, args=(cfg,), rounds=1, iterations=1)
+    record_result(result)

@@ -1,0 +1,17 @@
+"""E2 — regenerate Figure 2 (no-regret learning over time).
+
+Paper reference: Section 7, Figure 2.  RWM learners with the paper's loss
+table and η schedule on 200-link networks (β = 0.5, α = 2.1, ν = 0).
+Expected shape: both models converge within ~30–40 rounds to near the
+non-fading optimum; the Rayleigh curve is noisier and slightly lower.
+"""
+
+from repro.experiments import Figure2Config, run_figure2
+
+from conftest import paper_scale
+
+
+def test_figure2(benchmark, record_result):
+    cfg = Figure2Config.paper() if paper_scale() else Figure2Config.quick()
+    result = benchmark.pedantic(run_figure2, args=(cfg,), rounds=1, iterations=1)
+    record_result(result)

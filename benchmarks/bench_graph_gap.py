@@ -1,0 +1,22 @@
+"""E20 — the graph-model gap: why SINR models are needed at all.
+
+Paper reference: the introduction's observation that graph-based
+interference models miss aggregate interference.  Expected shape: the
+fraction of conflict-graph-independent schedules that violate SINR rises
+from 0 (sparse) to ~1 at the paper's density — at Figure-1 density the
+graph abstraction is essentially useless.
+"""
+
+from repro.experiments import run_graph_gap
+
+from conftest import paper_scale
+
+
+def test_graph_gap(benchmark, record_result):
+    kwargs = (
+        {"networks_per_area": 5, "num_samples": 300}
+        if paper_scale()
+        else {"networks_per_area": 3, "num_samples": 120}
+    )
+    result = benchmark.pedantic(run_graph_gap, kwargs=kwargs, rounds=1, iterations=1)
+    record_result(result)

@@ -1,0 +1,96 @@
+"""Performance microbenchmarks of the library's hot kernels.
+
+These time the vectorized primitives that every experiment is built on,
+at paper scale (n = 100–200 links), so performance regressions in the
+numerical core are caught independently of the experiment drivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.greedy import greedy_capacity
+from repro.capacity.optimum import local_search_capacity
+from repro.core.affectance import affectance_matrix
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance, mean_signal_matrix
+from repro.fading.rayleigh import sample_fading_gains, simulate_slots_bernoulli
+from repro.fading.success import (
+    success_probability,
+    success_probability_conditional_batch,
+)
+from repro.geometry.placement import paper_random_network
+from repro.learning.game import CapacityGame
+from repro.transform.simulation import simulate_rayleigh_optimum
+
+BETA = 2.5
+
+
+@pytest.fixture(scope="module")
+def net100() -> Network:
+    s, r = paper_random_network(100, rng=0)
+    return Network(s, r)
+
+
+@pytest.fixture(scope="module")
+def inst100(net100) -> SINRInstance:
+    return SINRInstance.from_network(net100, UniformPower(2.0), 2.2, 4e-7)
+
+
+def test_gain_matrix_build(benchmark, net100):
+    benchmark(mean_signal_matrix, net100, UniformPower(2.0), 2.2)
+
+
+def test_sinr_batch_100x256(benchmark, inst100):
+    patterns = np.random.default_rng(1).random((256, 100)) < 0.5
+    benchmark(inst100.sinr_batch, patterns)
+
+
+def test_theorem1_success_probability(benchmark, inst100):
+    q = np.full(100, 0.5)
+    benchmark(success_probability, inst100, q, BETA)
+
+
+def test_theorem1_conditional_batch_256(benchmark, inst100):
+    patterns = np.random.default_rng(2).random((256, 100)) < 0.5
+    benchmark(success_probability_conditional_batch, inst100, patterns, BETA)
+
+
+def test_affectance_matrix(benchmark, inst100):
+    benchmark(affectance_matrix, inst100, BETA)
+
+
+def test_fading_sample_100_slots(benchmark, inst100):
+    gen = np.random.default_rng(3)
+    benchmark(sample_fading_gains, inst100, gen, 100)
+
+
+def test_bernoulli_slots_1000(benchmark, inst100):
+    active = np.zeros(100, dtype=bool)
+    active[:40] = True
+    gen = np.random.default_rng(4)
+    benchmark(simulate_slots_bernoulli, inst100, active, BETA, gen, num_slots=1000)
+
+
+def test_greedy_capacity_n100(benchmark, inst100):
+    benchmark(greedy_capacity, inst100, BETA)
+
+
+def test_local_search_n100(benchmark, inst100):
+    benchmark.pedantic(
+        local_search_capacity, args=(inst100, BETA),
+        kwargs={"rng": 5, "restarts": 3}, rounds=3, iterations=1,
+    )
+
+
+def test_algorithm1_simulation_n100(benchmark, inst100):
+    q = np.full(100, 0.5)
+    gen = np.random.default_rng(6)
+    benchmark(simulate_rayleigh_optimum, inst100, q, BETA, gen)
+
+
+def test_capacity_game_50_rounds_n100(benchmark, inst100):
+    def run():
+        return CapacityGame(inst100, BETA, model="rayleigh", rng=7).play(50)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

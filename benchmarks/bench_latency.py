@@ -1,0 +1,22 @@
+"""E8 — latency schedulers, non-fading vs Rayleigh.
+
+Paper reference: Section 4's latency transfers (repeated single-slot
+maximization [8], ALOHA-style contention resolution [9] with the
+4-repeat transformation).  Expected shape: Rayleigh latencies exceed
+non-fading latencies by only a small constant factor; repeated-max beats
+ALOHA in both models.
+"""
+
+from repro.experiments import Figure1Config, run_latency_compare
+
+from conftest import paper_scale
+
+
+def test_latency_compare(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    trials = 10 if paper_scale() else 4
+    result = benchmark.pedantic(
+        run_latency_compare, args=(cfg,), kwargs={"rayleigh_trials": trials},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,23 @@
+"""E18 — latency scaling against certified lower bounds.
+
+Paper reference: the O(log n) latency-approximation guarantees of the
+Section-4 transferred schedulers.  Expected shape: repeated-max stays
+within a small flat factor of the instance lower bound across sizes;
+the distributed protocols pay a bounded contention overhead.
+"""
+
+from repro.experiments import run_latency_scaling
+
+from conftest import paper_scale
+
+
+def test_latency_scaling(benchmark, record_result):
+    kwargs = (
+        {"sizes": (25, 50, 100, 200), "networks_per_size": 5}
+        if paper_scale()
+        else {"sizes": (25, 50, 100), "networks_per_size": 3}
+    )
+    result = benchmark.pedantic(
+        run_latency_scaling, kwargs=kwargs, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,21 @@
+"""E5 — Lemma 2: black-box transfer keeps ≥ 1/e of the utility.
+
+Paper reference: Lemma 2 (Section 4).  Expected shape: measured
+Rayleigh/non-fading utility ratios are above 1/e ≈ 0.368 on every
+instance, for binary, weighted, and Shannon utilities, under both power
+assignments.
+"""
+
+from repro.experiments import Figure1Config, run_lemma2_transfer
+
+from conftest import paper_scale
+
+
+def test_lemma2_transfer(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    samples = 5000 if paper_scale() else 1000
+    result = benchmark.pedantic(
+        run_lemma2_transfer, args=(cfg,), kwargs={"mc_samples": samples},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

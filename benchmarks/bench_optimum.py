@@ -1,0 +1,22 @@
+"""E3 — the "49.75 successful transmissions" optimum statistic.
+
+Paper reference: Section 7 text ("Choosing the optimal set of sending
+links under uniform powers, we reach on average 49.75 successful
+transmissions").  Expected shape: the local-search OPT estimate lands
+near one half of the links; the greedy lower bound is close behind; on
+small instances the estimator matches exact branch & bound.
+"""
+
+from repro.experiments import Figure1Config, run_optimum_stat
+
+from conftest import paper_scale
+
+
+def test_optimum_statistic(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    restarts = 12 if paper_scale() else 8
+    result = benchmark.pedantic(
+        run_optimum_stat, args=(cfg,), kwargs={"restarts": restarts},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,24 @@
+"""E11 — the measured Rayleigh/non-fading optimum gap vs log* n.
+
+Paper reference: Theorem 2 (upper bound O(log* n)) and the Section-8
+open question whether the true factor is constant.  Expected shape: the
+measured ratio stays below a small constant at every size — on these
+interference-dominated workloads it is below 1 — supporting the
+constant-factor conjecture.
+"""
+
+from repro.experiments import run_optimum_gap
+
+from conftest import paper_scale
+
+
+def test_optimum_gap(benchmark, record_result):
+    sizes = (20, 40, 80, 160) if paper_scale() else (20, 40, 80)
+    networks = 5 if paper_scale() else 3
+    result = benchmark.pedantic(
+        run_optimum_gap,
+        kwargs={"sizes": sizes, "networks_per_size": networks},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)

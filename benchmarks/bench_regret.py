@@ -1,0 +1,17 @@
+"""E9 — regret-learning statistics (Theorems 3–4, Lemmas 4–5).
+
+Paper reference: Section 6.  Expected shape: per-round regret shrinks;
+realized and expected regret stay within O(sqrt(T ln T)) of each other
+(Lemma 4); the Lemma-5 invariant X ≤ F ≤ 2X + εn holds; tail capacity
+reaches a constant fraction of the non-fading OPT estimate (Theorem 3).
+"""
+
+from repro.experiments import Figure2Config, run_regret_stats
+
+from conftest import paper_scale
+
+
+def test_regret_stats(benchmark, record_result):
+    cfg = Figure2Config.paper() if paper_scale() else Figure2Config.quick()
+    result = benchmark.pedantic(run_regret_stats, args=(cfg,), rounds=1, iterations=1)
+    record_result(result)

@@ -1,0 +1,52 @@
+"""Kernel scaling in the number of links.
+
+The library's hot paths are O(n²) gain-matrix operations (per the HPC
+guide's vectorize-everything discipline); these benchmarks pin that down
+empirically so a regression to O(n³) — e.g. an accidental per-link loop
+around a matrix product — shows up as a benchmark cliff at n = 400.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.greedy import greedy_capacity
+from repro.core.affectance import affectance_matrix
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.success import success_probability
+from repro.geometry.placement import paper_random_network
+
+BETA = 2.5
+SIZES = (100, 200, 400)
+
+
+def make_instance(n: int) -> SINRInstance:
+    s, r = paper_random_network(n, area=1000.0 * (n / 100.0) ** 0.5, rng=n)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_theorem1(benchmark, n):
+    inst = make_instance(n)
+    q = np.full(n, 0.5)
+    benchmark(success_probability, inst, q, BETA)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_sinr_batch(benchmark, n):
+    inst = make_instance(n)
+    patterns = np.random.default_rng(1).random((64, n)) < 0.5
+    benchmark(inst.sinr_batch, patterns)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_affectance(benchmark, n):
+    inst = make_instance(n)
+    benchmark(affectance_matrix, inst, BETA)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_greedy(benchmark, n):
+    inst = make_instance(n)
+    benchmark(greedy_capacity, inst, BETA)

@@ -1,0 +1,22 @@
+"""E17 — Figure 1 under Shannon utilities.
+
+Paper reference: the general-utility theory of Sections 2–5, applied at
+the figure level.  Expected shape: unlike the binary Figure 1, both
+curves grow monotonically in q and never cross — the binary crossover
+is an artifact of thresholding; the non-fading/Rayleigh ratio tracks
+E5's Shannon transfer ratio (~0.88), comfortably above 1/e.
+"""
+
+from repro.experiments import Figure1Config, run_shannon_figure
+
+from conftest import paper_scale
+
+
+def test_shannon_figure(benchmark, record_result):
+    cfg = Figure1Config.paper() if paper_scale() else Figure1Config.quick()
+    slots = 10 if paper_scale() else 6
+    result = benchmark.pedantic(
+        run_shannon_figure, args=(cfg,), kwargs={"fading_slots": slots},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,21 @@
+"""E6 — Theorem 2 / Algorithm 1: O(log* n) simulation of the Rayleigh optimum.
+
+Paper reference: Theorem 2, Lemma 3, Algorithm 1 (Section 5).  Expected
+shape: the simulation's any-slot success probability dominates the exact
+single-slot Rayleigh probability per link; the stage count tracks log* n
+(7 stages at n = 100).
+"""
+
+from repro.experiments import run_theorem2
+
+from conftest import paper_scale
+
+
+def test_theorem2_simulation(benchmark, record_result):
+    sizes = (20, 50, 100, 200) if paper_scale() else (20, 50, 100)
+    trials = 500 if paper_scale() else 150
+    result = benchmark.pedantic(
+        run_theorem2, kwargs={"sizes": sizes, "trials": trials},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

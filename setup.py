@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on minimal environments that lack the
+``wheel`` package (pip then falls back to the legacy ``setup.py develop``
+editable path).
+"""
+
+from setuptools import setup
+
+setup()

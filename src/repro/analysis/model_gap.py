@@ -1,0 +1,99 @@
+"""The measured Rayleigh/non-fading optimum gap (the paper's open question).
+
+Theorem 2 proves ``OPT^R ≤ O(log* n) · OPT^nf`` and Section 8 conjectures
+the true factor is a constant ("the ``O(log* n)``-factor in Theorem 2
+might be reduced to a constant, which we were not able to prove").  This
+module measures the gap empirically:
+
+* ``OPT^nf`` — the non-fading optimum (local-search estimate; exact B&B
+  on small instances),
+* ``OPT^R`` — the Rayleigh optimum over product distributions
+  (multi-start gradient ascent + vertex rounding, warm-started with the
+  non-fading solution, so the reported ratio is a ratio of certified
+  lower bounds of the same flavour).
+
+The E13 bench sweeps ``n`` and reports the ratio against ``log* n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.rayleigh_optimum import optimize_transmission_probabilities
+from repro.capacity.optimum import local_search_capacity, optimal_capacity_bruteforce
+from repro.core.sinr import SINRInstance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["OptimumGap", "measured_optimum_gap"]
+
+
+@dataclass(frozen=True)
+class OptimumGap:
+    """Measured two-model optimum comparison for one instance.
+
+    Attributes
+    ----------
+    nonfading_value:
+        Size of the (estimated) maximum non-fading feasible set.
+    rayleigh_value:
+        Best expected Rayleigh capacity found over transmit-probability
+        vectors.
+    ratio:
+        ``rayleigh_value / nonfading_value``.  Theorem 2:
+        ``≤ O(log* n)``; the open conjecture: bounded by a constant.
+    rayleigh_q:
+        The optimizing probability vector (a 0/1 vertex).
+    """
+
+    nonfading_value: int
+    rayleigh_value: float
+    rayleigh_q: np.ndarray
+
+    @property
+    def ratio(self) -> float:
+        if self.nonfading_value == 0:
+            return float("nan")
+        return self.rayleigh_value / self.nonfading_value
+
+
+def measured_optimum_gap(
+    instance: SINRInstance,
+    beta: float,
+    rng=None,
+    *,
+    restarts: int = 6,
+    exact: bool = False,
+) -> OptimumGap:
+    """Estimate both optima on one instance and return their ratio.
+
+    Parameters
+    ----------
+    instance, beta:
+        The instance and threshold.
+    rng:
+        Randomness for both searches.
+    restarts:
+        Restart budget shared by the two searches.
+    exact:
+        Use exact branch & bound for the non-fading side (instances up to
+        ~30 links).
+    """
+    check_positive(beta, "beta")
+    gen = as_generator(rng)
+    if exact:
+        nf_set = optimal_capacity_bruteforce(instance, beta)
+    else:
+        nf_set = local_search_capacity(instance, beta, gen, restarts=restarts)
+    warm = np.zeros(instance.n)
+    warm[nf_set] = 1.0
+    result = optimize_transmission_probabilities(
+        instance, beta, gen, restarts=restarts, seeds=[warm, np.ones(instance.n)]
+    )
+    return OptimumGap(
+        nonfading_value=int(nf_set.size),
+        rayleigh_value=result.value,
+        rayleigh_q=result.q,
+    )

@@ -1,0 +1,37 @@
+"""Capacity-maximization algorithms for the non-fading model.
+
+These are the published algorithms the paper's reductions transfer into
+the Rayleigh model (Section 4):
+
+* :mod:`~repro.capacity.greedy` — the affectance-greedy single-slot
+  algorithm in the style of Goussevskaia et al. [8] (uniform powers) and
+  Halldórsson–Mitra [7] (oblivious, e.g. square-root, powers): the power
+  assignment enters only through the instance's gain matrix.
+* :mod:`~repro.capacity.power_control` — joint scheduling & power control
+  in the style of Kesselheim [6]: length-ordered selection with a
+  bidirectional interference budget, powers from the exact feasibility
+  linear system.
+* :mod:`~repro.capacity.flexible_rates` — capacity maximization with
+  non-binary utilities via geometric rate levels, in the style of
+  Kesselheim [22].
+* :mod:`~repro.capacity.optimum` — the benchmark's reference optima:
+  exact branch & bound for small ``n`` and a multi-restart local-search
+  estimator for the paper-scale instances (maximum feasible subset is
+  NP-hard).
+"""
+
+from repro.capacity.flexible_rates import flexible_rate_capacity
+from repro.capacity.greedy import greedy_capacity
+from repro.capacity.optimum import (
+    local_search_capacity,
+    optimal_capacity_bruteforce,
+)
+from repro.capacity.power_control import power_control_capacity
+
+__all__ = [
+    "flexible_rate_capacity",
+    "greedy_capacity",
+    "local_search_capacity",
+    "optimal_capacity_bruteforce",
+    "power_control_capacity",
+]

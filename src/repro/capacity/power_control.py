@@ -1,0 +1,156 @@
+"""Joint scheduling and power control (style of Kesselheim [6]).
+
+Kesselheim's SODA'11 algorithm achieves a constant-factor approximation
+for capacity maximization when the algorithm may choose transmission
+powers.  Its two ingredients are implemented faithfully:
+
+1. **Length-ordered selection with a bidirectional interference budget.**
+   Links are processed from short to long; candidate ``i`` is admitted
+   iff the already-selected (shorter) links ``j`` satisfy
+
+   .. math::
+
+       \\sum_{j \\in S} \\Big( \\frac{d_j^{\\alpha}}{d(s_j, r_i)^{\\alpha}}
+           + \\frac{d_j^{\\alpha}}{d(s_i, r_j)^{\\alpha}} \\Big)
+           \\;\\le\\; \\delta ,
+
+   i.e. the interference the candidate would exchange with the selected
+   set — measured in units of the shorter links' signal at their own
+   length — stays below a budget ``δ``.
+
+2. **Exact power computation.**  The admitted set is handed to the
+   feasibility solver (:func:`repro.core.feasibility.min_feasible_powers`),
+   which returns component-wise minimal powers when the set is feasible.
+   For small enough ``δ`` the selected set is always feasible; because our
+   ``δ`` is a tunable knob rather than the (large) constant of the
+   analysis, a repair loop evicts the most-loaded link until the solver
+   succeeds — the output therefore *always* comes with certified powers.
+
+The output powers are wrapped in :class:`~repro.core.power.CustomPower`
+so downstream code (including the Rayleigh transfer, which keeps powers
+unchanged per Lemma 2) treats them like any other assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feasibility import min_feasible_powers
+from repro.core.network import Network
+from repro.core.power import CustomPower
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["PowerControlResult", "power_control_capacity"]
+
+
+@dataclass(frozen=True)
+class PowerControlResult:
+    """Outcome of the power-control algorithm.
+
+    Attributes
+    ----------
+    selected:
+        Sorted indices of the scheduled links.
+    powers:
+        Power per selected link (aligned with ``selected``); together they
+        satisfy every SINR constraint at the requested ``beta``.
+    """
+
+    selected: np.ndarray
+    powers: np.ndarray
+
+    def power_assignment(self, n: int) -> CustomPower:
+        """Full-network power vector (unselected links get a tiny idle
+        power so the assignment stays strictly positive as required)."""
+        full = np.full(n, 1e-12)
+        full[self.selected] = self.powers
+        return CustomPower(full)
+
+
+def _selection_pass(
+    network: Network, beta: float, alpha: float, delta: float
+) -> list[int]:
+    D = network.cross_distances
+    lengths = network.lengths
+    order = np.argsort(lengths, kind="stable")
+    selected: list[int] = []
+    for i in order:
+        i = int(i)
+        if not selected:
+            selected.append(i)
+            continue
+        js = np.array(selected)
+        dj_alpha = lengths[js] ** alpha
+        # Shorter links' relative interference at the candidate's receiver
+        # plus the candidate's at theirs, both normalised by d_j^α.
+        incoming = dj_alpha / D[js, i] ** alpha
+        outgoing = dj_alpha / D[i, js] ** alpha
+        if float((incoming + outgoing).sum()) <= delta:
+            selected.append(i)
+    return selected
+
+
+def power_control_capacity(
+    network: Network,
+    beta: float,
+    alpha: float,
+    noise: float = 0.0,
+    *,
+    delta: float = 0.5,
+    slack: float = 1.0 + 1e-9,
+) -> PowerControlResult:
+    """Schedule links *and* choose their powers (constant-factor style [6]).
+
+    Parameters
+    ----------
+    network:
+        The link set (geometric or matrix-built).
+    beta, alpha, noise:
+        SINR threshold, path-loss exponent, ambient noise.
+    delta:
+        Selection budget of the length-ordered pass; smaller values select
+        fewer, safer links.  The default 0.5 keeps the repair loop idle on
+        all benchmark families while retaining near-greedy capacity.
+    slack:
+        Multiplier on the minimal feasible powers (strictness margin for
+        floating-point SINR checks downstream).
+
+    Returns
+    -------
+    :class:`PowerControlResult` with certified feasible powers.
+    """
+    check_positive(beta, "beta")
+    check_positive(alpha, "alpha")
+    check_nonnegative(noise, "noise")
+    check_positive(delta, "delta")
+    selected = _selection_pass(network, beta, alpha, delta)
+    # Repair: evict the link with the largest exchanged interference until
+    # the exact feasibility system admits a solution.
+    while selected:
+        powers = min_feasible_powers(
+            network, np.array(selected), beta, alpha, noise, slack=slack
+        )
+        if powers is not None:
+            idx = np.array(sorted(selected), dtype=np.intp)
+            # Re-order powers to match the sorted index order.
+            perm = np.argsort(np.array(selected))
+            return PowerControlResult(selected=idx, powers=powers[perm])
+        D = network.cross_distances
+        lengths = network.lengths
+        js = np.array(selected)
+        dj_alpha = lengths[js] ** alpha
+        load = np.zeros(len(selected))
+        for pos, i in enumerate(selected):
+            others = js[js != i]
+            if others.size:
+                d_other = lengths[others] ** alpha
+                load[pos] = float(
+                    (d_other / D[others, i] ** alpha).sum()
+                    + (dj_alpha[pos] / D[i, others] ** alpha).sum()
+                )
+        selected.pop(int(np.argmax(load)))
+    return PowerControlResult(
+        selected=np.empty(0, dtype=np.intp), powers=np.empty(0, dtype=np.float64)
+    )

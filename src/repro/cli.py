@@ -1,0 +1,246 @@
+"""Command-line interface: run any reproduced experiment from a shell.
+
+.. code-block:: console
+
+    python -m repro list                      # what can be run
+    python -m repro run E1                    # quick-scale Figure 1
+    python -m repro run E2 --scale paper      # verbatim Section-7 scale
+    python -m repro run all --out results/    # everything, tables to disk
+    python -m repro report --out EXPERIMENTS.md
+
+The ``run`` subcommand prints each experiment's rendered table and its
+shape-check verdicts and exits non-zero if any check fails, so the CLI
+doubles as a reproduction gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    Figure1Config,
+    Figure2Config,
+    run_alg1_ablation,
+    run_aloha_transform_check,
+    run_approximation_factors,
+    run_block_fading_check,
+    run_capacity_compare,
+    run_delta_sweep,
+    run_density_sweep,
+    run_equilibria_study,
+    run_fading_families,
+    run_feedback_comparison,
+    run_figure1,
+    run_figure2,
+    run_graph_gap,
+    run_latency_compare,
+    run_latency_scaling,
+    run_lemma2_transfer,
+    run_lemma_bounds,
+    run_optimum_gap,
+    run_optimum_stat,
+    run_regret_stats,
+    run_shannon_figure,
+    run_theorem2,
+)
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1(scale: str) -> Figure1Config:
+    return Figure1Config.paper() if scale == "paper" else Figure1Config.quick()
+
+
+def _fig2(scale: str) -> Figure2Config:
+    return Figure2Config.paper() if scale == "paper" else Figure2Config.quick()
+
+
+#: Experiment id -> (description, runner taking the scale string).
+EXPERIMENTS: dict[str, tuple[str, Callable[[str], ExperimentResult]]] = {
+    "E1": ("Figure 1: capacity vs transmit probability", lambda s: run_figure1(_fig1(s))),
+    "E2": ("Figure 2: no-regret learning over time", lambda s: run_figure2(_fig2(s))),
+    "E3": ("Optimum statistic (paper: 49.75)", lambda s: run_optimum_stat(_fig1(s))),
+    "E4": ("Theorem 1 / Lemma 1 bounds", lambda s: run_lemma_bounds(_fig1(s))),
+    "E5": ("Lemma 2: 1/e transfer", lambda s: run_lemma2_transfer(_fig1(s))),
+    "E6": (
+        "Theorem 2 / Algorithm 1 simulation",
+        lambda s: run_theorem2(trials=500 if s == "paper" else 150),
+    ),
+    "E7": ("Capacity algorithm comparison", lambda s: run_capacity_compare(_fig1(s))),
+    "E8": ("Latency schedulers, both models", lambda s: run_latency_compare(_fig1(s))),
+    "E9": ("Regret-learning statistics", lambda s: run_regret_stats(_fig2(s))),
+    "E10": ("ALOHA 4-repeat transformation", lambda s: run_aloha_transform_check(_fig1(s))),
+    "E11": (
+        "Measured optimum gap vs log* n",
+        lambda s: run_optimum_gap(
+            sizes=(20, 40, 80, 160) if s == "paper" else (20, 40, 80)
+        ),
+    ),
+    "E12": (
+        "Algorithm 1 constants ablation",
+        lambda s: run_alg1_ablation(trials=500 if s == "paper" else 150),
+    ),
+    "E13": (
+        "Density sweep: crossover location",
+        lambda s: run_density_sweep(num_networks=10 if s == "paper" else 4),
+    ),
+    "E14": (
+        "Fading families (Nakagami / Rician)",
+        lambda s: run_fading_families(mc_slots=8000 if s == "paper" else 1500),
+    ),
+    "E15": (
+        "Block fading: the transformation's i.i.d. assumption",
+        lambda s: run_block_fading_check(trials=4000 if s == "paper" else 1200),
+    ),
+    "E16": (
+        "Equilibria & price of anarchy",
+        lambda s: run_equilibria_study(
+            num_networks=8 if s == "paper" else 4,
+            num_starts=12 if s == "paper" else 8,
+        ),
+    ),
+    "E17": (
+        "Shannon-utility Figure 1 (no crossover)",
+        lambda s: run_shannon_figure(
+            _fig1(s), fading_slots=10 if s == "paper" else 6
+        ),
+    ),
+    "E18": (
+        "Latency scaling vs lower bounds",
+        lambda s: run_latency_scaling(
+            sizes=(25, 50, 100, 200) if s == "paper" else (25, 50, 100),
+            networks_per_size=5 if s == "paper" else 3,
+        ),
+    ),
+    "E19": (
+        "Approximation factors vs exact optima",
+        lambda s: run_approximation_factors(seeds=6 if s == "paper" else 3),
+    ),
+    "E20": (
+        "Graph-model gap vs density (why SINR)",
+        lambda s: run_graph_gap(
+            networks_per_area=5 if s == "paper" else 3,
+            num_samples=300 if s == "paper" else 120,
+        ),
+    ),
+    "E21": (
+        "Power-assignment hierarchy vs delta",
+        lambda s: run_delta_sweep(networks_per_delta=8 if s == "paper" else 4),
+    ),
+    "E22": (
+        "Full-information vs bandit feedback",
+        lambda s: run_feedback_comparison(
+            config=Figure2Config.paper() if s == "paper" else Figure2Config.quick()
+        ),
+    ),
+}
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (desc, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {desc}")
+    return 0
+
+
+def _resolve_ids(spec: str) -> list[str]:
+    if spec.lower() == "all":
+        return list(EXPERIMENTS)
+    ids = [part.strip().upper() for part in spec.split(",") if part.strip()]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment id(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'"
+        )
+    return ids
+
+
+def _cmd_run(args) -> int:
+    failures = 0
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in _resolve_ids(args.experiment):
+        _, runner = EXPERIMENTS[exp_id]
+        result = runner(args.scale)
+        rendered = result.render()
+        print(rendered)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{exp_id}.txt").write_text(rendered + "\n", encoding="utf-8")
+            (out_dir / f"{exp_id}.json").write_text(result.to_json(), encoding="utf-8")
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED their shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    lines = [
+        "# Experiment report",
+        "",
+        f"Scale: `{args.scale}`.  Generated by `python -m repro report`.",
+        "",
+    ]
+    failures = 0
+    for exp_id in _resolve_ids(args.experiment):
+        desc, runner = EXPERIMENTS[exp_id]
+        result = runner(args.scale)
+        verdict = "PASS" if result.all_checks_pass else "FAIL"
+        failures += not result.all_checks_pass
+        lines += [f"## {exp_id} — {desc}  [{verdict}]", "", "```", result.render(), "```", ""]
+    text = "\n".join(lines)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scheduling in Wireless Networks with "
+        "Rayleigh-Fading Interference' (SPAA 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run experiment(s) and print their tables")
+    run_p.add_argument("experiment", help="experiment id, comma list, or 'all'")
+    run_p.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="quick (default) or verbatim paper parameters",
+    )
+    run_p.add_argument("--out", help="directory for .txt/.json results")
+    run_p.set_defaults(func=_cmd_run)
+
+    rep_p = sub.add_parser("report", help="run experiments into one markdown report")
+    rep_p.add_argument(
+        "experiment", nargs="?", default="all", help="id, comma list, or 'all'"
+    )
+    rep_p.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    rep_p.add_argument("--out", help="markdown file to write (default: stdout)")
+    rep_p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

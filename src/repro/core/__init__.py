@@ -1,0 +1,71 @@
+"""Core non-fading SINR substrate.
+
+This package implements the deterministic model of Section 2:
+
+* :class:`~repro.core.network.Network` — links in a metric space (or given
+  directly by distance/gain matrices) with cached cross-distances.
+* :mod:`~repro.core.power` — power assignments: uniform, length-scaled
+  (square-root / linear), and explicit vectors.
+* :class:`~repro.core.sinr.SINRInstance` and the vectorized kernels in
+  :mod:`~repro.core.sinr` — mean signal strengths ``S̄(j,i)``, non-fading
+  SINR ``γ^nf``, and success sets.
+* :mod:`~repro.core.affectance` — the affectance reformulation ``a(j,i)``
+  of the SINR constraint (Halldórsson–Wattenhofer [25]) used by the greedy
+  algorithms and the regret-learning analysis of Section 6.
+* :mod:`~repro.core.feasibility` — existence and computation of feasible
+  transmission powers for a set of links (substrate for power control [6]).
+"""
+
+from repro.core.affectance import (
+    affectance_matrix,
+    is_feasible_set,
+    max_average_affectance,
+    robust_subset,
+    total_affectance,
+)
+from repro.core.feasibility import (
+    is_power_feasible,
+    min_feasible_powers,
+    power_feasibility_margin,
+)
+from repro.core.link import Link
+from repro.core.network import Network
+from repro.core.power import (
+    CustomPower,
+    LengthScaledPower,
+    LinearPower,
+    PowerAssignment,
+    SquareRootPower,
+    UniformPower,
+)
+from repro.core.sinr import (
+    SINRInstance,
+    sinr_nonfading,
+    sinr_nonfading_batch,
+    success_count,
+    successful_links,
+)
+
+__all__ = [
+    "CustomPower",
+    "LengthScaledPower",
+    "LinearPower",
+    "Link",
+    "Network",
+    "PowerAssignment",
+    "SINRInstance",
+    "SquareRootPower",
+    "UniformPower",
+    "affectance_matrix",
+    "is_feasible_set",
+    "is_power_feasible",
+    "max_average_affectance",
+    "min_feasible_powers",
+    "power_feasibility_margin",
+    "robust_subset",
+    "sinr_nonfading",
+    "sinr_nonfading_batch",
+    "success_count",
+    "successful_links",
+    "total_affectance",
+]

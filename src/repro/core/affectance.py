@@ -1,0 +1,191 @@
+"""Affectance — the additive reformulation of SINR constraints.
+
+Halldórsson–Wattenhofer [25] observed that the SINR constraint of link
+``i`` can be rewritten additively.  For general mean signals, the
+*affectance* of link ``j`` on link ``i`` at threshold ``β`` is
+
+.. math::
+
+    a(j, i) = \\min\\left\\{1,\\;
+        \\frac{\\beta\\,\\bar S(j,i)}{\\bar S(i,i) - \\beta\\nu}\\right\\},
+    \\qquad a(i, i) = 0,
+
+which for uniform powers and geometric gains reduces exactly to the
+expression in the proof of Lemma 6 of the paper.  Link ``i`` satisfies its
+SINR constraint within a transmitting set ``X`` iff
+``Σ_{j∈X} a(j, i) ≤ 1`` (with unclamped values; the clamp at 1 never flips
+the predicate because any clamped single term already certifies
+violation).
+
+This module supplies the affectance matrix, feasibility predicates, the
+Lemma-7 robust-subset construction ``L' = {u ∈ L : Σ_{v∈L} a(u, v) ≤ 2}``,
+and the (approximate) maximum average affectance used to tune ALOHA-style
+contention resolution [9].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "affectance_matrix",
+    "total_affectance",
+    "is_feasible_set",
+    "robust_subset",
+    "max_average_affectance",
+]
+
+#: Affectance assigned to pairs (j, i) where link i cannot reach β even in
+#: silence (S̄(i,i) <= βν).  Any positive interferer then "fully affects" i.
+_BLOCKED = 1.0
+
+
+def affectance_matrix(
+    instance: SINRInstance, beta: float, *, clamped: bool = True
+) -> np.ndarray:
+    """Affectance ``a[j, i]`` of sender ``j`` on link ``i`` at threshold ``β``.
+
+    Parameters
+    ----------
+    instance:
+        Mean signals and noise.
+    beta:
+        SINR threshold.
+    clamped:
+        Clamp entries at 1 (the paper's ``min{1, ·}``).  Unclamped values
+        make ``Σ_j a(j,i) ≤ 1`` *exactly* equivalent to the SINR constraint
+        and are what :func:`is_feasible_set` uses.
+
+    Returns
+    -------
+    ndarray ``(n, n)`` with zero diagonal.  For links that cannot reach
+    ``β`` against noise alone, every incoming affectance is set to 1
+    (clamped) or ``+inf`` (unclamped): such links are infeasible in any
+    company.
+    """
+    check_positive(beta, "beta")
+    signal = instance.signal
+    margin = signal - beta * instance.noise  # S̄(i,i) - βν, per receiver i
+    a = np.empty((instance.n, instance.n), dtype=np.float64)
+    ok = margin > 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.divide(beta * instance.gains, margin[None, :], out=a)
+    if not ok.all():
+        a[:, ~ok] = _BLOCKED if clamped else np.inf
+    if clamped:
+        np.minimum(a, 1.0, out=a)
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+def total_affectance(affectance: np.ndarray, active) -> np.ndarray:
+    """Incoming affectance ``a(i) = Σ_{j active} a(j, i)`` for every link.
+
+    ``active`` is a boolean mask or index list over links; the sum runs
+    over the active senders (the diagonal is zero, so a link's own
+    transmission does not count).
+    """
+    A = np.asarray(affectance, dtype=np.float64)
+    mask = np.asarray(active)
+    if mask.dtype != np.bool_:
+        m = np.zeros(A.shape[0], dtype=bool)
+        m[mask] = True
+        mask = m
+    return mask.astype(np.float64) @ A
+
+
+def is_feasible_set(instance: SINRInstance, subset, beta: float) -> bool:
+    """Whether all links of ``subset`` can transmit simultaneously with
+    ``γ^nf ≥ β`` — the affectance formulation, numerically identical to
+    :meth:`repro.core.sinr.SINRInstance.is_feasible`."""
+    idx = np.asarray(subset)
+    if idx.size == 0:
+        return True
+    if idx.dtype != np.bool_:
+        mask = np.zeros(instance.n, dtype=bool)
+        mask[idx.astype(np.intp)] = True
+    else:
+        mask = idx
+    if not mask.any():
+        return True
+    a = affectance_matrix(instance, beta, clamped=False)
+    incoming = total_affectance(a, mask)
+    return bool(np.all(incoming[mask] <= 1.0 + 1e-12))
+
+
+def robust_subset(affectance: np.ndarray, subset, *, bound: float = 2.0) -> np.ndarray:
+    """Lemma 7 (Ásgeirsson–Mitra [24, Lemma 8]) construction.
+
+    Given a feasible set ``L``, return
+    ``L' = {u ∈ L : Σ_{v ∈ L} a(u, v) ≤ bound}`` — the links whose
+    *outgoing* affectance within ``L`` is small.  For a feasible ``L`` and
+    ``bound = 2`` the lemma guarantees ``|L'| ≥ |L| / 2``.
+
+    Parameters
+    ----------
+    affectance:
+        Clamped affectance matrix ``a[j, i]``.
+    subset:
+        Index array (or boolean mask) of the links of ``L``.
+
+    Returns
+    -------
+    Integer index array of ``L'`` (subset of ``L``, original order).
+    """
+    A = np.asarray(affectance, dtype=np.float64)
+    idx = np.asarray(subset)
+    if idx.dtype == np.bool_:
+        idx = np.flatnonzero(idx)
+    if idx.size == 0:
+        return idx.astype(np.intp)
+    out_aff = A[np.ix_(idx, idx)].sum(axis=1)  # Σ_{v∈L} a(u, v) per u
+    return idx[out_aff <= bound + 1e-12].astype(np.intp)
+
+
+def max_average_affectance(affectance: np.ndarray, subset=None) -> float:
+    """Approximate maximum average affectance
+    ``ā = max_{L' ⊆ L} (1/|L'|) Σ_{i∈L'} Σ_{j∈L'} a(j, i)``.
+
+    This is the contention measure that the distributed latency protocol of
+    Kesselheim–Vöcking [9] tunes its transmission probability against.
+    Exact maximisation over subsets equals a densest-subgraph problem; we
+    use the classical greedy peeling (repeatedly delete the link of
+    minimum degree), which 2-approximates the optimum — sufficient for
+    setting protocol constants, and we document the approximation at the
+    call sites.
+
+    Returns 0 for singleton or empty subsets.
+    """
+    A = np.asarray(affectance, dtype=np.float64)
+    n = A.shape[0]
+    if subset is None:
+        idx = np.arange(n)
+    else:
+        idx = np.asarray(subset)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+    if idx.size <= 1:
+        return 0.0
+    # Symmetrised weight: link u's "degree" counts affectance in both
+    # directions, since removing u removes both rows and columns.
+    sub = A[np.ix_(idx, idx)]
+    m = sub.shape[0]
+    alive = np.ones(m, dtype=bool)
+    deg = sub.sum(axis=0) + sub.sum(axis=1)  # in + out within subset
+    total = float(sub.sum())
+    best = total / m
+    order_count = m
+    for _ in range(m - 1):
+        # Remove the minimum-degree link.
+        masked = np.where(alive, deg, np.inf)
+        u = int(np.argmin(masked))
+        alive[u] = False
+        order_count -= 1
+        total -= float(sub[u, alive].sum() + sub[alive, u].sum() + 0.0)
+        deg -= sub[u, :] + sub[:, u]
+        if order_count > 0:
+            best = max(best, total / order_count)
+    return best

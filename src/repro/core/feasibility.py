@@ -1,0 +1,145 @@
+"""Existence and computation of feasible transmission powers.
+
+Substrate for power control (Kesselheim [6], Andrews–Dinitz [5]): given a
+set of links, do powers ``p > 0`` exist such that every link meets
+``γ^nf ≥ β`` simultaneously — and if so, which powers?
+
+Classical characterisation (Foschini–Miljanic / Zander): with unit-power
+gains ``g(j, i) = 1 / d(s_j, r_i)^α``, the constraints are
+
+.. math::
+
+    p_i\\, g(i,i) \\;\\ge\\; \\beta \\Big( \\sum_{j \\ne i} p_j\\, g(j,i)
+        + \\nu \\Big)
+    \\quad\\Longleftrightarrow\\quad p \\;\\ge\\; C p + u ,
+
+with ``C[i, j] = β g(j, i) / g(i, i)`` (zero diagonal) and
+``u_i = β ν / g(i, i)``.  A positive solution exists iff the spectral
+radius ``ρ(C) < 1``; the component-wise *minimal* feasible powers are then
+``p* = (I - C)^{-1} u`` (for ``ν = 0`` any positive Perron-like vector
+``(I - C)^{-1} 1`` works, and the constraint set is scale-invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "power_feasibility_margin",
+    "is_power_feasible",
+    "min_feasible_powers",
+]
+
+
+def _relative_gain_matrix(
+    network: Network, subset: np.ndarray, beta: float, alpha: float
+) -> np.ndarray:
+    """``C[i, j] = β g(j, i) / g(i, i)`` restricted to ``subset``.
+
+    Row ``i`` is the constrained receiver, column ``j`` the interfering
+    sender; note the transpose relative to the ``S̄[j, i]`` convention.
+    """
+    D = network.cross_distances[np.ix_(subset, subset)]
+    lengths = np.diagonal(D)
+    # g(j, i) / g(i, i) = (d_i / d(s_j, r_i))^α; C rows indexed by receiver.
+    C = beta * (lengths[:, None] / D.T) ** alpha
+    np.fill_diagonal(C, 0.0)
+    return C
+
+
+def _normalize_subset(network: Network, subset) -> np.ndarray:
+    idx = np.asarray(subset)
+    if idx.dtype == np.bool_:
+        idx = np.flatnonzero(idx)
+    idx = idx.astype(np.intp)
+    if idx.ndim != 1:
+        raise ValueError("subset must be one-dimensional")
+    if idx.size and (idx.min() < 0 or idx.max() >= network.n):
+        raise IndexError("subset index out of range")
+    return idx
+
+
+def power_feasibility_margin(
+    network: Network, subset, beta: float, alpha: float
+) -> float:
+    """``1 - ρ(C)`` for the subset's relative-gain matrix.
+
+    Positive ⇔ some power assignment makes all links in ``subset`` succeed
+    simultaneously (strictly, for ``ν > 0``); larger margins mean the set
+    tolerates more noise and needs less extreme powers.  Returns 1.0 for
+    empty or singleton subsets.
+    """
+    check_positive(beta, "beta")
+    check_positive(alpha, "alpha")
+    idx = _normalize_subset(network, subset)
+    if idx.size <= 1:
+        return 1.0
+    C = _relative_gain_matrix(network, idx, beta, alpha)
+    # C is non-negative; its spectral radius is real (Perron–Frobenius).
+    rho = float(np.max(np.abs(np.linalg.eigvals(C))))
+    return 1.0 - rho
+
+
+def is_power_feasible(network: Network, subset, beta: float, alpha: float) -> bool:
+    """Whether *some* positive powers let all of ``subset`` succeed at once."""
+    return power_feasibility_margin(network, subset, beta, alpha) > 0.0
+
+
+def min_feasible_powers(
+    network: Network,
+    subset,
+    beta: float,
+    alpha: float,
+    noise: float = 0.0,
+    *,
+    slack: float = 1.0,
+) -> "np.ndarray | None":
+    """Component-wise minimal powers making every link of ``subset`` reach
+    ``γ^nf ≥ β``, or ``None`` when no powers exist.
+
+    Parameters
+    ----------
+    network, subset, beta, alpha, noise:
+        The instance; ``subset`` as indices or boolean mask.
+    slack:
+        Multiply the minimal solution by this factor (``> 1`` gives strict
+        inequality everywhere, useful before feeding the powers into
+        floating-point SINR checks).
+
+    Returns
+    -------
+    ndarray of positive powers aligned with ``subset`` order, or ``None``.
+
+    Notes
+    -----
+    For ``ν = 0`` the minimal solution of ``p ≥ C p`` is the zero vector;
+    we return the strictly positive scale-free solution ``(I - C)^{-1} 1``
+    instead (any positive multiple is equally feasible).
+    """
+    check_positive(beta, "beta")
+    check_positive(alpha, "alpha")
+    check_nonnegative(noise, "noise")
+    if slack < 1.0:
+        raise ValueError(f"slack must be >= 1, got {slack}")
+    idx = _normalize_subset(network, subset)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.float64)
+    lengths = np.diagonal(network.cross_distances)[idx]
+    if idx.size == 1:
+        # A lone link only fights the noise: p / d^α ≥ βν.
+        p = beta * noise * lengths**alpha
+        base = np.maximum(p, 1.0)  # positive even when ν = 0
+        return slack * base
+    C = _relative_gain_matrix(network, idx, beta, alpha)
+    rho = float(np.max(np.abs(np.linalg.eigvals(C))))
+    if rho >= 1.0:
+        return None
+    u = beta * noise * lengths**alpha  # βν / g(i,i) = βν d_i^α
+    rhs = u if noise > 0.0 else np.ones(idx.size, dtype=np.float64)
+    p = np.linalg.solve(np.eye(idx.size) - C, rhs)
+    if np.any(p <= 0.0) or not np.all(np.isfinite(p)):  # numerically degenerate
+        return None
+    return slack * p

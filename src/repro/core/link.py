@@ -1,0 +1,40 @@
+"""A single communication request (sender–receiver pair)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One communication request ``(s_i, r_i)``.
+
+    Links are views into a :class:`repro.core.network.Network`; they exist
+    for inspection and pretty-printing, not for bulk computation (which is
+    done on the network's arrays).
+
+    Attributes
+    ----------
+    index:
+        Position of the link in its network.
+    sender, receiver:
+        Coordinates (``None`` for networks built from raw matrices).
+    length:
+        Sender–receiver distance ``d(s_i, r_i)``.
+    """
+
+    index: int
+    sender: "np.ndarray | None"
+    receiver: "np.ndarray | None"
+    length: float
+
+    def __str__(self) -> str:
+        if self.sender is None or self.receiver is None:
+            return f"Link({self.index}, length={self.length:.4g})"
+        s = ", ".join(f"{c:.4g}" for c in self.sender)
+        r = ", ".join(f"{c:.4g}" for c in self.receiver)
+        return f"Link({self.index}, s=({s}), r=({r}), length={self.length:.4g})"

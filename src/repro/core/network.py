@@ -1,0 +1,228 @@
+"""The network of communication requests and its cached distance data.
+
+A :class:`Network` bundles the ``n`` links of Section 2 and exposes the
+cross-distance matrix ``D[j, i] = d(s_j, r_i)`` that every gain
+computation is built on.  Networks are immutable; the (possibly large)
+distance matrix is computed lazily once and reused by all power
+assignments, following the guide's "views, not copies / compute once"
+discipline.
+
+Two construction paths:
+
+* geometric — coordinate arrays plus a :class:`~repro.geometry.metric.Metric`
+  (the simulation setting of Section 7);
+* abstract — an explicit cross-distance matrix (the theory of Sections
+  3–5 needs only the values ``S̄(j, i)``, so arbitrary-metric and even
+  non-metric instances are first-class).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.link import Link
+from repro.geometry.metric import EuclideanMetric, Metric
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An immutable set of ``n`` sender–receiver pairs.
+
+    Parameters
+    ----------
+    senders, receivers:
+        Coordinate arrays of shape ``(n, dim)``.
+    metric:
+        Metric used for all distances; default Euclidean.
+    min_distance:
+        Distances are clamped below by this value before any gain
+        computation, so coincident nodes cannot produce infinite gains.
+        The default is far below any realistic node separation.
+    """
+
+    __slots__ = (
+        "_senders",
+        "_receivers",
+        "_metric",
+        "_min_distance",
+        "_cross",
+        "_lengths",
+    )
+
+    def __init__(
+        self,
+        senders,
+        receivers,
+        *,
+        metric: "Metric | None" = None,
+        min_distance: float = 1e-9,
+    ):
+        # Copy before freezing: np.asarray may alias the caller's array,
+        # and setflags(write=False) on an alias would surprisingly freeze
+        # the caller's data too.
+        senders = np.array(senders, dtype=np.float64, copy=True)
+        receivers = np.array(receivers, dtype=np.float64, copy=True)
+        if senders.ndim != 2 or receivers.ndim != 2:
+            raise ValueError("senders/receivers must be (n, dim) arrays")
+        if senders.shape != receivers.shape:
+            raise ValueError(
+                f"senders shape {senders.shape} != receivers shape {receivers.shape}"
+            )
+        if senders.shape[0] == 0:
+            raise ValueError("a network needs at least one link")
+        if min_distance <= 0.0:
+            raise ValueError("min_distance must be positive")
+        self._senders = senders
+        self._senders.setflags(write=False)
+        self._receivers = receivers
+        self._receivers.setflags(write=False)
+        self._metric = metric if metric is not None else EuclideanMetric()
+        self._min_distance = float(min_distance)
+        self._cross: "np.ndarray | None" = None
+        self._lengths: "np.ndarray | None" = None
+
+    # -- alternate constructors -------------------------------------------------
+
+    @classmethod
+    def from_distance_matrix(
+        cls, cross_distances, *, min_distance: float = 1e-9
+    ) -> "Network":
+        """Build a non-geometric network from ``D[j, i] = d(s_j, r_i)``.
+
+        The diagonal ``D[i, i]`` supplies the link lengths.  No metric
+        axioms are assumed — the Rayleigh/non-fading reduction results hold
+        for arbitrary non-negative mean signal strengths.
+        """
+        cross = check_square_matrix(cross_distances, name="cross_distances")
+        if np.any(cross < 0.0) or not np.all(np.isfinite(cross)):
+            raise ValueError("cross_distances must be finite and non-negative")
+        net = cls.__new__(cls)
+        net._senders = None
+        net._receivers = None
+        net._metric = None
+        net._min_distance = float(min_distance)
+        clamped = np.maximum(cross, min_distance)
+        clamped.setflags(write=False)
+        net._cross = clamped
+        net._lengths = None
+        return net
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of links."""
+        if self._cross is not None:
+            return self._cross.shape[0]
+        return self._senders.shape[0]
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def is_geometric(self) -> bool:
+        """Whether coordinates are available (False for matrix-built networks)."""
+        return self._senders is not None
+
+    @property
+    def senders(self) -> np.ndarray:
+        if self._senders is None:
+            raise AttributeError("network was built from a distance matrix; no coordinates")
+        return self._senders
+
+    @property
+    def receivers(self) -> np.ndarray:
+        if self._receivers is None:
+            raise AttributeError("network was built from a distance matrix; no coordinates")
+        return self._receivers
+
+    @property
+    def metric(self) -> Metric:
+        if self._metric is None:
+            raise AttributeError("network was built from a distance matrix; no metric")
+        return self._metric
+
+    # -- distances ----------------------------------------------------------------
+
+    @property
+    def cross_distances(self) -> np.ndarray:
+        """Matrix ``D[j, i] = d(s_j, r_i)`` (clamped at ``min_distance``).
+
+        Computed on first access and cached; the returned array is
+        read-only and shared, never copied.
+        """
+        if self._cross is None:
+            cross = self._metric.pairwise(self._senders, self._receivers)
+            np.maximum(cross, self._min_distance, out=cross)
+            cross.setflags(write=False)
+            self._cross = cross
+        return self._cross
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Link lengths ``d_i = d(s_i, r_i)`` (the diagonal of the cross matrix)."""
+        if self._lengths is None:
+            lengths = np.ascontiguousarray(np.diagonal(self.cross_distances))
+            lengths.setflags(write=False)
+            self._lengths = lengths
+        return self._lengths
+
+    @property
+    def length_ratio(self) -> float:
+        """``Δ`` — ratio of the longest to the shortest link length."""
+        lengths = self.lengths
+        return float(lengths.max() / lengths.min())
+
+    # -- link views ----------------------------------------------------------------
+
+    def link(self, i: int) -> Link:
+        """Inspection view of link ``i``."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"link index {i} out of range for n={self.n}")
+        if self.is_geometric:
+            return Link(
+                index=i,
+                sender=self._senders[i],
+                receiver=self._receivers[i],
+                length=float(self.lengths[i]),
+            )
+        return Link(index=i, sender=None, receiver=None, length=float(self.lengths[i]))
+
+    @property
+    def links(self) -> list[Link]:
+        """All links as :class:`~repro.core.link.Link` views."""
+        return [self.link(i) for i in range(self.n)]
+
+    # -- derived networks -----------------------------------------------------------
+
+    def subnetwork(self, indices: Sequence[int]) -> "Network":
+        """Network restricted to the given links (preserving their order).
+
+        Used by latency schedulers, which recurse on the still-unserved
+        links.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ValueError("indices must be a non-empty 1-D sequence")
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise IndexError("subnetwork index out of range")
+        if len(set(idx.tolist())) != idx.size:
+            raise ValueError("subnetwork indices must be distinct")
+        if self.is_geometric:
+            return Network(
+                self._senders[idx],
+                self._receivers[idx],
+                metric=self._metric,
+                min_distance=self._min_distance,
+            )
+        return Network.from_distance_matrix(
+            self.cross_distances[np.ix_(idx, idx)], min_distance=self._min_distance
+        )
+
+    def __repr__(self) -> str:
+        kind = "geometric" if self.is_geometric else "matrix"
+        return f"Network(n={self.n}, {kind})"

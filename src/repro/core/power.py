@@ -1,0 +1,169 @@
+"""Transmission-power assignments.
+
+The paper's reduction is oblivious to how powers are chosen — Lemma 2
+explicitly "does not modify transmission powers" — so powers are a
+first-class, pluggable concept.  The families implemented here are the
+ones its transferred algorithms need:
+
+* :class:`UniformPower` — every sender uses the same power (algorithms of
+  Goussevskaia et al. [8], Dinitz [11]; Figure 1's ``p = 2``).
+* :class:`SquareRootPower` — ``p_i ∝ sqrt(d_i^α)``, the "square-root" /
+  mean power assignment of Fanghänel et al. [3] and Halldórsson [4];
+  Figure 1 uses ``p_i = 2·sqrt(d_i^2.2)``.
+* :class:`LinearPower` — ``p_i ∝ d_i^α``, which equalises received signal
+  strengths.
+* :class:`LengthScaledPower` — the general family ``p_i = scale · d_i^{τα}``
+  containing all of the above (``τ = 0, 1/2, 1``).
+* :class:`CustomPower` — an explicit vector, e.g. powers computed by the
+  power-control algorithm [6].
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PowerAssignment",
+    "UniformPower",
+    "LengthScaledPower",
+    "SquareRootPower",
+    "LinearPower",
+    "CustomPower",
+]
+
+
+class PowerAssignment(abc.ABC):
+    """Strategy mapping link lengths to transmission powers.
+
+    Subclasses must implement :meth:`powers` and provide a stable
+    :attr:`cache_key` so networks can cache gain matrices per assignment.
+    """
+
+    @abc.abstractmethod
+    def powers(self, lengths: np.ndarray, alpha: float) -> np.ndarray:
+        """Power vector for links with the given lengths under path-loss
+        exponent ``alpha``.  Must return a positive float64 array of the
+        same length."""
+
+    @property
+    @abc.abstractmethod
+    def cache_key(self) -> tuple:
+        """Hashable identity of this assignment (used for gain caching)."""
+
+    @property
+    def is_oblivious(self) -> bool:
+        """Whether each link's power depends only on its own length.
+
+        All built-in assignments except :class:`CustomPower` are oblivious
+        in the sense of Fanghänel et al. [3].
+        """
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PowerAssignment) and self.cache_key == other.cache_key
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
+
+class LengthScaledPower(PowerAssignment):
+    """``p_i = scale · d_i^(τ·α)`` — the oblivious power family.
+
+    ``τ = 0`` is uniform, ``τ = 1/2`` square-root ("mean"), ``τ = 1``
+    linear.  ``scale`` is the paper's constant factor (2 in Figure 1).
+    """
+
+    def __init__(self, tau: float, scale: float = 1.0):
+        if not np.isfinite(tau) or tau < 0.0:
+            raise ValueError(f"tau must be finite and non-negative, got {tau}")
+        self.tau = float(tau)
+        self.scale = check_positive(scale, "scale")
+
+    def powers(self, lengths: np.ndarray, alpha: float) -> np.ndarray:
+        lengths = np.asarray(lengths, dtype=np.float64)
+        if self.tau == 0.0:
+            return np.full(lengths.shape, self.scale)
+        return self.scale * lengths ** (self.tau * alpha)
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("length-scaled", self.tau, self.scale)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tau={self.tau}, scale={self.scale})"
+
+
+class UniformPower(LengthScaledPower):
+    """All senders transmit at the same power ``p`` (Figure 1: ``p = 2``)."""
+
+    def __init__(self, power: float = 1.0):
+        super().__init__(tau=0.0, scale=power)
+
+    @property
+    def power(self) -> float:
+        return self.scale
+
+    def __repr__(self) -> str:
+        return f"UniformPower({self.scale})"
+
+
+class SquareRootPower(LengthScaledPower):
+    """``p_i = scale · sqrt(d_i^α)`` (Figure 1: ``scale = 2``)."""
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(tau=0.5, scale=scale)
+
+    def __repr__(self) -> str:
+        return f"SquareRootPower(scale={self.scale})"
+
+
+class LinearPower(LengthScaledPower):
+    """``p_i = scale · d_i^α`` — every receiver sees the same own-signal power."""
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(tau=1.0, scale=scale)
+
+    def __repr__(self) -> str:
+        return f"LinearPower(scale={self.scale})"
+
+
+class CustomPower(PowerAssignment):
+    """An explicit per-link power vector (e.g. output of power control [6])."""
+
+    def __init__(self, powers):
+        arr = np.asarray(powers, dtype=np.float64).copy()
+        if arr.ndim != 1:
+            raise ValueError(f"powers must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0 or np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
+            raise ValueError("powers must be a non-empty vector of positive finite values")
+        arr.setflags(write=False)
+        self._powers = arr
+
+    def powers(self, lengths: np.ndarray, alpha: float) -> np.ndarray:
+        lengths = np.asarray(lengths)
+        if lengths.shape[0] != self._powers.shape[0]:
+            raise ValueError(
+                f"power vector has length {self._powers.shape[0]}, network has "
+                f"{lengths.shape[0]} links"
+            )
+        return self._powers
+
+    @property
+    def vector(self) -> np.ndarray:
+        """The stored (read-only) power vector."""
+        return self._powers
+
+    @property
+    def is_oblivious(self) -> bool:
+        return False
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("custom", self._powers.tobytes())
+
+    def __repr__(self) -> str:
+        return f"CustomPower(n={self._powers.shape[0]})"

@@ -1,0 +1,71 @@
+"""Experiment harness — one driver per reproduced table/figure.
+
+Each module implements one experiment of the DESIGN.md index (E1–E10)
+as a pure function from a configuration to an
+:class:`~repro.experiments.runner.ExperimentResult`, which carries the
+numeric series plus a rendered text table.  The benchmark suite under
+``benchmarks/`` calls these drivers; the default configurations are
+scaled down so the whole suite runs in minutes, and every config has a
+``paper()`` constructor with the exact Section-7 parameters.
+"""
+
+from repro.experiments.alg1_ablation import run_alg1_ablation
+from repro.experiments.aloha_transform_check import run_aloha_transform_check
+from repro.experiments.block_fading_check import run_block_fading_check
+from repro.experiments.capacity_compare import run_capacity_compare
+from repro.experiments.delta_sweep import run_delta_sweep
+from repro.experiments.density_sweep import run_density_sweep
+from repro.experiments.equilibria_study import run_equilibria_study
+from repro.experiments.fading_families import run_fading_families
+from repro.experiments.feedback_comparison import run_feedback_comparison
+from repro.experiments.config import (
+    Figure1Config,
+    Figure2Config,
+    PaperParameters,
+)
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.graph_gap import run_graph_gap
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.approximation_factors import run_approximation_factors
+from repro.experiments.latency_scaling import run_latency_scaling
+from repro.experiments.lemma_bounds import run_lemma_bounds
+from repro.experiments.lemma2_transfer import run_lemma2_transfer
+from repro.experiments.latency_compare import run_latency_compare
+from repro.experiments.optimum_gap import run_optimum_gap
+from repro.experiments.optimum_stat import run_optimum_stat
+from repro.experiments.regret_stats import run_regret_stats
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.shannon_figure import run_shannon_figure
+from repro.experiments.theorem2 import run_theorem2
+from repro.experiments.workloads import figure1_networks, figure2_networks
+
+__all__ = [
+    "ExperimentResult",
+    "Figure1Config",
+    "Figure2Config",
+    "PaperParameters",
+    "figure1_networks",
+    "figure2_networks",
+    "run_alg1_ablation",
+    "run_approximation_factors",
+    "run_aloha_transform_check",
+    "run_block_fading_check",
+    "run_capacity_compare",
+    "run_delta_sweep",
+    "run_density_sweep",
+    "run_equilibria_study",
+    "run_fading_families",
+    "run_feedback_comparison",
+    "run_figure1",
+    "run_figure2",
+    "run_graph_gap",
+    "run_latency_compare",
+    "run_latency_scaling",
+    "run_lemma2_transfer",
+    "run_lemma_bounds",
+    "run_optimum_gap",
+    "run_optimum_stat",
+    "run_regret_stats",
+    "run_shannon_figure",
+    "run_theorem2",
+]

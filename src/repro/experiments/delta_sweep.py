@@ -1,0 +1,120 @@
+"""E21 — power assignments vs link-length diversity Δ.
+
+The paper's related work orders power assignments by how they cope with
+length diversity: uniform power costs ``O(log Δ)`` ([5]), square-root
+power ``O(log log Δ + log n)`` ([4]), and free power control a constant
+([6]) — where ``Δ`` is the max/min link-length ratio.  This experiment
+sweeps Δ on a mixed workload (nested geometric length classes diluted
+into a plane) and measures the capacity of each assignment relative to
+power control.
+
+Expected shape: at Δ ≈ 1 all three agree; as Δ grows the uniform-power
+capacity falls away first and fastest, square-root holds on longer, and
+power control stays flat — the qualitative hierarchy behind the cited
+bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capacity.greedy import greedy_capacity
+from repro.capacity.power_control import power_control_capacity
+from repro.core.network import Network
+from repro.core.power import SquareRootPower, UniformPower
+from repro.core.sinr import SINRInstance
+from repro.experiments.runner import ExperimentResult
+from repro.utils.rng import RngFactory
+from repro.utils.tables import format_table
+
+__all__ = ["run_delta_sweep"]
+
+BETA, ALPHA = 1.0, 3.0
+
+
+def _diverse_network(
+    clusters: int, classes: int, delta: float, rng: np.random.Generator
+) -> Network:
+    """Nested length classes sharing hotspots.
+
+    Each of ``clusters`` hotspots hosts one link per length class, all
+    crossing the hotspot center (the Moscibroda–Wattenhofer nesting);
+    lengths span ``[L, L·Δ]`` geometrically across classes.  Hotspots are
+    spaced far apart relative to the longest link, so the contention is
+    *within* hotspots — exactly the regime where the power-assignment
+    hierarchy bites.
+    """
+    base = 10.0
+    lengths = base * delta ** (np.arange(classes) / max(classes - 1, 1))
+    spacing = 8.0 * lengths[-1]
+    side = int(np.ceil(np.sqrt(clusters)))
+    senders, receivers = [], []
+    for c in range(clusters):
+        center = np.array([(c % side) * spacing, (c // side) * spacing])
+        center = center + rng.uniform(-0.05, 0.05, 2) * spacing
+        for length in lengths:
+            angle = rng.uniform(0.0, 2 * np.pi)
+            half = 0.5 * length * np.array([np.cos(angle), np.sin(angle)])
+            jitter = rng.uniform(-0.02, 0.02, 2) * length
+            senders.append(center + half + jitter)
+            receivers.append(center - half + jitter)
+    return Network(np.array(senders), np.array(receivers))
+
+
+def run_delta_sweep(
+    *,
+    clusters: int = 6,
+    classes: int = 4,
+    deltas: tuple[float, ...] = (1.0, 8.0, 64.0, 512.0),
+    networks_per_delta: int = 4,
+    seed: int = 2012,
+) -> ExperimentResult:
+    """Capacity of uniform / sqrt / power-control across Δ."""
+    factory = RngFactory(seed)
+    n = clusters * classes
+    rows = []
+    rel_uniform, rel_sqrt = [], []
+    for delta in deltas:
+        uni, sqr, pc = [], [], []
+        for k in range(networks_per_delta):
+            net = _diverse_network(
+                clusters, classes, delta, factory.stream("delta-net", delta, k)
+            )
+            inst_u = SINRInstance.from_network(net, UniformPower(1.0), ALPHA, 0.0)
+            inst_s = SINRInstance.from_network(net, SquareRootPower(1.0), ALPHA, 0.0)
+            uni.append(greedy_capacity(inst_u, BETA).size)
+            sqr.append(greedy_capacity(inst_s, BETA).size)
+            pc.append(power_control_capacity(net, BETA, ALPHA, 0.0).selected.size)
+        u, s, p = float(np.mean(uni)), float(np.mean(sqr)), float(np.mean(pc))
+        rel_uniform.append(u / max(p, 1e-9))
+        rel_sqrt.append(s / max(p, 1e-9))
+        rows.append([delta, u, s, p, u / max(p, 1e-9), s / max(p, 1e-9)])
+    checks = {
+        "all assignments comparable at delta = 1 (within 25%)": (
+            min(rel_uniform[0], rel_sqrt[0]) >= 0.75
+        ),
+        "uniform power degrades with delta (ratio falls >= 30%)": rel_uniform[-1]
+        <= 0.7 * rel_uniform[0],
+        "sqrt power degrades strictly less than uniform at max delta": rel_sqrt[-1]
+        >= rel_uniform[-1],
+        "hierarchy at max delta: uniform <= sqrt <= power control": (
+            rows[-1][1] <= rows[-1][2] + 1e-9 and rows[-1][2] <= rows[-1][3] + 1e-9
+        ),
+    }
+    text = format_table(
+        ["delta", "uniform", "sqrt", "power control", "uniform/PC", "sqrt/PC"],
+        rows,
+        title=f"E21 — capacity vs length diversity Δ (n={n}, β={BETA}, α={ALPHA})",
+        precision=3,
+    )
+    return ExperimentResult(
+        experiment_id="E21",
+        title="Power-assignment hierarchy across Δ (the [4]/[5]/[6] ordering)",
+        text=text,
+        data={"rows": rows},
+        config=(
+            f"clusters={clusters}, classes={classes}, deltas={deltas}, "
+            f"networks_per_delta={networks_per_delta}"
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,120 @@
+"""E1 — Figure 1: successes vs transmission probability, both models.
+
+Replication of the paper's first simulation: on 40 random 100-link
+networks, every link transmits independently with the same probability
+``q``; the figure plots the mean number of successful transmissions
+against ``q`` for four curves — {uniform, square-root power} x
+{non-fading, Rayleigh}.
+
+Expected shape (Section 7): the Rayleigh curve is a smoothed version of
+the non-fading one; the non-fading model predicts more success when
+interference is small (low ``q``), Rayleigh more when interference is
+large (high ``q``); square-root powers dominate uniform powers
+throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import Figure1Config
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.workloads import figure1_networks, instance_pair
+from repro.fading.success import success_probability_conditional_batch
+from repro.utils.rng import RngFactory
+from repro.utils.tables import format_series
+
+__all__ = ["run_figure1"]
+
+CURVES = (
+    "uniform nonfading",
+    "uniform rayleigh",
+    "sqrt nonfading",
+    "sqrt rayleigh",
+)
+
+
+def _network_curves(
+    instance,
+    probabilities: np.ndarray,
+    num_transmit_seeds: int,
+    num_fading_seeds: int,
+    fading_mode: str,
+    beta: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean non-fading and Rayleigh success counts per probability."""
+    n = instance.n
+    nonfading = np.empty(probabilities.size, dtype=np.float64)
+    rayleigh = np.empty(probabilities.size, dtype=np.float64)
+    for k, q in enumerate(probabilities):
+        patterns = rng.random((num_transmit_seeds, n)) < q
+        sinr = instance.sinr_batch(patterns)
+        nonfading[k] = float((sinr >= beta).sum(axis=1).mean())
+        cond = success_probability_conditional_batch(instance, patterns, beta)
+        cond = np.where(patterns, cond, 0.0)
+        if fading_mode == "exact":
+            # Exact expectation over fading given each pattern.
+            rayleigh[k] = float(cond.sum(axis=1).mean())
+        else:
+            draws = rng.random((num_fading_seeds, *cond.shape)) < cond[None, :, :]
+            rayleigh[k] = float(draws.sum(axis=2).mean())
+    return nonfading, rayleigh
+
+
+def run_figure1(config: "Figure1Config | None" = None) -> ExperimentResult:
+    """Run the Figure-1 experiment and render its series."""
+    cfg = config if config is not None else Figure1Config.quick()
+    if cfg.fading_mode not in ("exact", "sample"):
+        raise ValueError(f"unknown fading_mode {cfg.fading_mode!r}")
+    factory = RngFactory(cfg.seed)
+    probs = np.asarray(cfg.probabilities, dtype=np.float64)
+    beta = cfg.params.beta
+
+    totals = {name: np.zeros(probs.size) for name in CURVES}
+    networks = figure1_networks(cfg)
+    for net_idx, net in enumerate(networks):
+        uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
+        for name, inst in (("uniform", uniform), ("sqrt", sqrt_inst)):
+            nf, ray = _network_curves(
+                inst,
+                probs,
+                cfg.num_transmit_seeds,
+                cfg.num_fading_seeds,
+                cfg.fading_mode,
+                beta,
+                factory.stream("figure1-run", net_idx, name),
+            )
+            totals[f"{name} nonfading"] += nf
+            totals[f"{name} rayleigh"] += ray
+    curves = {name: vals / len(networks) for name, vals in totals.items()}
+
+    # Shape checks from Section 7's discussion.
+    checks = {}
+    for pw in ("uniform", "sqrt"):
+        nf = curves[f"{pw} nonfading"]
+        ray = curves[f"{pw} rayleigh"]
+        diff = nf - ray
+        checks[f"{pw}: non-fading ahead at low q"] = diff[0] >= 0.0
+        checks[f"{pw}: rayleigh ahead at high q"] = diff[-1] <= 0.0
+        checks[f"{pw}: curves cross"] = bool(np.any(diff > 0) and np.any(diff < 0))
+        # Smoothing: total curvature (sum |second difference|) is smaller
+        # for the Rayleigh curve.
+        checks[f"{pw}: rayleigh smoother"] = float(
+            np.abs(np.diff(ray, 2)).sum()
+        ) <= float(np.abs(np.diff(nf, 2)).sum())
+    text = format_series(
+        "q",
+        [float(p) for p in probs],
+        {k: list(map(float, v)) for k, v in curves.items()},
+        title="Figure 1 — mean successful transmissions vs transmission probability",
+        precision=2,
+    )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Figure 1: capacity vs transmission probability (both models, both powers)",
+        text=text,
+        data={"q": probs.tolist(), **{k: v.tolist() for k, v in curves.items()}},
+        config=repr(cfg),
+        checks=checks,
+    )

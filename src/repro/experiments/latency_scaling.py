@@ -1,0 +1,100 @@
+"""E18 — latency scaling: schedulers against certified lower bounds.
+
+The latency algorithms the paper transfers carry approximation
+guarantees — ``O(log n)`` for repeated single-slot maximization and for
+ALOHA-style contention resolution.  This experiment measures realized
+latencies against the instance-specific lower bound
+(max of the capacity bound ``ceil(n / C*)`` and the conflict-clique
+bound) across network sizes at fixed density.
+
+Expected shape: the repeated-max/lower-bound ratio stays small and flat
+(its log-factor is invisible at these sizes); the distributed protocols
+pay a contention overhead that grows slowly; everything scales linearly
+in ``n`` at fixed density (latency ∝ n / capacity-per-slot, and
+capacity per slot is density-limited).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.lower_bounds import latency_lower_bound
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.experiments.config import PaperParameters
+from repro.experiments.runner import ExperimentResult
+from repro.geometry.placement import paper_random_network
+from repro.latency.aloha import aloha_latency
+from repro.latency.decay import decay_latency
+from repro.latency.repeated_max import repeated_max_latency
+from repro.utils.rng import RngFactory
+from repro.utils.tables import format_table
+
+__all__ = ["run_latency_scaling"]
+
+
+def run_latency_scaling(
+    *,
+    sizes: tuple[int, ...] = (25, 50, 100),
+    networks_per_size: int = 3,
+    params: "PaperParameters | None" = None,
+    seed: int = 2012,
+) -> ExperimentResult:
+    """Measure scheduler latencies and lower bounds across sizes."""
+    pp = params if params is not None else PaperParameters.figure1()
+    factory = RngFactory(seed)
+    rows = []
+    repmax_ratios = []
+    for n in sizes:
+        area = 1000.0 * (n / 100.0) ** 0.5
+        lbs, rms, als, dcs = [], [], [], []
+        for k in range(networks_per_size):
+            s, r = paper_random_network(
+                n, area=area, rng=factory.stream("ls-net", n, k)
+            )
+            inst = SINRInstance.from_network(
+                Network(s, r), UniformPower(pp.power_scale), pp.alpha, pp.noise
+            )
+            lbs.append(
+                latency_lower_bound(inst, pp.beta, factory.stream("ls-lb", n, k))
+            )
+            rms.append(repeated_max_latency(inst, pp.beta).latency)
+            als.append(
+                aloha_latency(
+                    inst, pp.beta, factory.stream("ls-aloha", n, k)
+                ).latency
+            )
+            dcs.append(
+                decay_latency(
+                    inst, pp.beta, factory.stream("ls-decay", n, k)
+                ).latency
+            )
+        lb, rm = float(np.mean(lbs)), float(np.mean(rms))
+        al, dc = float(np.mean(als)), float(np.mean(dcs))
+        repmax_ratios.append(rm / lb)
+        rows.append([n, lb, rm, rm / lb, al, dc])
+    checks = {
+        "repeated-max within 4x of the lower bound at every size": all(
+            r <= 4.0 for r in repmax_ratios
+        ),
+        "repeated-max ratio does not blow up with n (<= 2x smallest)": repmax_ratios[-1]
+        <= 2.0 * repmax_ratios[0],
+        "distributed protocols within 25x of repeated-max": all(
+            row[4] <= 25.0 * row[2] and row[5] <= 25.0 * row[2] for row in rows
+        ),
+    }
+    text = format_table(
+        ["n", "lower bound", "repeated-max", "rm / LB", "aloha", "decay"],
+        rows,
+        title="E18 — latency scaling at fixed density (non-fading model)",
+        precision=2,
+    )
+    return ExperimentResult(
+        experiment_id="E18",
+        title="Latency vs certified lower bounds across network sizes",
+        text=text,
+        data={"rows": rows},
+        config=f"sizes={sizes}, networks_per_size={networks_per_size}",
+        checks=checks,
+    )

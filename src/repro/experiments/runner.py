@@ -1,0 +1,80 @@
+"""Common experiment-result container.
+
+Every experiment driver returns an :class:`ExperimentResult`: the raw
+numeric data (JSON-serialisable), the rendered text table/series, and
+enough provenance (config repr, seed) to re-run it exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        DESIGN.md identifier, e.g. ``"E1"``.
+    title:
+        Human-readable experiment name.
+    text:
+        Rendered table/series (what the bench prints).
+    data:
+        Raw numbers behind the table (JSON-serialisable dict).
+    config:
+        ``repr`` of the configuration used.
+    checks:
+        Named boolean shape checks ("who wins", monotonicity, bound
+        satisfaction, ...) — the machine-readable reproduction verdicts.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    config: str = ""
+    checks: dict = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every recorded shape check holds."""
+        return all(bool(v) for v in self.checks.values())
+
+    def to_json(self) -> str:
+        """Serialise data + checks (not the rendered text) as JSON."""
+
+        def _default(obj: Any):
+            try:
+                return obj.tolist()
+            except AttributeError:
+                return str(obj)
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "config": self.config,
+                "data": self.data,
+                "checks": {k: bool(v) for k, v in self.checks.items()},
+            },
+            default=_default,
+            indent=2,
+        )
+
+    def render(self) -> str:
+        """Full printable report: header, table, check verdicts."""
+        lines = [f"[{self.experiment_id}] {self.title}", ""]
+        lines.append(self.text)
+        if self.checks:
+            lines.append("")
+            lines.append("shape checks:")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)

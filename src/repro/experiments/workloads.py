@@ -1,0 +1,67 @@
+"""Workload generators shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.power import SquareRootPower, UniformPower
+from repro.core.sinr import SINRInstance
+from repro.experiments.config import Figure1Config, Figure2Config
+from repro.geometry.placement import paper_random_network
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "figure1_networks",
+    "figure2_networks",
+    "instance_pair",
+]
+
+
+def figure1_networks(config: Figure1Config) -> list[Network]:
+    """The Figure-1 network ensemble (one per network seed)."""
+    factory = RngFactory(config.seed)
+    nets = []
+    for k in range(config.num_networks):
+        s, r = paper_random_network(
+            config.num_links,
+            area=config.area,
+            min_length=config.min_length,
+            max_length=config.max_length,
+            rng=factory.stream("figure1-network", k),
+        )
+        nets.append(Network(s, r))
+    return nets
+
+
+def figure2_networks(config: Figure2Config) -> list[Network]:
+    """The Figure-2 network ensemble."""
+    factory = RngFactory(config.seed)
+    nets = []
+    for k in range(config.num_networks):
+        s, r = paper_random_network(
+            config.num_links,
+            area=config.area,
+            min_length=config.min_length,
+            max_length=config.max_length,
+            rng=factory.stream("figure2-network", k),
+        )
+        nets.append(Network(s, r))
+    return nets
+
+
+def instance_pair(
+    network: Network, params, *,
+    with_sqrt: bool = True,
+) -> "tuple[SINRInstance, SINRInstance | None]":
+    """Uniform-power and (optionally) square-root-power instances for a
+    network under the given :class:`~repro.experiments.config.PaperParameters`."""
+    uniform = SINRInstance.from_network(
+        network, UniformPower(params.power_scale), params.alpha, params.noise
+    )
+    sqrt_inst = None
+    if with_sqrt:
+        sqrt_inst = SINRInstance.from_network(
+            network, SquareRootPower(params.power_scale), params.alpha, params.noise
+        )
+    return uniform, sqrt_inst

@@ -1,0 +1,96 @@
+"""Lemma 1 — exponential bounds on the Rayleigh success probability.
+
+The closed form of Theorem 1 is exact but awkward to compare against the
+non-fading model; Lemma 1 sandwiches it between two exponentials:
+
+.. math::
+
+    q_i \\exp\\!\\Big(-\\frac{\\beta}{\\bar S(i,i)}
+        \\big(\\nu + \\sum_{j\\ne i} \\bar S(j,i)\\, q_j\\big)\\Big)
+    \\;\\le\\; Q_i(q, \\beta) \\;\\le\\;
+    q_i \\exp\\!\\Big(-\\frac{\\beta\\nu}{\\bar S(i,i)}
+        - \\sum_{j\\ne i} \\min\\Big\\{\\tfrac12,
+            \\frac{\\beta \\bar S(j,i)}{2 \\bar S(i,i)}\\Big\\} q_j\\Big).
+
+The lower bound drives Lemma 2 (replaying a non-fading solution keeps a
+``1/e`` fraction of utility: a set feasible at SINR ``β`` has
+``(β/S̄ii)(ν + Σ S̄ji) ≤ 1``); the upper bound drives Theorem 2's
+simulation argument.  Both rest on Observation 1, two elementary
+exponential inequalities exposed here for the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.fading.success import _beta_vector
+from repro.utils.validation import check_probability_vector
+
+__all__ = [
+    "observation1_first",
+    "observation1_second",
+    "success_probability_lower",
+    "success_probability_upper",
+]
+
+
+def observation1_first(x, q) -> tuple[np.ndarray, np.ndarray]:
+    """Observation 1, first inequality: for all real ``x`` and ``q ∈ [0,1]``,
+    ``exp(-xq) ≤ 1 - q / (1/x + 1)``.
+
+    Returns ``(lhs, rhs)`` so tests can assert ``lhs <= rhs`` elementwise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    lhs = np.exp(-x * q)
+    with np.errstate(divide="ignore", over="ignore"):
+        rhs = 1.0 - q / (1.0 / x + 1.0)
+    return lhs, rhs
+
+
+def observation1_second(x, q) -> tuple[np.ndarray, np.ndarray]:
+    """Observation 1, second inequality: for ``x ∈ (0, 1]``, ``q ∈ [0,1]``,
+    ``1 - q / (1/x + 1) ≤ exp(-xq/2)``.
+
+    Returns ``(lhs, rhs)`` so tests can assert ``lhs <= rhs`` elementwise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    lhs = 1.0 - q / (1.0 / x + 1.0)
+    rhs = np.exp(-0.5 * x * q)
+    return lhs, rhs
+
+
+def success_probability_lower(instance: SINRInstance, q, beta) -> np.ndarray:
+    """Lemma 1 lower bound on ``Q_i(q, β)`` for every link.
+
+    Equals ``q_i · exp(-β_i / S̄(i,i) · (ν + Σ_{j≠i} S̄(j,i) q_j))``; note
+    the exponent is ``β_i / γ̃_i`` where ``γ̃_i`` is the non-fading SINR
+    against the *expected* interference — hence ≥ ``q_i / e`` whenever the
+    set is non-fading feasible at ``β``.
+    """
+    n = instance.n
+    qv = check_probability_vector(q, n)
+    bv = _beta_vector(beta, n)
+    signal = instance.signal
+    expected_interference = qv @ instance.gains - qv * signal  # Σ_{j≠i} S̄(j,i) q_j
+    exponent = bv / signal * (instance.noise + expected_interference)
+    return qv * np.exp(-exponent)
+
+
+def success_probability_upper(instance: SINRInstance, q, beta) -> np.ndarray:
+    """Lemma 1 upper bound on ``Q_i(q, β)`` for every link.
+
+    Equals ``q_i · exp(-β_i ν / S̄(i,i) - Σ_{j≠i} min{1/2, β_i S̄(j,i) /
+    (2 S̄(i,i))} q_j)``.  The capped sum is ``A_i / 2`` in the notation of
+    the proof of Theorem 2.
+    """
+    n = instance.n
+    qv = check_probability_vector(q, n)
+    bv = _beta_vector(beta, n)
+    signal = instance.signal
+    capped = np.minimum(0.5, bv[None, :] * instance.gains / (2.0 * signal[None, :]))
+    np.fill_diagonal(capped, 0.0)
+    interference_term = qv @ capped  # Σ_{j≠i} min{1/2, βS̄ji/(2S̄ii)} q_j
+    return qv * np.exp(-bv * instance.noise / signal - interference_term)

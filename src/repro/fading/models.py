@@ -1,0 +1,201 @@
+"""A family of stochastic fading models beyond Rayleigh.
+
+Section 8 of the paper hopes its techniques "can also be applied
+accordingly to interference models capturing further realistic
+properties".  This module makes that executable: a small fading-model
+abstraction with the three classic generalisations, all normalised so
+the *mean* received power equals the non-fading value ``S̄(j, i)``:
+
+* :class:`RayleighFading` — power ``~ Exp(mean)`` (the paper's model;
+  rich scattering, no line of sight).
+* :class:`NakagamiFading` — power ``~ Gamma(m, mean/m)``.  ``m = 1`` *is*
+  Rayleigh; ``m → ∞`` concentrates at the mean, i.e. the **non-fading
+  model is the Nakagami limit** — the family interpolates between the
+  paper's two worlds, which the E14 bench exploits.
+* :class:`RicianFading` — power of a line-of-sight component plus
+  scattered Gaussian field, ``K`` the LoS-to-scatter power ratio.
+  ``K = 0`` is Rayleigh; ``K → ∞`` approaches non-fading.
+* :class:`NoFading` — the deterministic model as a degenerate member.
+
+Only Rayleigh has the closed-form Theorem-1 success probability; the
+other families are evaluated by Monte Carlo
+(:func:`simulate_slots_with_model`, and
+:func:`expected_successes_with_model` for the replay experiments).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance, _as_active_bool
+from repro.fading.rayleigh import _sinr_from_draws
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "FadingModel",
+    "RayleighFading",
+    "NakagamiFading",
+    "RicianFading",
+    "NoFading",
+    "simulate_slots_with_model",
+    "expected_successes_with_model",
+]
+
+
+class FadingModel(abc.ABC):
+    """Distribution of instantaneous power gains around their means."""
+
+    @abc.abstractmethod
+    def sample(
+        self, means: np.ndarray, rng: np.random.Generator, size: "int | None" = None
+    ) -> np.ndarray:
+        """Draw instantaneous gains with the given means.
+
+        ``means`` is any non-negative array; the result has shape
+        ``means.shape`` (``size=None``) or ``(size, *means.shape)``.
+        Zero means must yield zero draws.  ``E[draw] = mean`` exactly.
+        """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short display name."""
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class RayleighFading(FadingModel):
+    """Exponentially distributed power — the paper's model."""
+
+    def sample(self, means, rng, size=None):
+        shape = means.shape if size is None else (int(size), *means.shape)
+        return rng.exponential(1.0, size=shape) * means
+
+    @property
+    def name(self) -> str:
+        return "rayleigh"
+
+
+class NakagamiFading(FadingModel):
+    """Gamma-distributed power: ``Gamma(shape=m, scale=mean/m)``.
+
+    ``m`` is the Nakagami shape parameter (``m >= 0.5`` physically);
+    variance is ``mean² / m``, so larger ``m`` means milder fading.
+    """
+
+    def __init__(self, m: float):
+        self.m = check_positive(m, "m")
+        if self.m < 0.5:
+            raise ValueError(f"Nakagami m must be >= 0.5, got {m}")
+
+    def sample(self, means, rng, size=None):
+        shape = means.shape if size is None else (int(size), *means.shape)
+        return rng.gamma(self.m, 1.0 / self.m, size=shape) * means
+
+    @property
+    def name(self) -> str:
+        return f"nakagami(m={self.m:g})"
+
+
+class RicianFading(FadingModel):
+    """Line-of-sight plus scattered field; ``K`` = LoS/scatter power ratio.
+
+    The complex channel is ``h = sqrt(K/(K+1)) + CN(0, 1/(K+1))`` with
+    ``E|h|² = 1``; the power gain is ``mean · |h|²``.  ``K = 0`` recovers
+    Rayleigh exactly.
+    """
+
+    def __init__(self, k_factor: float):
+        if not np.isfinite(k_factor) or k_factor < 0.0:
+            raise ValueError(f"Rician K must be finite and >= 0, got {k_factor}")
+        self.k_factor = float(k_factor)
+
+    def sample(self, means, rng, size=None):
+        shape = means.shape if size is None else (int(size), *means.shape)
+        k = self.k_factor
+        sigma = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        los = np.sqrt(k / (k + 1.0))
+        re = los + rng.normal(0.0, sigma, size=shape)
+        im = rng.normal(0.0, sigma, size=shape)
+        return (re * re + im * im) * means
+
+    @property
+    def name(self) -> str:
+        return f"rician(K={self.k_factor:g})"
+
+
+class NoFading(FadingModel):
+    """Degenerate model: gains equal their means (the non-fading world)."""
+
+    def sample(self, means, rng, size=None):
+        if size is None:
+            return means.copy()
+        return np.broadcast_to(means, (int(size), *means.shape)).copy()
+
+    @property
+    def name(self) -> str:
+        return "nonfading"
+
+
+def simulate_slots_with_model(
+    instance: SINRInstance,
+    active,
+    beta: float,
+    model: FadingModel,
+    rng=None,
+    *,
+    num_slots: int = 1,
+) -> np.ndarray:
+    """Success masks over ``num_slots`` independent slots under ``model``.
+
+    The generic analogue of
+    :func:`repro.fading.rayleigh.simulate_slots` for arbitrary fading
+    families (no Bernoulli fast path — Theorem 1 is Rayleigh-specific).
+    """
+    check_positive(beta, "beta")
+    if num_slots <= 0:
+        raise ValueError(f"num_slots must be positive, got {num_slots}")
+    mask = _as_active_bool(active, instance.n)
+    out = np.zeros((num_slots, instance.n), dtype=bool)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return out
+    gen = as_generator(rng)
+    sub = instance.subinstance(idx)
+    all_active = np.ones(idx.size, dtype=bool)
+    # Chunk long runs so the (T, k, k) draw tensor stays ~100 MB.
+    block = max(1, 12_000_000 // max(1, idx.size * idx.size))
+    done = 0
+    while done < num_slots:
+        t = min(block, num_slots - done)
+        draws = model.sample(sub.gains, gen, size=t)
+        sinr = _sinr_from_draws(draws, all_active, instance.noise)
+        out[done : done + t, idx] = sinr >= beta
+        done += t
+    return out
+
+
+def expected_successes_with_model(
+    instance: SINRInstance,
+    subset,
+    beta: float,
+    model: FadingModel,
+    rng=None,
+    *,
+    num_slots: int = 2000,
+) -> float:
+    """Monte-Carlo estimate of the expected number of successes when the
+    links of ``subset`` transmit simultaneously under ``model``.
+
+    The generic analogue of
+    :func:`repro.transform.blackbox.rayleigh_expected_binary`; used by
+    the E14 fading-family study.
+    """
+    hits = simulate_slots_with_model(
+        instance, subset, beta, model, rng, num_slots=num_slots
+    )
+    return float(hits.sum(axis=1).mean())

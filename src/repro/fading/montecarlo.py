@@ -1,0 +1,123 @@
+"""Monte-Carlo estimators for the Rayleigh-fading model.
+
+These estimators serve two roles: validating the closed forms (Theorem 1,
+Lemma 1) against brute-force sampling, and evaluating quantities that have
+no closed form — chiefly the expected *non-binary* utility
+``E[Σ u_i(γ_i^R)]`` for Shannon-type utility functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.fading.rayleigh import simulate_sinr, simulate_slots
+from repro.fading.success import success_probability
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_vector
+
+__all__ = [
+    "estimate_success_probability",
+    "estimate_expected_utility",
+    "expected_successes_exact",
+]
+
+
+def expected_successes_exact(instance: SINRInstance, q, beta) -> float:
+    """Exact expected number of successful transmissions ``Σ_i Q_i(q, β)``.
+
+    For binary utilities this *is* the expected capacity — no sampling
+    needed thanks to Theorem 1 and linearity of expectation.
+    """
+    return float(success_probability(instance, q, beta).sum())
+
+
+def estimate_success_probability(
+    instance: SINRInstance,
+    q,
+    beta: float,
+    rng=None,
+    *,
+    num_samples: int = 1000,
+) -> np.ndarray:
+    """Brute-force estimate of ``Q_i(q, β)`` by explicit simulation.
+
+    Each sample draws a transmit pattern (independent Bernoulli ``q_j``
+    per sender) and a fresh fading realisation, then counts threshold
+    successes.  Used by the test suite and the E4 bench to validate
+    Theorem 1; production code should call
+    :func:`repro.fading.success.success_probability` instead.
+
+    Returns the per-link success frequency, shape ``(n,)``.
+    """
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    gen = as_generator(rng)
+    qv = check_probability_vector(q, instance.n)
+    counts = np.zeros(instance.n, dtype=np.int64)
+    # Group samples by transmit pattern draw to amortize; patterns change
+    # every slot, so we simulate slot-by-slot in modest batches.
+    batch = 64
+    done = 0
+    while done < num_samples:
+        t = min(batch, num_samples - done)
+        patterns = gen.random((t, instance.n)) < qv
+        for row in patterns:
+            if row.any():
+                counts += simulate_slots(instance, row, beta, gen, num_slots=1)[0]
+        done += t
+    return counts / num_samples
+
+
+def estimate_expected_utility(
+    instance: SINRInstance,
+    utility: Callable[[np.ndarray], np.ndarray],
+    q,
+    rng=None,
+    *,
+    num_samples: int = 1000,
+) -> tuple[float, np.ndarray]:
+    """Estimate ``E[Σ_i u_i(γ_i^R)]`` under transmission probabilities ``q``.
+
+    Parameters
+    ----------
+    instance:
+        Mean signals and noise.
+    utility:
+        Vectorized map from an SINR array of shape ``(T, n)`` to utilities
+        of the same shape (e.g.
+        :meth:`repro.utility.UtilityProfile.evaluate`).  Silent links have
+        SINR 0; the utility of a silent link is counted as 0 regardless of
+        ``utility``'s value at 0, matching the convention that only
+        transmission attempts generate utility.
+    q:
+        Per-link transmission probabilities.
+    num_samples:
+        Number of independent (pattern, fading) samples.
+
+    Returns
+    -------
+    (total, per_link):
+        Estimated expected total utility, and the per-link breakdown.
+    """
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    gen = as_generator(rng)
+    qv = check_probability_vector(q, instance.n)
+    per_link = np.zeros(instance.n, dtype=np.float64)
+    batch = 64
+    done = 0
+    while done < num_samples:
+        t = min(batch, num_samples - done)
+        patterns = gen.random((t, instance.n)) < qv
+        for row in patterns:
+            if not row.any():
+                continue
+            sinr = simulate_sinr(instance, row, gen, num_slots=1)[0]
+            vals = np.asarray(utility(sinr[None, :]))[0]
+            per_link += np.where(row, vals, 0.0)
+        done += t
+    per_link /= num_samples
+    return float(per_link.sum()), per_link

@@ -1,0 +1,126 @@
+"""Theorem 1 — exact success probabilities under Rayleigh fading.
+
+With each sender ``j`` transmitting independently with probability
+``q_j``, the probability that receiver ``i`` decodes its signal at SINR at
+least ``β`` is (Theorem 1, following Liu–Haenggi [18]):
+
+.. math::
+
+    Q_i(q, \\beta) = q_i \\, \\exp\\!\\Big(-\\frac{\\beta\\nu}{\\bar S(i,i)}\\Big)
+        \\prod_{j \\ne i}
+        \\Big( 1 - \\frac{\\beta q_j}{\\beta + \\bar S(i,i)/\\bar S(j,i)} \\Big).
+
+The per-factor form we evaluate is the algebraically identical
+
+.. math::
+
+    1 - q_j \\frac{\\beta \\bar S(j,i)}{\\beta \\bar S(j,i) + \\bar S(i,i)},
+
+which stays well-defined when ``S̄(j, i) = 0`` (the factor is then 1 —
+a silent channel never hurts).
+
+``β`` may be a per-link vector: Lemma 2 evaluates each link at its own
+achieved non-fading SINR ``γ_i^nf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.utils.validation import check_probability_vector
+
+__all__ = [
+    "success_probability",
+    "success_probability_conditional",
+    "success_probability_conditional_batch",
+]
+
+
+def _beta_vector(beta, n: int) -> np.ndarray:
+    arr = np.asarray(beta, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise ValueError(f"beta must be scalar or length-{n}, got shape {arr.shape}")
+    if np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
+        raise ValueError("beta values must be positive and finite")
+    return arr
+
+
+def success_probability_conditional(
+    instance: SINRInstance, q, beta
+) -> np.ndarray:
+    """``Q_i / q_i`` — success probability of link ``i`` *given* it
+    transmits, while every other sender ``j`` transmits w.p. ``q_j``.
+
+    This is the quantity the regret-learning rewards of Section 6 are
+    built on (a link that transmits succeeds with exactly this
+    probability, independently across links).
+
+    Parameters
+    ----------
+    instance:
+        Mean signals ``S̄`` and noise ``ν``.
+    q:
+        Transmission probabilities, shape ``(n,)``.  ``q_i`` itself is
+        ignored for link ``i`` (the conditional does not depend on it).
+    beta:
+        SINR threshold, scalar or per-link vector.
+
+    Returns
+    -------
+    ndarray ``(n,)`` of probabilities in ``[0, 1]``.
+    """
+    n = instance.n
+    qv = check_probability_vector(q, n)
+    bv = _beta_vector(beta, n)
+    signal = instance.signal  # S̄(i,i)
+    # t[j, i] = β_i · S̄(j, i)
+    t = bv[None, :] * instance.gains
+    factors = 1.0 - qv[:, None] * (t / (t + signal[None, :]))
+    np.fill_diagonal(factors, 1.0)
+    # Product over senders j for each receiver i; all factors lie in (0, 1].
+    prod = np.prod(factors, axis=0)
+    noise_term = np.exp(-bv * instance.noise / signal)
+    return noise_term * prod
+
+
+def success_probability_conditional_batch(
+    instance: SINRInstance, patterns: np.ndarray, beta
+) -> np.ndarray:
+    """Conditional success probabilities for a batch of *binary* transmit
+    patterns, shape ``(B, n)``.
+
+    For 0/1 transmit indicators, Theorem 1's product becomes a sum of
+    per-interferer log factors, so a whole batch reduces to one
+    ``(B, n) @ (n, n)`` product:
+
+    ``log P_i = Σ_{j active, j≠i} log(S̄ii / (S̄ii + β S̄ji)) − βν/S̄ii``.
+
+    The entry for link ``i`` is its success probability *given it
+    transmits* while the pattern's other senders transmit; whether the
+    pattern includes ``i`` itself is irrelevant (diagonal factor is 0).
+    """
+    n = instance.n
+    pats = np.asarray(patterns)
+    if pats.ndim != 2 or pats.shape[1] != n:
+        raise ValueError(f"patterns must be (B, {n}), got {pats.shape}")
+    bv = _beta_vector(beta, n)
+    signal = instance.signal
+    t = bv[None, :] * instance.gains
+    log_factors = np.log(signal[None, :]) - np.log(t + signal[None, :])
+    np.fill_diagonal(log_factors, 0.0)
+    log_p = pats.astype(np.float64) @ log_factors - bv * instance.noise / signal
+    return np.exp(log_p)
+
+
+def success_probability(instance: SINRInstance, q, beta) -> np.ndarray:
+    """Theorem 1: exact probability ``Q_i(q_1..q_n, β)`` for every link.
+
+    Returns ``q_i`` times the conditional success probability — i.e. the
+    unconditional probability that link ``i`` transmits *and* reaches SINR
+    ``β_i`` under Rayleigh fading.
+    """
+    qv = check_probability_vector(q, instance.n)
+    return qv * success_probability_conditional(instance, qv, beta)

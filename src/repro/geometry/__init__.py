@@ -1,0 +1,33 @@
+"""Geometric substrate: metric spaces and network-topology generators.
+
+The paper's simulations place receivers uniformly at random on a
+1000x1000 plane and place each sender at a uniform random angle and
+distance from its receiver (:func:`repro.geometry.placement.paper_random_network`).
+The theory, however, holds for arbitrary gain matrices; the
+:class:`~repro.geometry.metric.Metric` abstraction lets networks live in
+any p-norm space, and :class:`repro.core.network.Network` additionally
+accepts raw distance or gain matrices for non-geometric instances.
+"""
+
+from repro.geometry.metric import EuclideanMetric, Metric, PNormMetric, TorusMetric
+from repro.geometry.placement import (
+    cluster_network,
+    grid_network,
+    line_network,
+    nested_pairs_network,
+    paper_random_network,
+    poisson_network,
+)
+
+__all__ = [
+    "EuclideanMetric",
+    "Metric",
+    "PNormMetric",
+    "TorusMetric",
+    "cluster_network",
+    "grid_network",
+    "line_network",
+    "nested_pairs_network",
+    "paper_random_network",
+    "poisson_network",
+]

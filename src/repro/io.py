@@ -1,0 +1,119 @@
+"""Persistence: save and load networks and SINR instances.
+
+Benchmark instances should be shareable and archivable; this module
+serialises :class:`~repro.core.network.Network` and
+:class:`~repro.core.sinr.SINRInstance` objects to a single JSON document
+(human-inspectable, version-tagged) and back, with exact float
+round-tripping via hexadecimal float encoding of the arrays.
+
+JSON is used rather than ``.npz`` so instance files diff cleanly in
+version control and survive without NumPy version coupling; the arrays
+in play are small (≤ a few hundred links).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.sinr import SINRInstance
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_instance",
+    "load_instance",
+    "network_to_dict",
+    "network_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    """Exact, text-safe encoding: shape plus hex-float values."""
+    a = np.asarray(arr, dtype=np.float64)
+    return {"shape": list(a.shape), "hex": [v.hex() for v in a.ravel().tolist()]}
+
+
+def _decode_array(obj: dict) -> np.ndarray:
+    values = np.array([float.fromhex(h) for h in obj["hex"]], dtype=np.float64)
+    return values.reshape(obj["shape"])
+
+
+def network_to_dict(network: Network) -> dict:
+    """JSON-ready dict for a network (geometric or matrix-built)."""
+    doc: dict = {"format": "repro-network", "version": _FORMAT_VERSION}
+    if network.is_geometric:
+        doc["kind"] = "geometric"
+        doc["senders"] = _encode_array(network.senders)
+        doc["receivers"] = _encode_array(network.receivers)
+        metric = network.metric
+        doc["metric_p"] = float(getattr(metric, "p", 2.0))
+    else:
+        doc["kind"] = "matrix"
+        doc["cross_distances"] = _encode_array(network.cross_distances)
+    return doc
+
+
+def network_from_dict(doc: dict) -> Network:
+    """Inverse of :func:`network_to_dict`."""
+    if doc.get("format") != "repro-network":
+        raise ValueError("not a repro network document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version {doc.get('version')}")
+    if doc["kind"] == "geometric":
+        from repro.geometry.metric import PNormMetric
+
+        return Network(
+            _decode_array(doc["senders"]),
+            _decode_array(doc["receivers"]),
+            metric=PNormMetric(doc.get("metric_p", 2.0)),
+        )
+    if doc["kind"] == "matrix":
+        return Network.from_distance_matrix(_decode_array(doc["cross_distances"]))
+    raise ValueError(f"unknown network kind {doc['kind']!r}")
+
+
+def instance_to_dict(instance: SINRInstance) -> dict:
+    """JSON-ready dict for an instance (gains + noise)."""
+    return {
+        "format": "repro-instance",
+        "version": _FORMAT_VERSION,
+        "gains": _encode_array(instance.gains),
+        "noise": float(instance.noise),
+    }
+
+
+def instance_from_dict(doc: dict) -> SINRInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    if doc.get("format") != "repro-instance":
+        raise ValueError("not a repro instance document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported instance format version {doc.get('version')}")
+    return SINRInstance(_decode_array(doc["gains"]), noise=doc["noise"])
+
+
+def save_network(network: Network, path) -> None:
+    """Write a network to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)), encoding="utf-8")
+
+
+def load_network(path) -> Network:
+    """Read a network written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def save_instance(instance: SINRInstance, path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)), encoding="utf-8")
+
+
+def load_instance(path) -> SINRInstance:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,99 @@
+"""Schedules: ordered slot assignments of links.
+
+A schedule is a sequence of slots, each slot a set of links transmitting
+simultaneously.  In the non-fading model a schedule *serves* a link when
+the link clears ``β`` in its slot deterministically; under Rayleigh
+fading service is stochastic and latency is a random variable — the
+schedulers in this package then report realised latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.utils.validation import check_positive
+
+__all__ = ["Schedule", "validate_schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered list of transmission slots.
+
+    Attributes
+    ----------
+    slots:
+        Tuple of integer index arrays; slot ``t`` lists the links
+        transmitting in slot ``t``.
+    n:
+        Number of links in the underlying instance.
+    """
+
+    slots: tuple[np.ndarray, ...]
+    n: int
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @classmethod
+    def from_lists(cls, slots: Iterable[Sequence[int]], n: int) -> "Schedule":
+        arrays = tuple(np.asarray(sorted(s), dtype=np.intp) for s in slots)
+        for arr in arrays:
+            if arr.size and (arr.min() < 0 or arr.max() >= n):
+                raise IndexError("slot contains an out-of-range link index")
+            if len(set(arr.tolist())) != arr.size:
+                raise ValueError("slot contains duplicate links")
+        return cls(slots=arrays, n=int(n))
+
+    @property
+    def length(self) -> int:
+        """Number of slots (the latency objective)."""
+        return len(self.slots)
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def covered(self) -> np.ndarray:
+        """Mask of links appearing in at least one slot."""
+        mask = np.zeros(self.n, dtype=bool)
+        for slot in self.slots:
+            mask[slot] = True
+        return mask
+
+    def covers_all(self) -> bool:
+        """Whether every link is scheduled at least once."""
+        return bool(self.covered.all())
+
+    def slot_of(self, link: int) -> "int | None":
+        """First slot index containing ``link`` (``None`` if never)."""
+        for t, slot in enumerate(self.slots):
+            if link in slot:
+                return t
+        return None
+
+
+def validate_schedule(
+    instance: SINRInstance, schedule: Schedule, beta: float, *, require_all: bool = True
+) -> bool:
+    """Check non-fading validity: every scheduled link clears ``β`` in its
+    slot, and (optionally) every link is served at least once.
+
+    A link scheduled in several slots must succeed in at least one of
+    them.  Returns ``True``/``False`` rather than raising, so callers can
+    use this as a predicate in tests and repair loops.
+    """
+    check_positive(beta, "beta")
+    if schedule.n != instance.n:
+        raise ValueError("schedule and instance cover different link counts")
+    served = np.zeros(instance.n, dtype=bool)
+    for slot in schedule.slots:
+        if slot.size == 0:
+            continue
+        served |= instance.successes(slot, beta)
+    if require_all:
+        return bool(served.all())
+    scheduled = schedule.covered
+    return bool(served[scheduled].all())

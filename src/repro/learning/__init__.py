@@ -1,0 +1,65 @@
+"""Distributed capacity maximization by regret learning (Section 6).
+
+Each link is a player with two actions per round — send or stay idle —
+and reward ``+1`` for a successful transmission, ``-1`` for a failed one,
+``0`` for silence.  When every player runs a no-regret algorithm, the
+average number of successful transmissions per round converges to
+``Ω(|OPT|)`` (Theorem 3), in the Rayleigh model as well as the non-fading
+one; combined with Theorem 2 this gives the ``O(log* n)`` guarantee.
+
+* :mod:`~repro.learning.rwm` — the Randomized Weighted Majority learner
+  [26] with exactly the loss values and η-schedule of Section 7.
+* :mod:`~repro.learning.exp3` — the bandit-feedback Exp3 learner [23]
+  (the no-regret algorithm class the theory quotes for partial
+  information).
+* :mod:`~repro.learning.game` — the round-based capacity game for both
+  interference models, recording everything the analysis talks about.
+* :mod:`~repro.learning.regret` — reward accounting: realized and
+  expected rewards, external regret (Definition 2), and the Lemma-5
+  quantities ``X`` and ``F``.
+"""
+
+from repro.learning.diagnostics import (
+    ConvergenceReport,
+    convergence_report,
+    convergence_round,
+    moving_average,
+)
+from repro.learning.equilibria import (
+    EquilibriumResult,
+    best_response_dynamics,
+    equilibrium_welfare,
+    is_equilibrium,
+    price_of_anarchy_sample,
+)
+from repro.learning.exp3 import Exp3Learner
+from repro.learning.game import CapacityGame, GameResult
+from repro.learning.regret import (
+    expected_send_rewards,
+    external_regret,
+    lemma5_quantities,
+    realized_rewards,
+)
+from repro.learning.rwm import RWMLearner
+from repro.learning.rwm_bank import RWMLearnerBank
+
+__all__ = [
+    "CapacityGame",
+    "ConvergenceReport",
+    "EquilibriumResult",
+    "convergence_report",
+    "convergence_round",
+    "moving_average",
+    "best_response_dynamics",
+    "equilibrium_welfare",
+    "is_equilibrium",
+    "price_of_anarchy_sample",
+    "Exp3Learner",
+    "GameResult",
+    "RWMLearner",
+    "RWMLearnerBank",
+    "expected_send_rewards",
+    "external_regret",
+    "lemma5_quantities",
+    "realized_rewards",
+]

@@ -1,0 +1,95 @@
+"""Convergence diagnostics for learning trajectories.
+
+Section 7 claims "a good performance can already be seen after 30 to 40
+time steps".  These helpers turn such statements into measurable
+quantities on recorded :class:`~repro.learning.game.GameResult` series:
+
+* :func:`moving_average` — the smoothing used when eyeballing noisy
+  capacity curves;
+* :func:`convergence_round` — the first round whose trailing window
+  stays above a target level (and never falls below it again, up to a
+  tolerance), the natural formalisation of "converged by round t";
+* :func:`convergence_report` — the headline numbers the E2/E9 benches
+  print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["moving_average", "convergence_round", "convergence_report", "ConvergenceReport"]
+
+
+def moving_average(series, window: int) -> np.ndarray:
+    """Trailing moving average; entry ``t`` averages ``series[max(0, t-w+1)..t]``.
+
+    The leading entries average the (shorter) available prefix, so the
+    output has the same length as the input.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"series must be one-dimensional, got shape {arr.shape}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    t = np.arange(1, arr.size + 1)
+    lo = np.maximum(0, t - window)
+    return (csum[t] - csum[lo]) / (t - lo)
+
+
+def convergence_round(
+    series,
+    target: float,
+    *,
+    window: int = 10,
+    slack: float = 0.0,
+) -> "int | None":
+    """First round (1-indexed) from which the trailing ``window``-average
+    reaches ``target`` and never again drops below ``target - slack``.
+
+    Returns ``None`` if the series never converges by this criterion.
+    """
+    smooth = moving_average(series, window)
+    above = smooth >= target
+    ok_tail = smooth >= target - slack
+    # Candidate t: above at t and tail-ok for all t' >= t.
+    tail_ok_from = np.logical_and.accumulate(ok_tail[::-1])[::-1]
+    hits = np.flatnonzero(above & tail_ok_from)
+    if hits.size == 0:
+        return None
+    return int(hits[0]) + 1
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Headline convergence numbers of one capacity trajectory.
+
+    Attributes
+    ----------
+    final_level:
+        Mean of the last ``window`` rounds.
+    round_to_half / round_to_90pct:
+        First round with the trailing average at 50% / 90% of
+        ``final_level`` (``None`` if never).
+    """
+
+    final_level: float
+    round_to_half: "int | None"
+    round_to_90pct: "int | None"
+
+
+def convergence_report(series, *, window: int = 10) -> ConvergenceReport:
+    """Summarise a capacity-per-round series (see :class:`ConvergenceReport`)."""
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("series is empty")
+    w = min(window, arr.size)
+    final = float(arr[-w:].mean())
+    slack = max(0.05 * abs(final), 1e-9)
+    return ConvergenceReport(
+        final_level=final,
+        round_to_half=convergence_round(arr, 0.5 * final, window=w, slack=slack),
+        round_to_90pct=convergence_round(arr, 0.9 * final, window=w, slack=slack),
+    )

@@ -1,0 +1,92 @@
+"""Exp3 — no-regret learning under bandit feedback (Auer et al. [23]).
+
+The theory of Section 6 only needs *some* algorithm with the no-regret
+property holding with high probability after polynomially many rounds;
+the paper cites the non-stochastic multi-armed bandit work [23], where a
+player observes only the reward of the action actually played.  Exp3 is
+that algorithm, included so the game engine can be run in the more
+realistic partial-information mode (a link that stays silent learns
+nothing about what sending would have yielded).
+
+Rewards ``h ∈ {-1, 0, +1}`` are mapped affinely into ``[0, 1]`` before
+the importance-weighted update.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["Exp3Learner"]
+
+IDLE, SEND = 0, 1
+
+
+class Exp3Learner:
+    """Two-action Exp3 with uniform exploration ``γ``.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator.
+    gamma:
+        Exploration rate in ``(0, 1]``.  The classical tuning for horizon
+        ``T`` and ``K=2`` actions is ``min(1, sqrt(K ln K / ((e-1) T)))``;
+        pass ``horizon=`` to apply it, otherwise a mild default is used.
+    horizon:
+        Optional known horizon for the classical tuning.
+    """
+
+    def __init__(self, rng=None, *, gamma: "float | None" = None, horizon: "int | None" = None):
+        self._rng = as_generator(rng)
+        if gamma is None:
+            if horizon is not None and horizon > 0:
+                gamma = min(1.0, math.sqrt(2.0 * math.log(2.0) / ((math.e - 1) * horizon)))
+            else:
+                gamma = 0.1
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must lie in (0, 1], got {gamma}")
+        self.gamma = float(gamma)
+        self._log_w = np.zeros(2, dtype=np.float64)
+        self.t = 0
+        self._last_probs = np.full(2, 0.5)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Current action distribution (with exploration mixed in)."""
+        w = np.exp(self._log_w - self._log_w.max())
+        p = (1.0 - self.gamma) * w / w.sum() + self.gamma / 2.0
+        return p
+
+    @property
+    def send_probability(self) -> float:
+        return float(self.probabilities[SEND])
+
+    def choose(self) -> int:
+        """Sample an action and remember the distribution used (needed for
+        the importance-weighted update)."""
+        p = self.probabilities
+        self._last_probs = p
+        return SEND if self._rng.random() < p[SEND] else IDLE
+
+    def update(self, action: int, reward: float) -> None:
+        """Bandit update with the observed reward of the *played* action.
+
+        ``reward`` is the game reward in ``[-1, 1]``; it is rescaled to
+        ``[0, 1]`` internally.
+        """
+        if action not in (IDLE, SEND):
+            raise ValueError(f"action must be 0 or 1, got {action}")
+        if not -1.0 <= reward <= 1.0:
+            raise ValueError(f"reward must lie in [-1, 1], got {reward}")
+        x = (reward + 1.0) / 2.0
+        estimated = x / max(self._last_probs[action], 1e-12)
+        self._log_w[action] += self.gamma * estimated / 2.0
+        self._log_w -= self._log_w.max()
+        self.t += 1
+
+    def __repr__(self) -> str:
+        return f"Exp3Learner(t={self.t}, gamma={self.gamma:.4f}, p_send={self.send_probability:.4f})"

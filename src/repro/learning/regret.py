@@ -1,0 +1,125 @@
+"""Reward accounting and regret (Definition 2, Lemmas 4–5).
+
+The capacity game gives player ``i`` reward
+
+* ``+1`` when it transmits and is received (SINR ≥ β),
+* ``-1`` when it transmits and is not received,
+* ``0`` when it stays idle.
+
+:func:`external_regret` computes Definition 2 exactly from a recorded
+game: the best fixed action in hindsight is either "always send"
+(needing the counterfactual send outcomes the game engine records for
+idle rounds) or "always idle" (reward 0).
+
+:func:`expected_send_rewards` evaluates the *expected* reward function
+``h̄`` of Section 6 — ``2·Q_i(q^{(t)}, β) − 1`` conditioned on sending —
+which is exactly computable per round via Theorem 1; Lemma 4's claim that
+realized-reward regret and expected-reward regret track each other within
+``O(sqrt(T ln T))`` is checked empirically by the E9 bench.
+
+:func:`lemma5_quantities` returns the pair ``(X, F)`` of Lemma 5 —
+average expected successes and average transmission attempts per round —
+whose invariant ``X ≤ F ≤ 2X + εn`` the tests verify on recorded games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.fading.success import success_probability_conditional
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "realized_rewards",
+    "expected_send_rewards",
+    "external_regret",
+    "lemma5_quantities",
+]
+
+
+def realized_rewards(actions: np.ndarray, send_success: np.ndarray) -> np.ndarray:
+    """Realized rewards ``h_i`` per round, shape ``(T, n)``.
+
+    ``actions`` marks who transmitted; ``send_success`` holds the
+    (counterfactual-complete) indicator of a transmission being received.
+    Idle rounds earn 0.
+    """
+    actions = np.asarray(actions, dtype=bool)
+    send_success = np.asarray(send_success, dtype=bool)
+    if actions.shape != send_success.shape:
+        raise ValueError("actions and send_success must have the same shape")
+    return np.where(actions, np.where(send_success, 1.0, -1.0), 0.0)
+
+
+def expected_send_rewards(
+    instance: SINRInstance, actions: np.ndarray, beta: float
+) -> np.ndarray:
+    """Expected reward of the SEND action per round, ``2·Q̃_i^{(t)} − 1``.
+
+    ``Q̃_i^{(t)}`` is the Theorem-1 probability that a transmission by
+    ``i`` in round ``t`` is received, given the other players' realized
+    binary actions ``q^{(t)}`` (it does not depend on ``i``'s own action).
+    Shape ``(T, n)``.  In the non-fading model the same formula applies
+    with the indicator in place of the probability; use the game engine's
+    recorded ``send_success`` there.
+    """
+    check_positive(beta, "beta")
+    actions = np.asarray(actions, dtype=bool)
+    if actions.ndim != 2 or actions.shape[1] != instance.n:
+        raise ValueError(f"actions must be (T, {instance.n})")
+    out = np.empty(actions.shape, dtype=np.float64)
+    for t in range(actions.shape[0]):
+        q = actions[t].astype(np.float64)
+        out[t] = 2.0 * success_probability_conditional(instance, q, beta) - 1.0
+    return out
+
+
+def external_regret(
+    actions: np.ndarray, send_rewards: np.ndarray
+) -> np.ndarray:
+    """External regret (Definition 2) of every player over ``T`` rounds.
+
+    Parameters
+    ----------
+    actions:
+        ``(T, n)`` boolean — who transmitted each round.
+    send_rewards:
+        ``(T, n)`` — reward the SEND action yields (realized ±1 from
+        :func:`realized_rewards` counterfactuals, or expected values from
+        :func:`expected_send_rewards`).  The IDLE action always yields 0.
+
+    Returns
+    -------
+    ndarray ``(n,)`` — ``max(total_send, total_idle) - earned`` per player,
+    where ``total_idle = 0``.  Non-negative by construction.
+    """
+    actions = np.asarray(actions, dtype=bool)
+    send_rewards = np.asarray(send_rewards, dtype=np.float64)
+    if actions.shape != send_rewards.shape:
+        raise ValueError("actions and send_rewards must have the same shape")
+    earned = np.where(actions, send_rewards, 0.0).sum(axis=0)
+    best_fixed = np.maximum(send_rewards.sum(axis=0), 0.0)
+    return best_fixed - earned
+
+
+def lemma5_quantities(
+    instance: SINRInstance, actions: np.ndarray, beta: float
+) -> tuple[float, float]:
+    """The pair ``(X, F)`` of Lemma 5 for a recorded action sequence.
+
+    ``F = Σ_i f_i`` with ``f_i`` the fraction of rounds player ``i``
+    transmitted; ``X = Σ_i x_i`` with ``x_i`` the average (exact) success
+    probability of its transmissions.  Lemma 5: ``X ≤ F ≤ 2X + εn``
+    whenever every player's (expected-reward) regret is at most ``εT``.
+    """
+    actions = np.asarray(actions, dtype=bool)
+    T = actions.shape[0]
+    f = actions.mean(axis=0)
+    x = np.zeros(instance.n, dtype=np.float64)
+    for t in range(T):
+        q = actions[t].astype(np.float64)
+        probs = success_probability_conditional(instance, q, beta)
+        x += np.where(actions[t], probs, 0.0)
+    x /= T
+    return float(x.sum()), float(f.sum())

@@ -1,0 +1,111 @@
+"""Randomized Weighted Majority with the paper's loss and η schedule.
+
+Section 7 describes the exact variant simulated in Figure 2: the
+Littlestone–Warmuth algorithm [26] over the two actions {idle, send} with
+
+* weights initialised to 1 and multiplied by ``(1 - η)^{l_a}`` each step,
+  where ``l_a`` is the loss of action ``a``;
+* losses: sending without being received costs 1, staying idle costs 0.5,
+  everything else costs 0 (these correspond to the ±1/0 rewards of
+  Section 6 shifted and scaled into [0, 1]);
+* ``η`` starts at ``sqrt(0.5)`` and is multiplied by ``sqrt(0.5)`` every
+  time the step count crosses the next power of two (the standard
+  doubling-trick schedule that makes RWM anytime-no-regret).
+
+The learner is full-information: it must be told the loss of *both*
+actions every round (the game engine computes the counterfactual
+send-outcome for idle players).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["RWMLearner"]
+
+IDLE, SEND = 0, 1
+
+#: Loss of a transmission attempt that is not received.
+LOSS_SEND_FAIL = 1.0
+#: Loss of staying idle ("the loss of not sending at all is 0.5").
+LOSS_IDLE = 0.5
+#: Loss of a successful transmission.
+LOSS_SEND_OK = 0.0
+
+
+class RWMLearner:
+    """Two-action Randomized Weighted Majority (paper configuration).
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator for action sampling.
+    eta:
+        Initial learning rate (paper: ``sqrt(0.5)``).
+    schedule:
+        ``"doubling"`` (paper: multiply η by ``sqrt(0.5)`` at powers of
+        two) or ``"fixed"``.
+    """
+
+    def __init__(self, rng=None, *, eta: float = math.sqrt(0.5), schedule: str = "doubling"):
+        if not 0.0 < eta < 1.0:
+            raise ValueError(f"eta must lie in (0, 1), got {eta}")
+        if schedule not in ("doubling", "fixed"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self._rng = as_generator(rng)
+        self.eta = float(eta)
+        self.schedule = schedule
+        # Log-domain weights avoid underflow over long runs.
+        self._log_w = np.zeros(2, dtype=np.float64)
+        self.t = 0
+        self._next_power = 2
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current (normalised) weights over (idle, send)."""
+        w = np.exp(self._log_w - self._log_w.max())
+        return w / w.sum()
+
+    @property
+    def send_probability(self) -> float:
+        """Probability the next :meth:`choose` plays SEND."""
+        return float(self.weights[SEND])
+
+    def choose(self) -> int:
+        """Sample an action (0 = idle, 1 = send) from the current weights."""
+        return SEND if self._rng.random() < self.send_probability else IDLE
+
+    def update(self, loss_idle: float, loss_send: float) -> None:
+        """Multiply both weights by ``(1 - η)^loss`` and advance the schedule.
+
+        Losses must lie in ``[0, 1]`` (the paper's values are 0, 0.5, 1).
+        """
+        for name, loss in (("loss_idle", loss_idle), ("loss_send", loss_send)):
+            if not 0.0 <= loss <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {loss}")
+        log_decay = math.log1p(-self.eta)
+        self._log_w[IDLE] += loss_idle * log_decay
+        self._log_w[SEND] += loss_send * log_decay
+        # Keep the log-weights anchored so neither can drift to -inf.
+        self._log_w -= self._log_w.max()
+        self.t += 1
+        if self.schedule == "doubling" and self.t > self._next_power:
+            self.eta *= math.sqrt(0.5)
+            self._next_power *= 2
+
+    def observe_outcome(self, send_would_succeed: bool) -> None:
+        """Convenience wrapper applying the paper's loss table for one
+        round in which a transmission would (not) have been received."""
+        self.update(
+            LOSS_IDLE, LOSS_SEND_OK if send_would_succeed else LOSS_SEND_FAIL
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RWMLearner(t={self.t}, eta={self.eta:.4f}, "
+            f"p_send={self.send_probability:.4f})"
+        )

@@ -1,0 +1,120 @@
+"""Vectorized bank of RWM learners — one array op per round, not n objects.
+
+Figure-2-scale games run 200 learners for 100+ rounds; with scalar
+:class:`~repro.learning.rwm.RWMLearner` objects that is tens of
+thousands of Python-level updates per game.  The bank keeps all
+learners' log-weights in one ``(n, 2)`` array and performs each round's
+sampling and update as a handful of vectorized operations, exactly
+replicating the scalar learner's mathematics (same loss table, same
+log-domain update, same doubling η schedule — all learners share the
+clock, as they do in the game).
+
+Equivalence to the scalar learner is pinned down in
+``tests/learning/test_rwm_bank.py``: driven with identical loss
+sequences, bank and scalar weights match to machine precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["RWMLearnerBank"]
+
+IDLE, SEND = 0, 1
+
+
+class RWMLearnerBank:
+    """``n`` Randomized-Weighted-Majority learners, vectorized.
+
+    Parameters
+    ----------
+    n:
+        Number of players.
+    rng:
+        One generator drives all sampling (players' draws are independent
+        coordinates of vectorized uniforms).
+    eta:
+        Initial learning rate (paper: ``sqrt(0.5)``).
+    schedule:
+        ``"doubling"`` (paper) or ``"fixed"``.
+
+    The bank exposes the team interface consumed by
+    :class:`~repro.learning.game.CapacityGame`: :meth:`choose_all` and
+    :meth:`observe_outcomes`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rng=None,
+        *,
+        eta: float = math.sqrt(0.5),
+        schedule: str = "doubling",
+    ):
+        if n <= 0:
+            raise ValueError(f"need at least one player, got n={n}")
+        if not 0.0 < eta < 1.0:
+            raise ValueError(f"eta must lie in (0, 1), got {eta}")
+        if schedule not in ("doubling", "fixed"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.n = int(n)
+        self._rng = as_generator(rng)
+        self.eta = float(eta)
+        self.schedule = schedule
+        self._log_w = np.zeros((self.n, 2), dtype=np.float64)
+        self.t = 0
+        self._next_power = 2
+
+    @property
+    def send_probabilities(self) -> np.ndarray:
+        """Per-player probability of playing SEND next round."""
+        shifted = self._log_w - self._log_w.max(axis=1, keepdims=True)
+        w = np.exp(shifted)
+        return w[:, SEND] / w.sum(axis=1)
+
+    def choose_all(self) -> np.ndarray:
+        """Sample every player's action; ``True`` = SEND."""
+        return self._rng.random(self.n) < self.send_probabilities
+
+    def update_all(self, loss_idle: np.ndarray, loss_send: np.ndarray) -> None:
+        """Vectorized weight update with per-player losses in ``[0, 1]``."""
+        li = np.asarray(loss_idle, dtype=np.float64)
+        ls = np.asarray(loss_send, dtype=np.float64)
+        if li.shape != (self.n,) or ls.shape != (self.n,):
+            raise ValueError(f"losses must have shape ({self.n},)")
+        if (
+            li.min(initial=0.0) < 0.0
+            or ls.min(initial=0.0) < 0.0
+            or li.max(initial=0.0) > 1.0
+            or ls.max(initial=0.0) > 1.0
+        ):
+            raise ValueError("losses must lie in [0, 1]")
+        log_decay = math.log1p(-self.eta)
+        self._log_w[:, IDLE] += li * log_decay
+        self._log_w[:, SEND] += ls * log_decay
+        self._log_w -= self._log_w.max(axis=1, keepdims=True)
+        self.t += 1
+        if self.schedule == "doubling" and self.t > self._next_power:
+            self.eta *= math.sqrt(0.5)
+            self._next_power *= 2
+
+    def observe_outcomes(self, send_would_succeed: np.ndarray, loss_scale=None) -> None:
+        """The paper's loss table, vectorized: idle costs 0.5, a failed
+        transmission costs 1, a received one 0 — optionally scaled
+        per player (the weighted game)."""
+        ok = np.asarray(send_would_succeed, dtype=bool)
+        if ok.shape != (self.n,):
+            raise ValueError(f"outcomes must have shape ({self.n},)")
+        scale = (
+            np.ones(self.n)
+            if loss_scale is None
+            else np.asarray(loss_scale, dtype=np.float64)
+        )
+        self.update_all(0.5 * scale, np.where(ok, 0.0, 1.0) * scale)
+
+    def __repr__(self) -> str:
+        return f"RWMLearnerBank(n={self.n}, t={self.t}, eta={self.eta:.4f})"

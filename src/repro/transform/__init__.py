@@ -1,0 +1,46 @@
+"""Reductions between the non-fading and Rayleigh-fading models.
+
+The paper's central results, made executable:
+
+* :mod:`~repro.transform.blackbox` — Lemma 2: replay any non-fading
+  solution in the Rayleigh model (same senders, same powers) and keep at
+  least a ``1/e`` fraction of its utility in expectation.
+* :mod:`~repro.transform.aloha_transform` — the Section-4 transformation
+  of ALOHA-style randomized protocols: run each randomized step 4 times
+  so the per-step Rayleigh success probability dominates the non-fading
+  one (for transmit probabilities ≤ 1/2).
+* :mod:`~repro.transform.simulation` — Theorem 2 / Algorithm 1: simulate
+  one Rayleigh slot with ``O(log* n)`` non-fading slots using the
+  iterated-exponential stage sequence, showing the Rayleigh optimum is at
+  most an ``O(log* n)`` factor ahead.
+"""
+
+from repro.transform.aloha_transform import (
+    estimate_step_success_nonfading,
+    transformed_step_success_probability,
+    transformed_step_simulate,
+)
+from repro.transform.blackbox import (
+    TransferReport,
+    lemma2_lower_bound,
+    rayleigh_expected_binary,
+    transfer_capacity_algorithm,
+)
+from repro.transform.simulation import (
+    SimulationOutcome,
+    simulation_schedule,
+    simulate_rayleigh_optimum,
+)
+
+__all__ = [
+    "SimulationOutcome",
+    "TransferReport",
+    "estimate_step_success_nonfading",
+    "lemma2_lower_bound",
+    "rayleigh_expected_binary",
+    "simulate_rayleigh_optimum",
+    "simulation_schedule",
+    "transfer_capacity_algorithm",
+    "transformed_step_simulate",
+    "transformed_step_success_probability",
+]

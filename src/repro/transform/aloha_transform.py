@@ -1,0 +1,107 @@
+"""Section 4's transformation of ALOHA-style randomized protocols.
+
+ALOHA-style latency protocols take repeated randomized steps: in each
+step every still-active link transmits independently with a (small)
+probability ``q_i ≤ 1/2``.  To run such a protocol under Rayleigh fading,
+the paper executes each randomized step **4 times** independently.  If a
+step reaches threshold ``β`` with probability ``p`` in the non-fading
+model, Lemma 1 gives per-execution Rayleigh success ≥ ``p/e``, so the
+probability at least one of 4 executions succeeds is
+
+.. math::
+
+    1 - (1 - p/e)^4 \\;\\ge\\; p \\qquad (p \\le 1/2),
+
+i.e. the transformed protocol is *at least as fast per step* as the
+non-fading original — every high-probability latency bound carries over
+with a constant-factor slowdown of 4.
+
+This module exposes the per-step quantities (exact where possible,
+Monte-Carlo otherwise) used by the E10 check and by the latency
+schedulers in :mod:`repro.latency.aloha`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+from repro.fading.success import success_probability
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability_vector
+
+__all__ = [
+    "transformed_step_success_probability",
+    "transformed_step_simulate",
+    "estimate_step_success_nonfading",
+]
+
+
+def transformed_step_success_probability(
+    instance: SINRInstance, q, beta: float, *, repeats: int = 4
+) -> np.ndarray:
+    """Exact per-link success probability of one transformed step.
+
+    Each of the ``repeats`` executions redraws both the transmit pattern
+    (Bernoulli ``q``) and the fading, so per-link successes across
+    executions are i.i.d. with the Theorem-1 probability ``Q_i(q, β)``;
+    the step succeeds for link ``i`` if any execution does:
+
+    ``1 - (1 - Q_i)^repeats``.
+    """
+    check_positive(beta, "beta")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    q_single = success_probability(instance, q, beta)
+    return 1.0 - (1.0 - q_single) ** repeats
+
+
+def transformed_step_simulate(
+    instance: SINRInstance, q, beta: float, rng=None, *, repeats: int = 4
+) -> np.ndarray:
+    """Simulate one transformed step; returns the per-link success mask.
+
+    Uses the Bernoulli fast path (success events are independent across
+    links given the pattern, and patterns are redrawn per execution, so
+    the unconditional per-execution success of link ``i`` is exactly
+    ``Q_i`` independent of other links' outcomes *across* executions; the
+    within-execution joint distribution is irrelevant for the any-of-k
+    event per link because executions are independent).
+    """
+    gen = as_generator(rng)
+    p = transformed_step_success_probability(instance, q, beta, repeats=repeats)
+    return gen.random(instance.n) < p
+
+
+def estimate_step_success_nonfading(
+    instance: SINRInstance,
+    q,
+    beta: float,
+    rng=None,
+    *,
+    num_samples: int = 2000,
+) -> np.ndarray:
+    """Monte-Carlo estimate of the *non-fading* per-step success
+    probability ``p_i = Pr_X[i ∈ X and γ_i^nf(X) ≥ β]`` under random
+    pattern ``X ~ Bernoulli(q)``.
+
+    Unlike the Rayleigh side there is no closed form (the probability is
+    a sum over exponentially many patterns), so the E10 comparison
+    estimates it by batched pattern sampling — one ``(B, n) @ (n, n)``
+    product per batch.
+    """
+    check_positive(beta, "beta")
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    gen = as_generator(rng)
+    qv = check_probability_vector(q, instance.n)
+    counts = np.zeros(instance.n, dtype=np.int64)
+    batch = 512
+    done = 0
+    while done < num_samples:
+        t = min(batch, num_samples - done)
+        patterns = gen.random((t, instance.n)) < qv
+        sinr = instance.sinr_batch(patterns)
+        counts += (sinr >= beta).sum(axis=0)
+        done += t
+    return counts / num_samples

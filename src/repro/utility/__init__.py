@@ -1,0 +1,32 @@
+"""Utility functions on achieved SINR (Definition 1 of the paper).
+
+Capacity maximization in the paper is utility-based: link ``i`` obtains
+``u_i(γ_i)`` from achieving SINR ``γ_i``, and the objective is the
+(expected) sum of utilities.  Definition 1 restricts attention to *valid*
+utility functions — non-negative, and non-decreasing & concave on
+``[S̄(i,i)/(c_i ν), ∞)`` for some constant ``c_i > 1`` — which rules out
+the degenerate huge-noise regime where the Rayleigh model is "infinitely
+better".
+
+The three families the paper names are implemented:
+
+* :class:`~repro.utility.binary.BinaryUtility` — the classic threshold
+  objective (count links with ``γ ≥ β``),
+* :class:`~repro.utility.weighted.WeightedUtility` — per-link weights on
+  threshold successes,
+* :class:`~repro.utility.shannon.ShannonUtility` — ``log(1 + γ)``,
+  total Shannon capacity.
+"""
+
+from repro.utility.base import UtilityProfile, validity_constant
+from repro.utility.binary import BinaryUtility
+from repro.utility.shannon import ShannonUtility
+from repro.utility.weighted import WeightedUtility
+
+__all__ = [
+    "BinaryUtility",
+    "ShannonUtility",
+    "UtilityProfile",
+    "WeightedUtility",
+    "validity_constant",
+]

@@ -1,0 +1,97 @@
+"""Base class for utility profiles and the Definition-1 validity test.
+
+A *utility profile* assigns one utility function ``u_i`` to every link and
+evaluates them in bulk on arrays of SINR values (vectorized over links and
+Monte-Carlo/slot axes).  Subclasses declare, per link, the point
+``concave_from(i)`` after which ``u_i`` is non-decreasing and concave;
+Definition-1 validity for a concrete instance then reduces to the
+existence of ``c_i > 1`` with ``S̄(i,i)/(c_i ν) ≥ concave_from(i)``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance
+
+__all__ = ["UtilityProfile", "validity_constant"]
+
+
+class UtilityProfile(abc.ABC):
+    """Per-link utility functions ``u_1, ..., u_n`` evaluated in bulk."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"profile needs at least one link, got n={n}")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        """Number of links the profile covers."""
+        return self._n
+
+    @abc.abstractmethod
+    def evaluate(self, sinr: np.ndarray) -> np.ndarray:
+        """Utilities for SINR values.
+
+        ``sinr`` has shape ``(..., n)``; the result has the same shape with
+        entry ``[..., i] = u_i(sinr[..., i])``.  Implementations must be
+        pure and vectorized.
+        """
+
+    def __call__(self, sinr: np.ndarray) -> np.ndarray:
+        return self.evaluate(np.asarray(sinr, dtype=np.float64))
+
+    @abc.abstractmethod
+    def concave_from(self) -> np.ndarray:
+        """Per-link points ``x_i ≥ 0`` such that ``u_i`` is non-decreasing
+        and concave on ``[x_i, ∞)`` (shape ``(n,)``)."""
+
+    def total(self, sinr: np.ndarray, active=None) -> np.ndarray:
+        """Sum of utilities over links, counting only active links.
+
+        ``active`` is an optional boolean mask broadcastable against
+        ``sinr``; silent links contribute 0 (only transmission attempts
+        earn utility)."""
+        vals = self.evaluate(np.asarray(sinr, dtype=np.float64))
+        if active is not None:
+            vals = np.where(np.asarray(active, dtype=bool), vals, 0.0)
+        return vals.sum(axis=-1)
+
+    def is_valid_for(self, instance: SINRInstance) -> bool:
+        """Definition-1 validity for a concrete instance (see
+        :func:`validity_constant`)."""
+        return validity_constant(self, instance) is not None
+
+
+def validity_constant(
+    profile: UtilityProfile, instance: SINRInstance, *, cap: float = 1e12
+) -> "np.ndarray | None":
+    """The per-link Definition-1 constants ``c_i``, or ``None`` if invalid.
+
+    Definition 1 requires, for each link, some ``c_i > 1`` with ``u_i``
+    non-decreasing and concave on ``[S̄(i,i)/(c_i ν), ∞)``.  Given the
+    profile's declared ``concave_from`` points ``x_i``, such a constant
+    exists iff ``S̄(i,i)/ν > x_i`` (strictly, so that ``c_i > 1`` fits), or
+    ``ν = 0``, or ``x_i = 0``.  We return the *largest* admissible
+    ``c_i = S̄(i,i) / (ν x_i)`` (capped for the degenerate cases); larger
+    constants mean more noise headroom, and Theorem 2's proof assumes
+    ``c_i ≥ 3``.
+    """
+    if profile.n != instance.n:
+        raise ValueError(
+            f"profile covers {profile.n} links but instance has {instance.n}"
+        )
+    x = np.asarray(profile.concave_from(), dtype=np.float64)
+    if x.shape != (instance.n,):
+        raise ValueError("concave_from() must return one point per link")
+    nu = instance.noise
+    if nu == 0.0:
+        return np.full(instance.n, cap)
+    c = np.where(x > 0.0, instance.signal / (nu * np.maximum(x, 1e-300)), cap)
+    c = np.minimum(c, cap)
+    if np.any(c <= 1.0):
+        return None
+    return c

@@ -1,0 +1,39 @@
+"""Binary threshold utilities — the standard capacity objective.
+
+``u_i(γ) = 1`` iff ``γ ≥ β`` for a global threshold ``β``; the total
+utility is the number of successful transmissions.  This recovers the
+capacity-maximization problem of [8], [7], [6] and is the setting of the
+regret-learning results in Section 6 and of both of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.base import UtilityProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["BinaryUtility"]
+
+
+class BinaryUtility(UtilityProfile):
+    """Step utility at global threshold ``β``.
+
+    Validity (Definition 1): the step function is non-decreasing
+    everywhere and constant — hence concave — on ``[β, ∞)``, so the
+    profile is valid for an instance iff ``β < S̄(i,i)/ν`` for every link,
+    i.e. every link could beat the noise alone with margin.
+    """
+
+    def __init__(self, n: int, beta: float):
+        super().__init__(n)
+        self.beta = check_positive(beta, "beta")
+
+    def evaluate(self, sinr: np.ndarray) -> np.ndarray:
+        return (np.asarray(sinr, dtype=np.float64) >= self.beta).astype(np.float64)
+
+    def concave_from(self) -> np.ndarray:
+        return np.full(self.n, self.beta)
+
+    def __repr__(self) -> str:
+        return f"BinaryUtility(n={self.n}, beta={self.beta})"

@@ -1,0 +1,57 @@
+"""Shannon-capacity utilities ``u(γ) = log(1 + γ)``.
+
+The paper's third example: utility proportional to the Shannon rate of
+the link.  ``log(1 + γ)`` is non-decreasing and concave on all of
+``[0, ∞)``, so the profile is valid for *every* instance (``concave_from``
+is 0 and any ``c > 1`` works).  This family exercises the non-binary
+branch of Lemma 2 / Theorem 2, where success is a matter of degree rather
+than a threshold event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.base import UtilityProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["ShannonUtility"]
+
+
+class ShannonUtility(UtilityProfile):
+    """``u_i(γ) = scale · log(1 + min(γ, cap))`` for every link.
+
+    Parameters
+    ----------
+    n:
+        Number of links.
+    scale:
+        Common rate multiplier (bandwidth), default 1.
+    cap:
+        Optional modulation cap on the usable SINR.  Real radios cannot
+        exploit unbounded SINR; a finite cap also keeps Monte-Carlo
+        estimates finite in the zero-noise limit, where an isolated
+        Rayleigh link has infinite SINR with positive probability.
+        Capping preserves Definition-1 validity (the capped function is
+        still non-decreasing and concave on ``[0, ∞)`` — minimum of two
+        concave non-decreasing functions).
+    """
+
+    def __init__(self, n: int, *, scale: float = 1.0, cap: "float | None" = None):
+        super().__init__(n)
+        self.scale = check_positive(scale, "scale")
+        if cap is not None:
+            cap = check_positive(cap, "cap")
+        self.cap = cap
+
+    def evaluate(self, sinr: np.ndarray) -> np.ndarray:
+        x = np.asarray(sinr, dtype=np.float64)
+        if self.cap is not None:
+            x = np.minimum(x, self.cap)
+        return self.scale * np.log1p(x)
+
+    def concave_from(self) -> np.ndarray:
+        return np.zeros(self.n)
+
+    def __repr__(self) -> str:
+        return f"ShannonUtility(n={self.n}, scale={self.scale}, cap={self.cap})"

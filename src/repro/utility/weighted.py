@@ -1,0 +1,51 @@
+"""Link-weighted threshold utilities.
+
+``u_i(γ) = w_i`` for ``γ ≥ β`` and 0 otherwise — the paper's second
+example family.  Weighted capacity maximization arises when links carry
+traffic of different value (or when a scheduler randomises over classes);
+the Rayleigh/non-fading reduction applies verbatim because each ``u_i``
+is constant, hence concave, above ``β``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.base import UtilityProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["WeightedUtility"]
+
+
+class WeightedUtility(UtilityProfile):
+    """Per-link weights on threshold successes.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weight ``w_i`` per link; total utility of a slot is
+        ``Σ_{i successful} w_i``.
+    beta:
+        Global SINR threshold.
+    """
+
+    def __init__(self, weights, beta: float):
+        w = np.asarray(weights, dtype=np.float64).copy()
+        if w.ndim != 1:
+            raise ValueError(f"weights must be one-dimensional, got shape {w.shape}")
+        if np.any(w < 0.0) or not np.all(np.isfinite(w)):
+            raise ValueError("weights must be finite and non-negative")
+        super().__init__(w.shape[0])
+        w.setflags(write=False)
+        self.weights = w
+        self.beta = check_positive(beta, "beta")
+
+    def evaluate(self, sinr: np.ndarray) -> np.ndarray:
+        sinr = np.asarray(sinr, dtype=np.float64)
+        return np.where(sinr >= self.beta, self.weights, 0.0)
+
+    def concave_from(self) -> np.ndarray:
+        return np.full(self.n, self.beta)
+
+    def __repr__(self) -> str:
+        return f"WeightedUtility(n={self.n}, beta={self.beta})"

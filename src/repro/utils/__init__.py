@@ -1,0 +1,41 @@
+"""Shared low-level utilities.
+
+This subpackage holds the small, dependency-free helpers used across the
+library: the iterated logarithm and the paper's iterated-exponential sequence
+(:mod:`repro.utils.logstar`), reproducible random-stream management
+(:mod:`repro.utils.rng`), summary statistics (:mod:`repro.utils.stats`),
+plain-text table/series rendering for the benchmark harness
+(:mod:`repro.utils.tables`), and argument validation
+(:mod:`repro.utils.validation`).
+"""
+
+from repro.utils.logstar import b_sequence, log_star, num_simulation_stages
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.stats import Summary, mean_confidence_interval, summarize
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_probability,
+    check_probability_vector,
+    check_positive,
+    check_nonnegative,
+    check_square_matrix,
+)
+
+__all__ = [
+    "RngFactory",
+    "Summary",
+    "as_generator",
+    "b_sequence",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_probability_vector",
+    "check_square_matrix",
+    "format_series",
+    "format_table",
+    "log_star",
+    "mean_confidence_interval",
+    "num_simulation_stages",
+    "spawn_generators",
+    "summarize",
+]

@@ -1,0 +1,110 @@
+"""Iterated logarithm and the paper's iterated-exponential stage sequence.
+
+Theorem 2 of the paper simulates one Rayleigh-fading slot with
+``O(log* n)`` non-fading slots.  The simulation (Algorithm 1) is staged:
+stage ``k`` uses transmission probabilities ``q_i / (4 * b_k)`` where the
+sequence ``(b_k)`` is defined by
+
+.. math::
+
+    b_0 = 1/4, \\qquad b_{k+1} = \\exp(b_k / 2),
+
+and stages run while ``b_k < n``.  Because ``(b_k)`` is an iterated
+exponential, the number of stages is ``O(log* n)``.
+
+This module provides the sequence, the stage count, and a conventional
+``log*`` implementation used by the experiment harness when reporting
+measured factors against the theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_star", "b_sequence", "num_simulation_stages"]
+
+#: Base-2 iterated logarithm fixed point; values at or below this count as 0.
+_LOG_STAR_FIXPOINT = 1.0
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """Iterated logarithm ``log* x``: how many times ``log`` must be applied
+    before the value drops to at most 1.
+
+    Parameters
+    ----------
+    x:
+        Argument; any real number.  Values ``<= 1`` have ``log* x = 0``.
+    base:
+        Logarithm base, default 2.  Must be ``> 1``.
+
+    Returns
+    -------
+    int
+        The number of applications of ``log_base`` needed to reach a value
+        at most 1.
+
+    Examples
+    --------
+    >>> log_star(1)
+    0
+    >>> log_star(2)
+    1
+    >>> log_star(4)
+    2
+    >>> log_star(16)
+    3
+    >>> log_star(65536)
+    4
+    """
+    if base <= 1.0:
+        raise ValueError(f"log* base must exceed 1, got {base}")
+    count = 0
+    value = float(x)
+    while value > _LOG_STAR_FIXPOINT:
+        value = math.log(value, base)
+        count += 1
+        if count > 64:  # unreachable for any finite float, defensive only
+            raise OverflowError("log_star failed to converge")
+    return count
+
+
+def b_sequence(n: int, *, b0: float = 0.25, max_stages: int = 256) -> list[float]:
+    """The stage sequence ``b_0, b_1, ...`` of Algorithm 1, truncated at ``n``.
+
+    Returns all values ``b_k`` with ``b_k < n`` (the stages the simulation
+    actually executes).  ``b_0 = 1/4`` and ``b_{k+1} = exp(b_k / 2)`` as in
+    the proof of Theorem 2.
+
+    Parameters
+    ----------
+    n:
+        Number of links; stages stop once ``b_k >= n``.
+    b0:
+        First element of the sequence (paper value ``1/4``).
+    max_stages:
+        Safety bound on the sequence length.
+
+    Returns
+    -------
+    list of float
+        ``[b_0, b_1, ...]`` with every element strictly below ``n``.
+        Empty when ``n <= b0``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    seq: list[float] = []
+    b = float(b0)
+    while b < n:
+        seq.append(b)
+        b = math.exp(b / 2.0)
+        if len(seq) >= max_stages:
+            raise OverflowError(
+                f"b_sequence exceeded {max_stages} stages; n={n} is implausibly large"
+            )
+    return seq
+
+
+def num_simulation_stages(n: int, *, b0: float = 0.25) -> int:
+    """Number of stages Algorithm 1 runs for ``n`` links (``Θ(log* n)``)."""
+    return len(b_sequence(n, b0=b0))

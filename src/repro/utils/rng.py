@@ -1,0 +1,121 @@
+"""Reproducible random-number-stream management.
+
+All stochastic code in the library takes a :class:`numpy.random.Generator`
+(or anything convertible via :func:`as_generator`).  Experiments that need
+many independent streams — e.g. Figure 1 uses 40 networks x 25 transmit
+seeds x 10 fading seeds — spawn child generators from a single
+:class:`numpy.random.SeedSequence` so that every run is exactly
+reproducible from one integer seed and streams never collide.
+
+There is deliberately **no** module-level default generator: hidden global
+state makes Monte-Carlo experiments unrepeatable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "RngFactory"]
+
+RngLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(rng: "int | None | np.random.Generator | np.random.SeedSequence") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    a :class:`~numpy.random.SeedSequence`, or ``None`` (fresh OS entropy).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")
+
+
+def spawn_generators(
+    seed: "int | np.random.SeedSequence", n: int
+) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from one seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, the supported mechanism for
+    creating parallel streams (each child gets a distinct spawn key, so the
+    streams are independent regardless of how many draws each consumes).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+class RngFactory:
+    """Hierarchical, named random-stream factory for experiments.
+
+    A factory wraps one root :class:`~numpy.random.SeedSequence`.  Calling
+    :meth:`stream` with the same name always yields a generator seeded
+    identically, while different names yield independent streams.  This lets
+    experiment drivers express "fading seed 7 of network 3" as
+    ``factory.stream("network", 3, "fading", 7)`` and get bit-identical
+    randomness across runs and across process counts.
+
+    Examples
+    --------
+    >>> f = RngFactory(1234)
+    >>> a = f.stream("net", 0).random()
+    >>> b = RngFactory(1234).stream("net", 0).random()
+    >>> a == b
+    True
+    >>> a != f.stream("net", 1).random()
+    True
+    """
+
+    def __init__(self, seed: "int | np.random.SeedSequence" = 0):
+        self._root = (
+            seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        )
+
+    @property
+    def root_entropy(self) -> "int | Sequence[int]":
+        """Entropy of the root seed sequence (for provenance logging)."""
+        return self._root.entropy
+
+    def _key_to_ints(self, key: Iterable["int | str"]) -> list[int]:
+        out: list[int] = []
+        for part in key:
+            if isinstance(part, str):
+                # Stable 64-bit hash of the name (Python's hash() is salted
+                # per-process, so fold bytes explicitly instead).
+                h = 1469598103934665603  # FNV-1a offset basis
+                for byte in part.encode("utf-8"):
+                    h = ((h ^ byte) * 1099511628211) % (1 << 64)
+                out.append(h)
+            elif isinstance(part, (bool, np.bool_)):
+                out.append(int(part))
+            elif isinstance(part, (int, np.integer)):
+                out.append(int(part) % (1 << 64))
+            elif isinstance(part, (float, np.floating)):
+                # Stable across runs: the IEEE-754 bit pattern.
+                out.append(int(np.float64(part).view(np.uint64)))
+            else:
+                raise TypeError(
+                    f"stream key parts must be str, int, or float, got {type(part).__name__}"
+                )
+        return out
+
+    def seed_sequence(self, *key: "int | str") -> np.random.SeedSequence:
+        """Deterministic child :class:`~numpy.random.SeedSequence` for ``key``."""
+        return np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=tuple(self._key_to_ints(key))
+        )
+
+    def stream(self, *key: "int | str") -> np.random.Generator:
+        """Deterministic, independent generator identified by ``key``."""
+        return np.random.default_rng(self.seed_sequence(*key))
+
+    def streams(self, count: int, *key: "int | str") -> list[np.random.Generator]:
+        """``count`` sibling streams ``key + (0,) ... key + (count-1,)``."""
+        return [self.stream(*key, i) for i in range(count)]

@@ -1,0 +1,99 @@
+"""Summary statistics for Monte-Carlo experiment results.
+
+The benchmark harness reports every measured quantity as a mean with a
+normal-approximation confidence interval; these helpers implement that in
+one place so all tables are consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "mean_confidence_interval"]
+
+# Two-sided z-values for common confidence levels; avoids a scipy dependency
+# in this low-level module.
+_Z_VALUES = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and extent of a sample.
+
+    Attributes
+    ----------
+    mean, std:
+        Sample mean and (ddof=1) standard deviation; ``std`` is 0 for
+        singleton samples.
+    ci_half_width:
+        Half width of the normal-approximation confidence interval on the
+        mean at the level passed to :func:`summarize`.
+    n:
+        Sample size.
+    minimum, maximum:
+        Sample extrema.
+    """
+
+    mean: float
+    std: float
+    ci_half_width: float
+    n: int
+    minimum: float
+    maximum: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci_half_width:.2g} (n={self.n})"
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z_VALUES[confidence]
+    except KeyError:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_VALUES)}, got {confidence}"
+        ) from None
+
+
+def summarize(samples, confidence: float = 0.95) -> Summary:
+    """Summarize a 1-D sample as a :class:`Summary`.
+
+    Parameters
+    ----------
+    samples:
+        Non-empty 1-D array-like of finite numbers.
+    confidence:
+        Confidence level for the interval on the mean (0.90, 0.95, or 0.99).
+    """
+    arr = np.asarray(samples, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("sample contains non-finite values")
+    n = int(arr.size)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    half = _z_for(confidence) * std / np.sqrt(n) if n > 1 else 0.0
+    return Summary(
+        mean=mean,
+        std=std,
+        ci_half_width=float(half),
+        n=n,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_confidence_interval(samples, confidence: float = 0.95) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` of the confidence interval on the mean."""
+    s = summarize(samples, confidence=confidence)
+    return s.mean, s.ci_low, s.ci_high

@@ -1,0 +1,113 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are line plots; since the benchmark harness is
+terminal-based, each figure is reported as the numeric series behind the
+plot (one row per x-value, one column per curve) plus an optional ASCII
+sparkline so shapes are visible at a glance.  Tables use fixed-width
+columns so ``bench_output.txt`` diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt_cell(value, width: int, precision: int) -> str:
+    if isinstance(value, str):
+        return value.rjust(width)
+    if isinstance(value, (bool, np.bool_)):
+        return str(bool(value)).rjust(width)
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):d}".rjust(width)
+    if value is None:
+        return "-".rjust(width)
+    return f"{float(value):.{precision}f}".rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: "str | None" = None,
+    precision: int = 4,
+    min_width: int = 8,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Column widths adapt to the longest rendered cell in each column.
+    Numeric cells are printed with ``precision`` decimals; ``None`` renders
+    as ``-``.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    widths = [max(min_width, len(h)) for h in headers]
+    rendered = [[_fmt_cell(cell, 0, precision).strip() for cell in row] for row in rows]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level unicode sparkline of ``values`` (constant series → mid level)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-300:
+        return _SPARK_CHARS[3] * arr.size
+    idx = np.clip(((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round(), 0, 7)
+    return "".join(_SPARK_CHARS[int(i)] for i in idx)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    curves: Mapping[str, Sequence[float]],
+    *,
+    title: "str | None" = None,
+    precision: int = 4,
+    with_sparklines: bool = True,
+) -> str:
+    """Render a figure as its numeric series, one column per curve.
+
+    Parameters
+    ----------
+    x_label, x_values:
+        The shared x axis.
+    curves:
+        Mapping of curve name to y-values (each the same length as
+        ``x_values``).
+    with_sparklines:
+        Append a per-curve sparkline footer showing the curve shape.
+    """
+    for name, ys in curves.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"curve {name!r} has {len(ys)} points, expected {len(x_values)}")
+    headers = [x_label, *curves.keys()]
+    rows = [
+        [x, *(curves[name][i] for name in curves)]
+        for i, x in enumerate(x_values)
+    ]
+    out = format_table(headers, rows, title=title, precision=precision)
+    if with_sparklines and len(x_values) > 1:
+        pad = max(len(name) for name in curves)
+        shape_lines = ["", "shape:"]
+        for name, ys in curves.items():
+            shape_lines.append(f"  {name.ljust(pad)}  {sparkline(ys)}")
+        out += "\n" + "\n".join(shape_lines)
+    return out

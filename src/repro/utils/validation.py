@@ -1,0 +1,69 @@
+"""Argument-validation helpers.
+
+Centralised checks keep error messages uniform across the library and keep
+hot numerical code free of repeated inline validation logic (callers
+validate once at the public boundary, inner kernels trust their inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_probability",
+    "check_probability_vector",
+    "check_positive",
+    "check_nonnegative",
+    "check_square_matrix",
+]
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate a scalar probability in ``[0, 1]`` and return it as float."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return v
+
+
+def check_probability_vector(values, n: "int | None" = None, name: str = "q") -> np.ndarray:
+    """Validate a vector of probabilities, optionally of fixed length ``n``.
+
+    Returns a float64 array (a copy only if conversion is needed).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if arr.size and (np.min(arr) < 0.0 or np.max(arr) > 1.0):
+        raise ValueError(f"all entries of {name} must lie in [0, 1]")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate a strictly positive finite scalar and return it as float."""
+    v = float(value)
+    if not np.isfinite(v) or v <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return v
+
+
+def check_nonnegative(value: float, name: str = "value") -> float:
+    """Validate a non-negative finite scalar and return it as float."""
+    v = float(value)
+    if not np.isfinite(v) or v < 0.0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return v
+
+
+def check_square_matrix(matrix, n: "int | None" = None, name: str = "matrix") -> np.ndarray:
+    """Validate a square 2-D float matrix, optionally of fixed size ``n``."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must be {n}x{n}, got {arr.shape[0]}x{arr.shape[1]}")
+    return arr

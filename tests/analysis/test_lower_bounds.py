@@ -1,0 +1,95 @@
+"""Tests for latency lower bounds — and that schedulers respect them."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bounds import (
+    capacity_latency_lower_bound,
+    conflict_clique_lower_bound,
+    latency_lower_bound,
+)
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import line_network, paper_random_network
+from repro.latency.repeated_max import repeated_max_latency
+
+BETA = 2.5
+
+
+def random_instance(seed: int, n: int = 20) -> SINRInstance:
+    s, r = paper_random_network(n, rng=seed)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestCapacityBound:
+    def test_exact_mode_is_certified(self):
+        """With the exact single-slot capacity, the bound must hold for
+        the (optimal-capacity-driven) scheduler's output."""
+        inst = random_instance(0, n=12)
+        lb = capacity_latency_lower_bound(inst, BETA, exact=True)
+        achieved = repeated_max_latency(inst, BETA).latency
+        assert lb <= achieved
+
+    def test_independent_links(self):
+        s, r = line_network(5, spacing=10000.0, link_length=5.0)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 0.0)
+        assert capacity_latency_lower_bound(inst, BETA, exact=True) == 1
+
+    def test_mutually_exclusive_links(self):
+        n = 4
+        inst = SINRInstance(np.full((n, n), 5.0), noise=0.0)
+        assert capacity_latency_lower_bound(inst, 2.0, exact=True) == n
+
+
+class TestCliqueBound:
+    def test_mutually_exclusive_links(self):
+        n = 5
+        inst = SINRInstance(np.full((n, n), 5.0), noise=0.0)
+        assert conflict_clique_lower_bound(inst, 2.0) == n
+
+    def test_independent_links(self):
+        s, r = line_network(4, spacing=10000.0, link_length=5.0)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 0.0)
+        assert conflict_clique_lower_bound(inst, BETA) == 1
+
+    def test_mixed_instance(self):
+        # Links 0/1 conflict pairwise; 2 independent of both.
+        gains = np.array(
+            [
+                [4.0, 4.0, 0.0],
+                [4.0, 4.0, 0.0],
+                [0.0, 0.0, 4.0],
+            ]
+        )
+        inst = SINRInstance(gains, noise=0.0)
+        assert conflict_clique_lower_bound(inst, 1.5) == 2
+
+    def test_asymmetric_conflict_counts(self):
+        """One-directional failure already forces separate slots."""
+        gains = np.array([[4.0, 8.0], [0.1, 4.0]])  # 0 kills 1, not reverse
+        inst = SINRInstance(gains, noise=0.0)
+        assert conflict_clique_lower_bound(inst, 1.0) == 2
+
+    def test_noise_blocked_links_ignored(self):
+        gains = np.array([[0.5, 0.0], [0.0, 100.0]])
+        inst = SINRInstance(gains, noise=1.0)
+        assert conflict_clique_lower_bound(inst, 2.0) == 1
+
+
+class TestCombined:
+    def test_schedulers_never_beat_certified_bounds(self):
+        for seed in range(6):
+            inst = random_instance(seed, n=12)
+            lb = max(
+                capacity_latency_lower_bound(inst, BETA, exact=True),
+                conflict_clique_lower_bound(inst, BETA),
+            )
+            achieved = repeated_max_latency(inst, BETA).latency
+            assert lb <= achieved
+
+    def test_latency_lower_bound_is_max(self):
+        inst = random_instance(1, n=15)
+        combined = latency_lower_bound(inst, BETA, rng=0)
+        assert combined >= conflict_clique_lower_bound(inst, BETA)
+        assert combined >= 1

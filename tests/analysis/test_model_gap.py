@@ -1,0 +1,52 @@
+"""Tests for the measured optimum gap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_gap import measured_optimum_gap
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import line_network, paper_random_network
+
+BETA = 2.5
+
+
+def random_instance(seed: int, n: int = 15) -> SINRInstance:
+    s, r = paper_random_network(n, rng=seed, area=500.0)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestMeasuredGap:
+    def test_ratio_at_least_one_over_e(self):
+        """The warm start guarantees OPT^R >= (1/e)·OPT^nf measured."""
+        for seed in range(5):
+            gap = measured_optimum_gap(random_instance(seed), BETA, rng=seed)
+            assert gap.ratio >= np.exp(-1.0) - 1e-9
+
+    def test_isolated_links_ratio_near_one(self):
+        """No interference, tiny noise: both optima are ~n."""
+        s, r = line_network(6, spacing=10000.0, link_length=5.0)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 1e-9)
+        gap = measured_optimum_gap(inst, BETA, rng=0)
+        assert gap.nonfading_value == 6
+        assert gap.ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_exact_mode_small_instance(self):
+        inst = random_instance(3, n=10)
+        gap = measured_optimum_gap(inst, BETA, rng=1, exact=True)
+        from repro.capacity.optimum import optimal_capacity_bruteforce
+
+        assert gap.nonfading_value == optimal_capacity_bruteforce(inst, BETA).size
+
+    def test_q_is_valid_probability_vector(self):
+        gap = measured_optimum_gap(random_instance(4), BETA, rng=2)
+        assert np.all((gap.rayleigh_q >= 0) & (gap.rayleigh_q <= 1))
+
+    def test_nan_ratio_when_nothing_feasible(self):
+        """All links noise-blocked: OPT^nf = 0 → ratio NaN, no crash."""
+        gains = np.eye(2) * 0.5 + 0.01
+        inst = SINRInstance(gains, noise=10.0)
+        gap = measured_optimum_gap(inst, 1.0, rng=3)
+        assert gap.nonfading_value == 0
+        assert np.isnan(gap.ratio)

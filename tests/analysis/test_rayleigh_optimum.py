@@ -1,0 +1,128 @@
+"""Tests for the numerical Rayleigh-optimum machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.rayleigh_optimum import (
+    expected_capacity,
+    expected_capacity_gradient,
+    optimize_transmission_probabilities,
+)
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.montecarlo import expected_successes_exact
+from repro.geometry.placement import paper_random_network
+
+BETA = 2.5
+
+
+def random_instance(seed: int, n: int = 15) -> SINRInstance:
+    s, r = paper_random_network(n, rng=seed, area=500.0)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestObjective:
+    def test_matches_theorem1_sum(self):
+        inst = random_instance(0)
+        q = np.random.default_rng(1).random(inst.n)
+        assert expected_capacity(inst, q, BETA) == pytest.approx(
+            expected_successes_exact(inst, q, BETA)
+        )
+
+    def test_multilinear_in_each_coordinate(self):
+        """F is affine in every q_k: F(q with q_k=t) is linear in t."""
+        inst = random_instance(2)
+        gen = np.random.default_rng(3)
+        q = gen.random(inst.n)
+        for k in (0, inst.n - 1):
+            vals = []
+            for t in (0.0, 0.5, 1.0):
+                qt = q.copy()
+                qt[k] = t
+                vals.append(expected_capacity(inst, qt, BETA))
+            assert vals[1] == pytest.approx((vals[0] + vals[2]) / 2.0, rel=1e-9)
+
+
+class TestGradient:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_matches_finite_differences(self, seed):
+        inst = random_instance(seed, n=10)
+        gen = np.random.default_rng(seed + 1)
+        q = gen.uniform(0.05, 0.95, inst.n)
+        grad = expected_capacity_gradient(inst, q, BETA)
+        eps = 1e-6
+        for k in range(inst.n):
+            qp, qm = q.copy(), q.copy()
+            qp[k] += eps
+            qm[k] -= eps
+            fd = (
+                expected_capacity(inst, qp, BETA) - expected_capacity(inst, qm, BETA)
+            ) / (2 * eps)
+            assert grad[k] == pytest.approx(fd, abs=1e-5)
+
+    def test_gradient_at_vertex_finite(self):
+        inst = random_instance(4)
+        q = np.zeros(inst.n)
+        q[:3] = 1.0
+        grad = expected_capacity_gradient(inst, q, BETA)
+        assert np.all(np.isfinite(grad))
+
+    def test_isolated_links_gradient_positive(self):
+        """No interference, modest noise: sending more always helps."""
+        inst = SINRInstance(np.diag([10.0, 10.0, 10.0]) + 1e-12, noise=0.5)
+        grad = expected_capacity_gradient(inst, np.full(3, 0.5), 1.0)
+        assert np.all(grad > 0)
+
+
+class TestOptimizer:
+    def test_returns_vertex(self):
+        inst = random_instance(5)
+        res = optimize_transmission_probabilities(inst, BETA, rng=0, restarts=2)
+        assert set(np.unique(res.q)).issubset({0.0, 1.0})
+        assert res.value == pytest.approx(expected_capacity(inst, res.q, BETA))
+
+    def test_beats_nonfading_feasible_set_discounted(self):
+        """The optimum is at least the best feasible set's Rayleigh value
+        (the warm start guarantees it is examined)."""
+        from repro.capacity.greedy import greedy_capacity
+
+        inst = random_instance(6)
+        chosen = greedy_capacity(inst, BETA)
+        warm = np.zeros(inst.n)
+        warm[chosen] = 1.0
+        res = optimize_transmission_probabilities(
+            inst, BETA, rng=1, restarts=2, seeds=[warm]
+        )
+        assert res.value >= expected_capacity(inst, warm, BETA) - 1e-9
+
+    def test_matches_exhaustive_vertex_search_small(self):
+        """F is multilinear so its box maximum is at a vertex; on tiny
+        instances compare against brute force over all 2^n vertices."""
+        inst = random_instance(7, n=8)
+        best = 0.0
+        for bits in range(1 << 8):
+            q = np.array([(bits >> i) & 1 for i in range(8)], dtype=np.float64)
+            best = max(best, expected_capacity(inst, q, BETA))
+        res = optimize_transmission_probabilities(
+            inst, BETA, rng=2, restarts=8, iterations=120
+        )
+        assert res.value >= best * 0.98  # ascent+rounding finds (near-)best
+
+    def test_reproducible(self):
+        inst = random_instance(8)
+        a = optimize_transmission_probabilities(inst, BETA, rng=3, restarts=3)
+        b = optimize_transmission_probabilities(inst, BETA, rng=3, restarts=3)
+        assert a.value == b.value
+        np.testing.assert_array_equal(a.q, b.q)
+
+    def test_validation(self):
+        inst = random_instance(9)
+        with pytest.raises(ValueError):
+            optimize_transmission_probabilities(inst, BETA, restarts=-1)
+        with pytest.raises(ValueError):
+            optimize_transmission_probabilities(inst, BETA, iterations=0)
+        with pytest.raises(ValueError):
+            optimize_transmission_probabilities(inst, 0.0)

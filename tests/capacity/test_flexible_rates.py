@@ -1,0 +1,81 @@
+"""Tests for flexible-data-rate capacity maximization."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.flexible_rates import flexible_rate_capacity
+from repro.capacity.greedy import greedy_capacity
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import paper_random_network
+from repro.utility.binary import BinaryUtility
+from repro.utility.shannon import ShannonUtility
+from repro.utility.weighted import WeightedUtility
+
+
+@pytest.fixture
+def instance():
+    s, r = paper_random_network(30, rng=21)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestShannonObjective:
+    def test_achieves_positive_utility(self, instance):
+        result = flexible_rate_capacity(instance, ShannonUtility(instance.n))
+        assert result.utility > 0.0
+        assert result.selected.size > 0
+        assert result.level > 0.0
+        assert len(result.levels_tried) == 16
+
+    def test_reported_utility_matches_schedule(self, instance):
+        profile = ShannonUtility(instance.n)
+        result = flexible_rate_capacity(instance, profile)
+        mask = np.zeros(instance.n, dtype=bool)
+        mask[result.selected] = True
+        sinr = instance.sinr(mask)
+        assert result.utility == pytest.approx(float(profile(sinr)[mask].sum()))
+
+    def test_beats_all_links_transmitting(self, instance):
+        """Scheduling everyone is usually terrible for Shannon capacity on
+        dense instances; the level algorithm must do at least as well."""
+        profile = ShannonUtility(instance.n)
+        everyone = float(profile(instance.sinr(np.ones(instance.n, dtype=bool))).sum())
+        result = flexible_rate_capacity(instance, profile)
+        assert result.utility >= everyone * 0.9
+
+    def test_more_levels_never_much_worse(self, instance):
+        profile = ShannonUtility(instance.n)
+        few = flexible_rate_capacity(instance, profile, num_levels=4).utility
+        many = flexible_rate_capacity(instance, profile, num_levels=32).utility
+        assert many >= few * 0.8
+
+
+class TestThresholdObjectives:
+    def test_binary_comparable_to_direct_greedy(self, instance):
+        beta = 2.5
+        result = flexible_rate_capacity(instance, BinaryUtility(instance.n, beta))
+        direct = greedy_capacity(instance, beta).size
+        assert result.utility >= 0.5 * direct
+
+    def test_weighted_profile(self, instance):
+        w = np.linspace(0.5, 2.0, instance.n)
+        result = flexible_rate_capacity(instance, WeightedUtility(w, 2.5))
+        assert result.utility > 0.0
+
+
+class TestValidation:
+    def test_size_mismatch(self, instance):
+        with pytest.raises(ValueError):
+            flexible_rate_capacity(instance, ShannonUtility(instance.n + 1))
+
+    def test_bad_levels(self, instance):
+        with pytest.raises(ValueError):
+            flexible_rate_capacity(instance, ShannonUtility(instance.n), num_levels=0)
+
+    def test_zero_noise_levels_finite(self):
+        s, r = paper_random_network(8, rng=2)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 0.0)
+        result = flexible_rate_capacity(inst, ShannonUtility(8))
+        assert np.all(np.isfinite(result.levels_tried))
+        assert result.utility > 0.0

@@ -1,0 +1,104 @@
+"""Tests for the power-control capacity algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capacity.greedy import greedy_capacity
+from repro.capacity.power_control import power_control_capacity
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import (
+    line_network,
+    nested_pairs_network,
+    paper_random_network,
+)
+
+BETA = 2.0
+ALPHA = 2.5
+
+
+class TestCertifiedOutput:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_selected_set_feasible_with_returned_powers(self, seed):
+        s, r = paper_random_network(15, rng=seed)
+        net = Network(s, r)
+        result = power_control_capacity(net, BETA, ALPHA, noise=1e-6)
+        if result.selected.size == 0:
+            return
+        inst = SINRInstance.from_network(
+            net, result.power_assignment(net.n), ALPHA, 1e-6
+        )
+        assert inst.is_feasible(result.selected, BETA)
+
+    def test_powers_aligned_with_selected(self):
+        s, r = paper_random_network(10, rng=3)
+        net = Network(s, r)
+        result = power_control_capacity(net, BETA, ALPHA, noise=1e-6)
+        assert result.powers.shape == result.selected.shape
+        assert np.all(result.powers > 0)
+        assert np.all(np.diff(result.selected) > 0)  # sorted, distinct
+
+
+class TestSeparation:
+    def test_beats_uniform_on_nested_pairs(self):
+        """The Moscibroda–Wattenhofer family: uniform-power greedy schedules
+        O(1) of the nested links; power control schedules them all.
+
+        Growth 6 with α = 3 makes the whole set simultaneously
+        power-feasible (spectral margin > 0) while uniform power still
+        serves only the longest link.
+        """
+        s, r = nested_pairs_network(10, base_length=10.0, growth=6.0)
+        net = Network(s, r)
+        inst_uniform = SINRInstance.from_network(net, UniformPower(1.0), 3.0, 0.0)
+        uniform_size = greedy_capacity(inst_uniform, 1.0).size
+        pc = power_control_capacity(net, 1.0, 3.0, 0.0)
+        assert uniform_size <= 2
+        assert pc.selected.size == 10
+
+    def test_far_apart_links_all_selected(self):
+        s, r = line_network(5, spacing=10000.0, link_length=5.0)
+        net = Network(s, r)
+        pc = power_control_capacity(net, BETA, ALPHA, 0.0)
+        assert pc.selected.size == 5
+
+
+class TestKnobs:
+    def test_smaller_delta_selects_fewer(self):
+        s, r = paper_random_network(25, rng=4)
+        net = Network(s, r)
+        small = power_control_capacity(net, BETA, ALPHA, 0.0, delta=0.05)
+        large = power_control_capacity(net, BETA, ALPHA, 0.0, delta=1.0)
+        assert small.selected.size <= large.selected.size
+
+    def test_repair_loop_yields_feasible_even_with_huge_delta(self):
+        s, r = paper_random_network(20, rng=5, area=200.0)
+        net = Network(s, r)
+        result = power_control_capacity(net, BETA, ALPHA, 1e-6, delta=100.0)
+        if result.selected.size:
+            inst = SINRInstance.from_network(
+                net, result.power_assignment(net.n), ALPHA, 1e-6
+            )
+            assert inst.is_feasible(result.selected, BETA)
+
+    def test_validation(self):
+        s, r = line_network(3)
+        net = Network(s, r)
+        with pytest.raises(ValueError):
+            power_control_capacity(net, 0.0, ALPHA)
+        with pytest.raises(ValueError):
+            power_control_capacity(net, BETA, ALPHA, delta=0.0)
+        with pytest.raises(ValueError):
+            power_control_capacity(net, BETA, ALPHA, noise=-1.0)
+
+    def test_power_assignment_wrapper(self):
+        s, r = line_network(4, spacing=1000.0)
+        net = Network(s, r)
+        result = power_control_capacity(net, BETA, ALPHA, 0.0)
+        pw = result.power_assignment(net.n)
+        vec = pw.powers(net.lengths, ALPHA)
+        assert vec.shape == (4,)
+        np.testing.assert_allclose(vec[result.selected], result.powers)

@@ -1,0 +1,137 @@
+"""Tests for affectance machinery (SINR ⇔ affectance equivalence, Lemma 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affectance import (
+    affectance_matrix,
+    is_feasible_set,
+    max_average_affectance,
+    robust_subset,
+    total_affectance,
+)
+from repro.core.sinr import SINRInstance
+
+BETA = 1.5
+
+
+def random_instance(seed: int, n_max: int = 10) -> SINRInstance:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, n_max))
+    gains = gen.uniform(0.01, 4.0, (n, n))
+    gains[np.diag_indices(n)] += 3.0  # healthy own signal
+    return SINRInstance(gains, noise=float(gen.uniform(0.0, 0.5)))
+
+
+class TestAffectanceMatrix:
+    def test_formula(self, two_link_instance):
+        a = affectance_matrix(two_link_instance, beta=1.0, clamped=False)
+        # a(j, i) = β S̄(j,i) / (S̄(i,i) − βν).
+        assert a[1, 0] == pytest.approx(2.0 / (4.0 - 0.5))
+        assert a[0, 1] == pytest.approx(1.0 / (8.0 - 0.5))
+        assert a[0, 0] == 0.0 and a[1, 1] == 0.0
+
+    def test_clamping(self):
+        gains = np.array([[1.0, 50.0], [50.0, 1.0]])
+        inst = SINRInstance(gains, noise=0.0)
+        a = affectance_matrix(inst, beta=1.0, clamped=True)
+        assert a.max() == 1.0
+        a_u = affectance_matrix(inst, beta=1.0, clamped=False)
+        assert a_u.max() == pytest.approx(50.0)
+
+    def test_noise_blocked_link(self):
+        gains = np.array([[1.0, 0.5], [0.5, 1.0]])
+        inst = SINRInstance(gains, noise=2.0)  # βν = 2 >= S̄ii for β=1
+        a = affectance_matrix(inst, beta=1.0, clamped=False)
+        assert np.all(np.isinf(a[[1], [0]]))  # incoming to blocked link 0
+        ac = affectance_matrix(inst, beta=1.0, clamped=True)
+        assert ac[1, 0] == 1.0
+
+    def test_monotone_in_beta(self, paper_instance):
+        a1 = affectance_matrix(paper_instance, beta=1.0, clamped=False)
+        a2 = affectance_matrix(paper_instance, beta=2.0, clamped=False)
+        assert np.all(a2 >= a1 - 1e-15)
+
+
+class TestSINREquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_feasibility_matches_sinr(self, seed):
+        """Σ_j a(j,i) ≤ 1 over a set ⇔ every set member meets its SINR."""
+        inst = random_instance(seed)
+        gen = np.random.default_rng(seed + 1)
+        subset = gen.random(inst.n) < 0.6
+        assert is_feasible_set(inst, subset, BETA) == inst.is_feasible(subset, BETA)
+
+    def test_total_affectance(self, three_link_instance):
+        a = affectance_matrix(three_link_instance, BETA, clamped=False)
+        incoming = total_affectance(a, [True, True, False])
+        np.testing.assert_allclose(incoming, a[0] + a[1])
+
+    def test_total_affectance_index_list(self, three_link_instance):
+        a = affectance_matrix(three_link_instance, BETA, clamped=False)
+        np.testing.assert_allclose(
+            total_affectance(a, np.array([0, 1])),
+            total_affectance(a, [True, True, False]),
+        )
+
+    def test_empty_set_feasible(self, three_link_instance):
+        assert is_feasible_set(three_link_instance, [], BETA)
+
+
+class TestRobustSubset:
+    def test_lemma7_half_guarantee(self):
+        """For feasible L, |L'| >= |L|/2 with bound 2."""
+        for seed in range(20):
+            inst = random_instance(seed, n_max=12)
+            a = affectance_matrix(inst, BETA, clamped=True)
+            # Build some feasible set greedily.
+            from repro.capacity.greedy import greedy_capacity
+
+            L = greedy_capacity(inst, BETA)
+            if L.size == 0:
+                continue
+            L_prime = robust_subset(a, L, bound=2.0)
+            assert L_prime.size >= L.size / 2
+            assert set(L_prime.tolist()) <= set(L.tolist())
+
+    def test_boolean_mask_accepted(self, three_link_instance):
+        a = affectance_matrix(three_link_instance, BETA, clamped=True)
+        mask = np.array([True, False, True])
+        out = robust_subset(a, mask)
+        assert set(out.tolist()) <= {0, 2}
+
+    def test_empty(self, three_link_instance):
+        a = affectance_matrix(three_link_instance, BETA, clamped=True)
+        assert robust_subset(a, np.array([], dtype=int)).size == 0
+
+
+class TestMaxAverageAffectance:
+    def test_trivial_sets(self, three_link_instance):
+        a = affectance_matrix(three_link_instance, BETA, clamped=True)
+        assert max_average_affectance(a, np.array([0])) == 0.0
+        assert max_average_affectance(a, np.array([], dtype=int)) == 0.0
+
+    def test_at_least_full_set_average(self):
+        inst = random_instance(3)
+        a = affectance_matrix(inst, BETA, clamped=True)
+        full_avg = a.sum() / inst.n
+        assert max_average_affectance(a) >= full_avg - 1e-12
+
+    def test_at_least_any_pair_average(self):
+        """Peeling must not fall below dense sub-pairs by more than 2x
+        (it is a 2-approximation); check it at least sees the full set and
+        never returns a negative value."""
+        gen = np.random.default_rng(0)
+        a = np.zeros((5, 5))
+        a[0, 1] = a[1, 0] = 1.0  # one very dense pair
+        est = max_average_affectance(a)
+        assert est >= 0.5  # 2-approx of the optimal pair average 1.0
+
+    def test_symmetric_clique(self):
+        n = 4
+        a = np.full((n, n), 0.3)
+        np.fill_diagonal(a, 0.0)
+        # Every subset of size k has average (k-1)*0.3; max at k=n.
+        assert max_average_affectance(a) == pytest.approx((n - 1) * 0.3)

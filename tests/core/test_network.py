@@ -1,0 +1,159 @@
+"""Tests for the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+from repro.geometry.metric import PNormMetric
+from repro.geometry.placement import line_network, paper_random_network
+
+
+class TestConstruction:
+    def test_basic(self):
+        s, r = paper_random_network(10, rng=0)
+        net = Network(s, r)
+        assert net.n == 10 and len(net) == 10
+        assert net.is_geometric
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Network(np.ones((3, 2)), np.ones((4, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            Network(np.ones(3), np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Network(np.ones((0, 2)), np.ones((0, 2)))
+
+    def test_arrays_read_only(self):
+        s, r = paper_random_network(5, rng=1)
+        net = Network(s, r)
+        with pytest.raises(ValueError):
+            net.senders[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            net.cross_distances[0, 0] = 99.0
+
+    def test_caller_arrays_not_frozen_or_aliased(self):
+        """Regression: Network must copy its inputs — freezing an alias
+        would make the caller's own arrays read-only, and later caller
+        mutations would corrupt the network."""
+        s, r = paper_random_network(5, rng=1)
+        net = Network(s, r)
+        s[0, 0] = 12345.0  # caller's array stays writable...
+        assert net.senders[0, 0] != 12345.0  # ...and the network unaffected
+
+
+class TestDistances:
+    def test_cross_distance_convention(self):
+        """D[j, i] = d(s_j, r_i) — sender row, receiver column."""
+        s, r = line_network(2, spacing=10.0, link_length=2.0)
+        net = Network(s, r)
+        D = net.cross_distances
+        # s_0 = (2,0), r_1 = (10,0): D[0,1] = 8.
+        assert D[0, 1] == pytest.approx(8.0)
+        # s_1 = (12,0), r_0 = (0,0): D[1,0] = 12.
+        assert D[1, 0] == pytest.approx(12.0)
+
+    def test_lengths_are_diagonal(self):
+        s, r = paper_random_network(8, rng=2)
+        net = Network(s, r)
+        np.testing.assert_allclose(net.lengths, np.diagonal(net.cross_distances))
+        np.testing.assert_allclose(net.lengths, np.linalg.norm(s - r, axis=1))
+
+    def test_distance_clamped(self):
+        pts = np.zeros((2, 2))
+        net = Network(pts, pts, min_distance=1e-6)
+        assert np.all(net.cross_distances >= 1e-6)
+
+    def test_cached_not_recomputed(self):
+        s, r = paper_random_network(5, rng=3)
+        net = Network(s, r)
+        assert net.cross_distances is net.cross_distances
+
+    def test_custom_metric(self):
+        s = np.array([[0.0, 0.0]])
+        r = np.array([[3.0, 4.0]])
+        net = Network(s, r, metric=PNormMetric(1.0))
+        assert net.lengths[0] == pytest.approx(7.0)
+
+    def test_length_ratio(self):
+        s, r = line_network(2, spacing=100.0, link_length=5.0)
+        # Make second link twice as long.
+        s = s.copy()
+        s[1, 0] += 5.0
+        net = Network(s, r)
+        assert net.length_ratio == pytest.approx(2.0)
+
+
+class TestMatrixConstruction:
+    def test_from_distance_matrix(self):
+        D = np.array([[1.0, 5.0], [4.0, 2.0]])
+        net = Network.from_distance_matrix(D)
+        assert not net.is_geometric
+        np.testing.assert_allclose(net.cross_distances, D)
+        np.testing.assert_allclose(net.lengths, [1.0, 2.0])
+
+    def test_coordinates_unavailable(self):
+        net = Network.from_distance_matrix(np.ones((2, 2)))
+        with pytest.raises(AttributeError):
+            _ = net.senders
+        with pytest.raises(AttributeError):
+            _ = net.metric
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Network.from_distance_matrix([[1.0, -1.0], [1.0, 1.0]])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            Network.from_distance_matrix(np.ones((2, 3)))
+
+
+class TestLinksAndSubnetworks:
+    def test_link_view(self):
+        s, r = paper_random_network(4, rng=4)
+        net = Network(s, r)
+        link = net.link(2)
+        assert link.index == 2
+        np.testing.assert_allclose(link.sender, s[2])
+        assert link.length == pytest.approx(net.lengths[2])
+        assert "Link(2" in str(link)
+
+    def test_link_out_of_range(self):
+        s, r = paper_random_network(3, rng=5)
+        net = Network(s, r)
+        with pytest.raises(IndexError):
+            net.link(3)
+
+    def test_links_list(self):
+        s, r = paper_random_network(3, rng=6)
+        assert [l.index for l in Network(s, r).links] == [0, 1, 2]
+
+    def test_subnetwork_preserves_distances(self):
+        s, r = paper_random_network(6, rng=7)
+        net = Network(s, r)
+        sub = net.subnetwork([4, 1])
+        np.testing.assert_allclose(
+            sub.cross_distances,
+            net.cross_distances[np.ix_([4, 1], [4, 1])],
+        )
+
+    def test_subnetwork_of_matrix_network(self):
+        D = np.arange(1, 10, dtype=float).reshape(3, 3)
+        net = Network.from_distance_matrix(D)
+        sub = net.subnetwork([0, 2])
+        np.testing.assert_allclose(sub.cross_distances, D[np.ix_([0, 2], [0, 2])])
+
+    @pytest.mark.parametrize("idx", [[], [0, 0], [5]])
+    def test_subnetwork_invalid(self, idx):
+        s, r = paper_random_network(3, rng=8)
+        net = Network(s, r)
+        with pytest.raises((ValueError, IndexError)):
+            net.subnetwork(idx)
+
+    def test_repr(self):
+        s, r = paper_random_network(3, rng=9)
+        assert "geometric" in repr(Network(s, r))
+        assert "matrix" in repr(Network.from_distance_matrix(np.ones((2, 2))))

@@ -1,0 +1,121 @@
+"""Tests for power assignments."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import (
+    CustomPower,
+    LengthScaledPower,
+    LinearPower,
+    SquareRootPower,
+    UniformPower,
+)
+
+LENGTHS = np.array([20.0, 30.0, 40.0])
+ALPHA = 2.2
+
+
+class TestUniformPower:
+    def test_constant_vector(self):
+        p = UniformPower(2.0).powers(LENGTHS, ALPHA)
+        np.testing.assert_allclose(p, 2.0)
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            UniformPower(0.0)
+        with pytest.raises(ValueError):
+            UniformPower(-3.0)
+
+    def test_is_oblivious(self):
+        assert UniformPower(1.0).is_oblivious
+
+
+class TestSquareRootPower:
+    def test_paper_formula(self):
+        """Figure 1: p_i = 2 * sqrt(d_i^2.2)."""
+        p = SquareRootPower(2.0).powers(LENGTHS, 2.2)
+        np.testing.assert_allclose(p, 2.0 * np.sqrt(LENGTHS**2.2))
+
+    def test_monotone_in_length(self):
+        p = SquareRootPower(1.0).powers(LENGTHS, ALPHA)
+        assert np.all(np.diff(p) > 0)
+
+
+class TestLinearPower:
+    def test_equalizes_received_signal(self):
+        """p_i / d_i^α must be constant under linear power."""
+        p = LinearPower(3.0).powers(LENGTHS, ALPHA)
+        np.testing.assert_allclose(p / LENGTHS**ALPHA, 3.0)
+
+
+class TestLengthScaledPower:
+    @pytest.mark.parametrize("tau", [0.0, 0.25, 0.5, 1.0])
+    def test_family_formula(self, tau):
+        p = LengthScaledPower(tau, scale=1.5).powers(LENGTHS, ALPHA)
+        np.testing.assert_allclose(p, 1.5 * LENGTHS ** (tau * ALPHA))
+
+    def test_special_cases_agree(self):
+        np.testing.assert_allclose(
+            LengthScaledPower(0.5, 2.0).powers(LENGTHS, ALPHA),
+            SquareRootPower(2.0).powers(LENGTHS, ALPHA),
+        )
+        np.testing.assert_allclose(
+            LengthScaledPower(0.0, 2.0).powers(LENGTHS, ALPHA),
+            UniformPower(2.0).powers(LENGTHS, ALPHA),
+        )
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            LengthScaledPower(-0.5)
+        with pytest.raises(ValueError):
+            LengthScaledPower(float("nan"))
+
+    def test_equality_and_hash(self):
+        assert SquareRootPower(2.0) == LengthScaledPower(0.5, 2.0)
+        assert hash(SquareRootPower(2.0)) == hash(LengthScaledPower(0.5, 2.0))
+        assert UniformPower(1.0) != UniformPower(2.0)
+
+
+class TestCustomPower:
+    def test_returns_stored_vector(self):
+        cp = CustomPower([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cp.powers(LENGTHS, ALPHA), [1.0, 2.0, 3.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CustomPower([1.0, 2.0]).powers(LENGTHS, ALPHA)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            CustomPower([1.0, 0.0])
+        with pytest.raises(ValueError):
+            CustomPower([1.0, -2.0])
+        with pytest.raises(ValueError):
+            CustomPower([1.0, np.inf])
+
+    def test_not_oblivious(self):
+        assert not CustomPower([1.0]).is_oblivious
+
+    def test_immutable_copy(self):
+        src = np.array([1.0, 2.0])
+        cp = CustomPower(src)
+        src[0] = 99.0
+        np.testing.assert_allclose(cp.vector, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            cp.vector[0] = 5.0
+
+    def test_equality_by_values(self):
+        assert CustomPower([1.0, 2.0]) == CustomPower([1.0, 2.0])
+        assert CustomPower([1.0, 2.0]) != CustomPower([1.0, 3.0])
+
+    def test_cache_keys_distinguish_assignments(self):
+        keys = {
+            UniformPower(1.0).cache_key,
+            UniformPower(2.0).cache_key,
+            SquareRootPower(1.0).cache_key,
+            LinearPower(1.0).cache_key,
+            CustomPower([1.0, 2.0]).cache_key,
+        }
+        assert len(keys) == 5
+        for k in keys:
+            hash(k)  # must be hashable

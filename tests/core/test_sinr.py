@@ -1,0 +1,163 @@
+"""Tests for the non-fading SINR engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import (
+    SINRInstance,
+    mean_signal_matrix,
+    sinr_nonfading,
+    sinr_nonfading_batch,
+    success_count,
+    successful_links,
+)
+from repro.geometry.placement import line_network, paper_random_network
+
+
+class TestMeanSignalMatrix:
+    def test_formula(self):
+        s, r = line_network(2, spacing=10.0, link_length=2.0)
+        net = Network(s, r)
+        G = mean_signal_matrix(net, UniformPower(3.0), alpha=2.0)
+        D = net.cross_distances
+        np.testing.assert_allclose(G, 3.0 / D**2.0)
+
+    def test_row_is_sender(self):
+        """G[j, i] must use p_j, not p_i."""
+        s, r = line_network(2, spacing=10.0, link_length=2.0)
+        net = Network(s, r)
+
+        from repro.core.power import CustomPower
+
+        G = mean_signal_matrix(net, CustomPower([1.0, 100.0]), alpha=2.0)
+        assert G[1, 0] / G[0, 1] == pytest.approx(
+            100.0 * net.cross_distances[0, 1] ** 2 / net.cross_distances[1, 0] ** 2
+        )
+
+    def test_invalid_alpha(self):
+        s, r = line_network(2)
+        with pytest.raises(ValueError):
+            mean_signal_matrix(Network(s, r), UniformPower(1.0), alpha=0.0)
+
+
+class TestSinrNonfading:
+    def test_hand_computed(self, two_link_instance):
+        sinr = two_link_instance.sinr([True, True])
+        assert sinr[0] == pytest.approx(4.0 / 2.5)
+        assert sinr[1] == pytest.approx(8.0 / 1.5)
+
+    def test_single_link_vs_noise(self, two_link_instance):
+        sinr = two_link_instance.sinr([True, False])
+        assert sinr[0] == pytest.approx(4.0 / 0.5)
+        assert sinr[1] == 0.0
+
+    def test_silent_links_zero(self, two_link_instance):
+        assert two_link_instance.sinr([False, False]).tolist() == [0.0, 0.0]
+
+    def test_zero_noise_isolated_is_inf(self):
+        inst = SINRInstance(np.array([[5.0, 0.0], [0.0, 5.0]]), noise=0.0)
+        sinr = inst.sinr([True, False])
+        assert np.isinf(sinr[0])
+
+    def test_index_list_accepted(self, two_link_instance):
+        a = two_link_instance.sinr(np.array([1]))
+        b = two_link_instance.sinr([False, True])
+        np.testing.assert_allclose(a, b)
+
+    def test_interference_monotone(self, paper_instance):
+        """Adding an interferer can only lower each active link's SINR."""
+        base = paper_instance.sinr([True] + [False] * (paper_instance.n - 1))
+        more = paper_instance.sinr([True, True] + [False] * (paper_instance.n - 2))
+        assert more[0] <= base[0]
+
+
+class TestBatchConsistency:
+    def test_batch_matches_single(self, paper_instance):
+        gen = np.random.default_rng(0)
+        patterns = gen.random((16, paper_instance.n)) < 0.4
+        batch = paper_instance.sinr_batch(patterns)
+        for t in range(16):
+            np.testing.assert_allclose(batch[t], paper_instance.sinr(patterns[t]))
+
+    def test_shape_validation(self, paper_instance):
+        with pytest.raises(ValueError):
+            paper_instance.sinr_batch(np.zeros((4, paper_instance.n + 1), dtype=bool))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_batch_random_instances(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 12))
+        gains = gen.uniform(0.01, 5.0, (n, n))
+        inst = SINRInstance(gains, noise=float(gen.uniform(0, 1)))
+        patterns = gen.random((8, n)) < 0.5
+        batch = inst.sinr_batch(patterns)
+        for t in range(8):
+            np.testing.assert_allclose(batch[t], inst.sinr(patterns[t]))
+
+
+class TestSuccess:
+    def test_threshold(self, two_link_instance):
+        # SINRs are 1.6 and 5.33 with both active.
+        assert successful_links(
+            two_link_instance.gains, [True, True], 0.5, beta=2.0
+        ).tolist() == [False, True]
+        assert success_count(two_link_instance.gains, [True, True], 0.5, 1.5) == 2
+
+    def test_is_feasible(self, two_link_instance):
+        assert two_link_instance.is_feasible([0, 1], beta=1.5)
+        assert not two_link_instance.is_feasible([0, 1], beta=2.0)
+        assert two_link_instance.is_feasible([1], beta=2.0)
+        assert two_link_instance.is_feasible([], beta=2.0)
+
+    def test_invalid_beta(self, two_link_instance):
+        with pytest.raises(ValueError):
+            two_link_instance.successes([True, True], beta=0.0)
+
+
+class TestSINRInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SINRInstance(np.array([[0.0, 1.0], [1.0, 1.0]]))  # zero diagonal
+        with pytest.raises(ValueError):
+            SINRInstance(np.array([[1.0, -1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            SINRInstance(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            SINRInstance(np.eye(2), noise=-1.0)
+
+    def test_signal_and_noise(self, two_link_instance):
+        np.testing.assert_allclose(two_link_instance.signal, [4.0, 8.0])
+        assert two_link_instance.noise == 0.5
+        np.testing.assert_allclose(
+            two_link_instance.max_noise_free_sinr, [8.0, 16.0]
+        )
+
+    def test_max_noise_free_sinr_zero_noise(self):
+        inst = SINRInstance(np.eye(2) + 0.1, noise=0.0)
+        assert np.all(np.isinf(inst.max_noise_free_sinr))
+
+    def test_subinstance(self, three_link_instance):
+        sub = three_link_instance.subinstance([2, 0])
+        np.testing.assert_allclose(
+            sub.gains, three_link_instance.gains[np.ix_([2, 0], [2, 0])]
+        )
+        assert sub.noise == three_link_instance.noise
+
+    def test_with_noise(self, two_link_instance):
+        alt = two_link_instance.with_noise(2.0)
+        assert alt.noise == 2.0
+        np.testing.assert_allclose(alt.gains, two_link_instance.gains)
+
+    def test_gains_read_only(self, two_link_instance):
+        with pytest.raises(ValueError):
+            two_link_instance.gains[0, 0] = 9.0
+
+    def test_from_network_matches_manual(self, paper_network):
+        inst = SINRInstance.from_network(paper_network, UniformPower(2.0), 2.2, 1e-6)
+        manual = mean_signal_matrix(paper_network, UniformPower(2.0), 2.2)
+        np.testing.assert_allclose(inst.gains, manual)
+        assert inst.noise == 1e-6

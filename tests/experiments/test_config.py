@@ -1,0 +1,69 @@
+"""The paper's parameters, verbatim — if a preset drifts, these fail.
+
+Section 7 states every simulation constant explicitly; the ``paper()``
+presets must match them exactly, since "reproduction at paper scale"
+means nothing otherwise.
+"""
+
+import pytest
+
+from repro.experiments.config import Figure1Config, Figure2Config, PaperParameters
+
+
+class TestPaperParameters:
+    def test_figure1_constants(self):
+        pp = PaperParameters.figure1()
+        assert pp.beta == 2.5       # "β = 2.5"
+        assert pp.alpha == 2.2      # "α = 2.2"
+        assert pp.noise == 4e-7     # "ν = 4 · 10^-7"
+        assert pp.power_scale == 2.0  # "p_i = 2"
+
+    def test_figure2_constants(self):
+        pp = PaperParameters.figure2()
+        assert pp.beta == 0.5       # "β = 0.5"
+        assert pp.alpha == 2.1      # "α = 2.1"
+        assert pp.noise == 0.0      # "ν = 0"
+        assert pp.power_scale == 2.0
+
+
+class TestFigure1Config:
+    def test_paper_scale(self):
+        cfg = Figure1Config.paper()
+        assert cfg.num_networks == 40        # "40 different networks"
+        assert cfg.num_links == 100          # "100 links each"
+        assert cfg.area == 1000.0            # "1000 x 1000 plane"
+        assert cfg.min_length == 20.0        # "between 20 and 40"
+        assert cfg.max_length == 40.0
+        assert cfg.num_transmit_seeds == 25  # "25 different seeds"
+        assert cfg.num_fading_seeds == 10    # "10 different seeds"
+        assert cfg.fading_mode == "sample"   # paper-style explicit seeds
+
+    def test_quick_preserves_physics(self):
+        q, p = Figure1Config.quick(), Figure1Config.paper()
+        assert q.params == p.params
+        assert (q.num_links, q.area, q.min_length, q.max_length) == (
+            p.num_links, p.area, p.min_length, p.max_length,
+        )
+        assert q.num_networks < p.num_networks  # only the ensemble shrinks
+
+    def test_probability_grid_covers_unit_interval(self):
+        probs = Figure1Config.paper().probabilities
+        assert min(probs) <= 0.1 and max(probs) == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(probs, probs[1:]))
+
+
+class TestFigure2Config:
+    def test_paper_scale(self):
+        cfg = Figure2Config.paper()
+        assert cfg.num_links == 200          # "networks with 200 links"
+        assert cfg.min_length == 0.0         # "distances between 0 and 100"
+        assert cfg.max_length == 100.0
+        assert cfg.num_rounds >= 100          # convergence visible by 30-40
+
+    def test_quick_preserves_physics(self):
+        assert Figure2Config.quick().params == Figure2Config.paper().params
+
+    def test_configs_frozen(self):
+        cfg = Figure1Config.paper()
+        with pytest.raises(AttributeError):
+            cfg.num_links = 5

@@ -1,0 +1,151 @@
+"""End-to-end tests: every experiment driver runs and its shape checks hold.
+
+Tiny configurations keep this fast; the full-size runs live in
+``benchmarks/``.  These tests are the reproduction's regression net — a
+change that breaks any of the paper's qualitative claims fails here.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Figure1Config,
+    Figure2Config,
+    run_aloha_transform_check,
+    run_capacity_compare,
+    run_figure1,
+    run_figure2,
+    run_latency_compare,
+    run_lemma2_transfer,
+    run_lemma_bounds,
+    run_optimum_stat,
+    run_regret_stats,
+    run_theorem2,
+)
+
+# Area scaled with sqrt(n) so link *density* — which drives every
+# interference shape in the paper — matches the full-size Figure-1 setup.
+TINY_FIG1 = Figure1Config(
+    num_networks=3,
+    num_links=40,
+    area=1000.0 * (40 / 100) ** 0.5,
+    num_transmit_seeds=6,
+    probabilities=(0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+)
+TINY_FIG2 = Figure2Config(num_networks=1, num_links=60, num_rounds=50, opt_restarts=3)
+
+
+class TestFigure1:
+    def test_runs_and_checks_pass(self):
+        res = run_figure1(TINY_FIG1)
+        assert res.experiment_id == "E1"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["q"]) == 6
+        for curve in (
+            "uniform nonfading",
+            "uniform rayleigh",
+            "sqrt nonfading",
+            "sqrt rayleigh",
+        ):
+            assert len(res.data[curve]) == 6
+            assert all(v >= 0 for v in res.data[curve])
+
+    def test_sampled_fading_mode_agrees_with_exact(self):
+        cfg_exact = TINY_FIG1
+        cfg_sample = Figure1Config(
+            **{**cfg_exact.__dict__, "fading_mode": "sample", "num_fading_seeds": 20}
+        )
+        exact = run_figure1(cfg_exact)
+        sample = run_figure1(cfg_sample)
+        a = np.array(exact.data["uniform rayleigh"])
+        b = np.array(sample.data["uniform rayleigh"])
+        assert np.abs(a - b).max() < 1.5  # MC noise only
+
+    def test_render_and_json(self):
+        res = run_figure1(TINY_FIG1)
+        out = res.render()
+        assert "E1" in out and "PASS" in out
+        parsed = json.loads(res.to_json())
+        assert parsed["experiment_id"] == "E1"
+
+    def test_bad_fading_mode(self):
+        cfg = Figure1Config(**{**TINY_FIG1.__dict__, "fading_mode": "psychic"})
+        with pytest.raises(ValueError):
+            run_figure1(cfg)
+
+
+class TestFigure2:
+    def test_runs_and_checks_pass(self):
+        res = run_figure2(TINY_FIG2)
+        assert res.experiment_id == "E2"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["nonfading"]) == TINY_FIG2.num_rounds
+        assert res.data["opt estimate"][0] > 0
+
+
+class TestOptimumStat:
+    def test_runs_and_checks_pass(self):
+        res = run_optimum_stat(TINY_FIG1, restarts=4, exact_subinstance_size=12)
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["local_search_sizes"]) == TINY_FIG1.num_networks
+
+
+class TestLemmaBounds:
+    def test_runs_and_checks_pass(self):
+        res = run_lemma_bounds(
+            TINY_FIG1, q_levels=(0.2, 0.8), beta_levels=(1.0, 2.5), mc_samples=800
+        )
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["rows"]) == 4
+
+
+class TestLemma2Transfer:
+    def test_runs_and_checks_pass(self):
+        res = run_lemma2_transfer(TINY_FIG1, mc_samples=400)
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["ratios"]) == 6  # 2 powers x 3 utilities
+
+
+class TestTheorem2:
+    def test_runs_and_checks_pass(self):
+        res = run_theorem2(sizes=(15, 40), q_level=0.5, trials=60)
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["rows"]) == 2
+
+
+class TestCapacityCompare:
+    def test_runs_and_checks_pass(self):
+        res = run_capacity_compare(TINY_FIG1, nested_n=8, opt_restarts=3)
+        assert res.all_checks_pass, res.checks
+
+
+class TestLatencyCompare:
+    def test_runs_and_checks_pass(self):
+        res = run_latency_compare(TINY_FIG1, rayleigh_trials=2)
+        assert res.all_checks_pass, res.checks
+
+
+class TestRegretStats:
+    def test_runs_and_checks_pass(self):
+        res = run_regret_stats(TINY_FIG2)
+        assert res.all_checks_pass, res.checks
+
+
+class TestAlohaTransformCheck:
+    def test_runs_and_checks_pass(self):
+        res = run_aloha_transform_check(
+            TINY_FIG1, q_levels=(0.1, 0.5), mc_samples=1500
+        )
+        assert res.all_checks_pass, res.checks
+
+
+class TestResultContainer:
+    def test_all_checks_pass_logic(self):
+        from repro.experiments.runner import ExperimentResult
+
+        good = ExperimentResult("EX", "t", "text", checks={"a": True})
+        bad = ExperimentResult("EX", "t", "text", checks={"a": True, "b": False})
+        assert good.all_checks_pass and not bad.all_checks_pass
+        assert "FAIL" in bad.render()

@@ -1,0 +1,161 @@
+"""End-to-end tests for the extension experiments E11–E14."""
+
+import pytest
+
+from repro.experiments import (
+    Figure1Config,
+    run_alg1_ablation,
+    run_approximation_factors,
+    run_block_fading_check,
+    run_density_sweep,
+    run_equilibria_study,
+    run_delta_sweep,
+    run_fading_families,
+    run_feedback_comparison,
+    run_graph_gap,
+    run_latency_scaling,
+    run_optimum_gap,
+    run_shannon_figure,
+)
+
+
+class TestOptimumGap:
+    def test_runs_and_checks_pass(self):
+        res = run_optimum_gap(sizes=(15, 30), networks_per_size=2, restarts=3)
+        assert res.experiment_id == "E11"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["rows"]) == 2
+        # Every measured ratio obeys the two-sided theory bracket.
+        assert all(0.3 <= r <= 2.5 for r in res.data["ratios"])
+
+
+class TestAlg1Ablation:
+    def test_runs_and_checks_pass(self):
+        res = run_alg1_ablation(
+            n=25, trials=50, repeats_grid=(3, 19), damping_grid=(2.0, 4.0)
+        )
+        assert res.experiment_id == "E12"
+        assert res.all_checks_pass, res.checks
+        rows = res.data["rows"]
+        assert len(rows) == 4
+        # Slot count = repeats x stage count.
+        stages = rows[0][2] // rows[0][0]
+        assert all(r[2] == r[0] * stages for r in rows)
+
+
+class TestDensitySweep:
+    def test_runs_and_checks_pass(self):
+        res = run_density_sweep(num_networks=3, num_transmit_seeds=8)
+        assert res.experiment_id == "E13"
+        assert res.all_checks_pass, res.checks
+        rows = res.data["rows"]
+        # Densities strictly increase along the sweep.
+        densities = [r[1] for r in rows]
+        assert densities == sorted(densities)
+
+
+class TestBlockFadingCheck:
+    def test_runs_and_checks_pass(self):
+        res = run_block_fading_check(n=35, trials=600, block_lengths=(1, 4))
+        assert res.experiment_id == "E15"
+        assert res.all_checks_pass, res.checks
+        rows = res.data["rows"]
+        assert rows[0][0] == "(exact i.i.d.)"
+        # L = 1 within a few percent of the exact value.
+        assert abs(rows[1][1] - res.data["exact_iid"]) <= 0.1 * res.data["exact_iid"]
+
+
+class TestEquilibriaStudy:
+    def test_runs_and_checks_pass(self):
+        res = run_equilibria_study(n=30, num_networks=2, num_starts=4)
+        assert res.experiment_id == "E16"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["rows"]) == 4  # 2 networks x 2 models
+
+
+class TestShannonFigure:
+    def test_runs_and_checks_pass(self):
+        cfg = Figure1Config(
+            num_networks=3,
+            num_links=40,
+            area=1000.0 * (40 / 100) ** 0.5,
+            num_transmit_seeds=6,
+            probabilities=(0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+        )
+        res = run_shannon_figure(cfg, fading_slots=4)
+        assert res.experiment_id == "E17"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["q"]) == 6
+
+
+class TestDeltaSweep:
+    def test_runs_and_checks_pass(self):
+        res = run_delta_sweep(
+            clusters=4, classes=3, deltas=(1.0, 16.0, 256.0), networks_per_delta=3
+        )
+        assert res.experiment_id == "E21"
+        assert res.all_checks_pass, res.checks
+        # Uniform capacity never exceeds power control's at max delta.
+        last = res.data["rows"][-1]
+        assert last[1] <= last[3] + 1e-9
+
+
+class TestFeedbackComparison:
+    def test_runs_and_checks_pass(self):
+        from repro.experiments import Figure2Config
+
+        cfg = Figure2Config(num_networks=1, num_links=50, num_rounds=50, opt_restarts=3)
+        res = run_feedback_comparison(config=cfg)
+        assert res.experiment_id == "E22"
+        assert res.all_checks_pass, res.checks
+        assert len(res.data["rows"]) == 4  # 1 network x 2 models x 2 feedbacks
+
+
+class TestGraphGap:
+    def test_runs_and_checks_pass(self):
+        res = run_graph_gap(num_links=40, networks_per_area=2, num_samples=50)
+        assert res.experiment_id == "E20"
+        assert res.all_checks_pass, res.checks
+        # Gaps are fractions.
+        assert all(0.0 <= g <= 1.0 for g in res.data["gaps"])
+
+
+class TestLatencyScaling:
+    def test_runs_and_checks_pass(self):
+        res = run_latency_scaling(sizes=(15, 30), networks_per_size=2)
+        assert res.experiment_id == "E18"
+        assert res.all_checks_pass, res.checks
+        rows = res.data["rows"]
+        # Lower bound never exceeds the achieved latency.
+        assert all(row[1] <= row[2] + 1e-9 for row in rows)
+
+
+class TestApproximationFactors:
+    def test_runs_and_checks_pass(self):
+        res = run_approximation_factors(n=10, seeds=2)
+        assert res.experiment_id == "E19"
+        assert res.all_checks_pass, res.checks
+        # Uniform-power algorithms can never beat the uniform-power exact
+        # optimum; power control can.
+        for key, vals in res.data["ratios"].items():
+            if "power control" not in key:
+                assert all(v <= 1.0 + 1e-9 for v in vals), key
+
+
+class TestFadingFamilies:
+    def test_runs_and_checks_pass(self):
+        res = run_fading_families(n=30, num_networks=2, mc_slots=800)
+        assert res.experiment_id == "E14"
+        assert res.all_checks_pass, res.checks
+        means = res.data["means"]
+        assert "nakagami m=1" in means and "rician K=0" in means
+
+    def test_custom_grids(self):
+        res = run_fading_families(
+            n=20,
+            num_networks=1,
+            nakagami_m=(1.0, 8.0),
+            rician_k=(0.0, 8.0),
+            mc_slots=500,
+        )
+        assert len(res.data["means"]) == 4

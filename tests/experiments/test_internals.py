@@ -1,0 +1,122 @@
+"""Unit tests for experiment-driver internals (helpers with their own logic)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Figure1Config, PaperParameters
+from repro.experiments.density_sweep import _crossover
+from repro.experiments.figure1 import _network_curves
+from repro.experiments.workloads import figure1_networks, figure2_networks, instance_pair
+
+
+class TestCrossoverDetector:
+    def test_simple_crossing(self):
+        q = np.array([0.1, 0.2, 0.3, 0.4])
+        nf = np.array([3.0, 2.0, 1.0, 0.5])
+        ray = np.array([1.0, 1.5, 2.0, 2.5])
+        assert _crossover(q, nf, ray) == pytest.approx(0.3)
+
+    def test_no_crossing(self):
+        q = np.array([0.1, 0.2, 0.3])
+        nf = np.array([3.0, 3.0, 3.0])
+        ray = np.array([1.0, 1.0, 1.0])
+        assert _crossover(q, nf, ray) is None
+
+    def test_touching_counts_as_crossing(self):
+        q = np.array([0.1, 0.2])
+        nf = np.array([2.0, 1.0])
+        ray = np.array([1.0, 1.0])
+        assert _crossover(q, nf, ray) == pytest.approx(0.2)
+
+    def test_rayleigh_ahead_from_start_is_no_crossing(self):
+        q = np.array([0.1, 0.2])
+        nf = np.array([1.0, 1.0])
+        ray = np.array([2.0, 2.0])
+        assert _crossover(q, nf, ray) is None
+
+
+class TestFigure1Internals:
+    @pytest.fixture
+    def instance(self):
+        cfg = Figure1Config.quick()
+        net = figure1_networks(cfg)[0]
+        inst, _ = instance_pair(net, cfg.params, with_sqrt=False)
+        return inst
+
+    def test_exact_and_sample_modes_agree(self, instance):
+        # Single q so both modes consume identical pattern draws (the
+        # sample mode additionally consumes fading draws *after* the
+        # patterns of that q).
+        probs = np.array([0.5])
+        nf_a, ray_exact = _network_curves(
+            instance, probs, 40, 0, "exact", 2.5, np.random.default_rng(0)
+        )
+        nf_b, ray_sample = _network_curves(
+            instance, probs, 40, 50, "sample", 2.5, np.random.default_rng(0)
+        )
+        # Same transmit-pattern stream → identical non-fading values.
+        np.testing.assert_allclose(nf_a, nf_b)
+        # Exact expectation vs 50-seed sampling: close.
+        np.testing.assert_allclose(ray_exact, ray_sample, atol=1.5)
+
+    def test_zero_probability_no_successes(self, instance):
+        nf, ray = _network_curves(
+            instance, np.array([0.0]), 5, 0, "exact",
+            2.5, np.random.default_rng(1),
+        )
+        assert nf[0] == 0.0 and ray[0] == 0.0
+
+    def test_rayleigh_expectation_below_active_count(self, instance):
+        probs = np.array([0.5])
+        _, ray = _network_curves(
+            instance, probs, 10, 0, "exact", 2.5, np.random.default_rng(2)
+        )
+        assert 0.0 <= ray[0] <= instance.n * 0.5 + 3 * np.sqrt(instance.n)
+
+
+class TestWorkloads:
+    def test_figure1_ensemble_is_deterministic(self):
+        cfg = Figure1Config.quick()
+        a = figure1_networks(cfg)
+        b = figure1_networks(cfg)
+        assert len(a) == cfg.num_networks
+        np.testing.assert_array_equal(a[0].senders, b[0].senders)
+
+    def test_different_seed_different_ensemble(self):
+        cfg_a = Figure1Config.quick()
+        cfg_b = Figure1Config(**{**cfg_a.__dict__, "seed": 999})
+        a = figure1_networks(cfg_a)[0]
+        b = figure1_networks(cfg_b)[0]
+        assert not np.array_equal(a.senders, b.senders)
+
+    def test_figure2_link_lengths_in_interval(self):
+        from repro.experiments.config import Figure2Config
+
+        cfg = Figure2Config.quick()
+        for net in figure2_networks(cfg):
+            assert net.lengths.max() <= cfg.max_length + 1e-9
+
+    def test_instance_pair_powers(self):
+        cfg = Figure1Config.quick()
+        net = figure1_networks(cfg)[0]
+        uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
+        # Uniform: own-signal = p / d^α; sqrt: p·d^{α/2} / d^α = p·d^{-α/2}.
+        d = net.lengths
+        np.testing.assert_allclose(
+            uniform.signal, 2.0 / d**cfg.params.alpha, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            sqrt_inst.signal, 2.0 * d ** (-cfg.params.alpha / 2.0), rtol=1e-12
+        )
+
+    def test_instance_pair_without_sqrt(self):
+        cfg = Figure1Config.quick()
+        net = figure1_networks(cfg)[0]
+        _, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=False)
+        assert sqrt_inst is None
+
+
+class TestPaperParametersEquality:
+    def test_frozen_and_comparable(self):
+        assert PaperParameters.figure1() == PaperParameters.figure1()
+        assert PaperParameters.figure1() != PaperParameters.figure2()

@@ -1,0 +1,116 @@
+"""Tests for the block-fading channel."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.block import BlockFadingChannel
+from repro.fading.models import NakagamiFading, NoFading
+from repro.fading.success import success_probability
+from repro.geometry.placement import paper_random_network
+
+BETA = 2.5
+
+
+@pytest.fixture
+def instance():
+    s, r = paper_random_network(20, rng=66)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestChannelMechanics:
+    def test_time_advances(self, instance):
+        ch = BlockFadingChannel(instance, block_length=3, rng=0)
+        active = np.ones(instance.n, dtype=bool)
+        for expected_t in range(1, 7):
+            ch.step(active, BETA)
+            assert ch.time == expected_t
+
+    def test_within_block_identical_channel(self, instance):
+        """Same pattern, same block → identical outcomes (channel frozen)."""
+        ch = BlockFadingChannel(instance, block_length=4, rng=1)
+        active = np.ones(instance.n, dtype=bool)
+        first = ch.step(active, BETA)
+        for _ in range(3):  # remaining slots of the block
+            np.testing.assert_array_equal(ch.step(active, BETA), first)
+
+    def test_between_blocks_channel_redraws(self, instance):
+        ch = BlockFadingChannel(instance, block_length=2, rng=2)
+        active = np.ones(instance.n, dtype=bool)
+        outcomes = [tuple(ch.step(active, BETA)) for _ in range(40)]
+        # Consecutive blocks of 2 are equal internally...
+        assert all(outcomes[2 * k] == outcomes[2 * k + 1] for k in range(20))
+        # ...but the channel varies across blocks.
+        assert len(set(outcomes)) > 1
+
+    def test_block_length_one_matches_iid_marginals(self, instance):
+        """L = 1 is the paper's model: per-link frequency matches Theorem 1."""
+        active = np.zeros(instance.n, dtype=bool)
+        active[:8] = True
+        ch = BlockFadingChannel(instance, block_length=1, rng=3)
+        trials = 4000
+        hits = ch.run(active, BETA, trials).sum(axis=0)
+        expected = success_probability(instance, active.astype(float), BETA)
+        freq = hits / trials
+        band = 5.0 * np.sqrt(expected * (1 - expected) / trials) + 8.0 / trials
+        assert np.all(np.abs(freq - expected) <= band)
+
+    def test_marginals_independent_of_block_length(self, instance):
+        """Correlation changes joint behaviour, not per-slot marginals."""
+        active = np.zeros(instance.n, dtype=bool)
+        active[:8] = True
+        trials = 4000
+        means = []
+        for L in (1, 8):
+            ch = BlockFadingChannel(instance, block_length=L, rng=4)
+            means.append(ch.run(active, BETA, trials).sum(axis=1).mean())
+        assert means[0] == pytest.approx(means[1], abs=0.4)
+
+    def test_works_with_other_families(self, instance):
+        ch = BlockFadingChannel(
+            instance, block_length=2, model=NakagamiFading(4.0), rng=5
+        )
+        out = ch.run(np.ones(instance.n, dtype=bool), BETA, 6)
+        assert out.shape == (6, instance.n)
+
+    def test_nofading_blocks_are_deterministic(self, instance):
+        ch = BlockFadingChannel(instance, block_length=1, model=NoFading(), rng=6)
+        active = np.ones(instance.n, dtype=bool)
+        det = instance.successes(active, BETA)
+        for _ in range(3):
+            np.testing.assert_array_equal(ch.step(active, BETA), det)
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            BlockFadingChannel(instance, block_length=0)
+        ch = BlockFadingChannel(instance, block_length=1, rng=7)
+        with pytest.raises(ValueError):
+            ch.step(np.ones(instance.n, dtype=bool), 0.0)
+        with pytest.raises(ValueError):
+            ch.run(np.ones(instance.n, dtype=bool), BETA, 0)
+        with pytest.raises(ValueError):
+            ch.transformed_step(np.full(instance.n, 0.5), BETA, repeats=0)
+
+
+class TestTransformedStepUnderCorrelation:
+    def test_correlation_degrades_the_transformation(self, instance):
+        """The Section-4 argument needs fresh channels per repeat; with the
+        whole transformed step inside one coherence block the any-of-4
+        success probability drops measurably."""
+        q = np.full(instance.n, 0.4)
+        trials = 1500
+        rates = {}
+        for L in (1, 4):
+            ch = BlockFadingChannel(instance, block_length=L, rng=8)
+            hits = 0.0
+            for _ in range(trials):
+                hits += ch.transformed_step(q, BETA).sum()
+            rates[L] = hits / trials
+        assert rates[4] < rates[1]
+
+    def test_silent_q_never_succeeds(self, instance):
+        ch = BlockFadingChannel(instance, block_length=2, rng=9)
+        out = ch.transformed_step(np.zeros(instance.n), BETA)
+        assert not out.any()

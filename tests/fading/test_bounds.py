@@ -1,0 +1,120 @@
+"""Tests for Lemma 1's bounds and Observation 1's inequalities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sinr import SINRInstance
+from repro.fading.bounds import (
+    observation1_first,
+    observation1_second,
+    success_probability_lower,
+    success_probability_upper,
+)
+from repro.fading.success import success_probability
+
+
+def random_instance(seed: int, n_max: int = 12) -> SINRInstance:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, n_max))
+    gains = gen.uniform(0.001, 5.0, (n, n))
+    gains[np.diag_indices(n)] += 1.0
+    return SINRInstance(gains, noise=float(gen.uniform(0.0, 1.0)))
+
+
+class TestObservation1:
+    @given(
+        # The paper states the inequality "for all x ∈ R" but its proof
+        # (and every use in Lemma 1) has x >= 0; at x = -1 the right side
+        # degenerates.  We verify the domain the library relies on.
+        x=st.floats(min_value=0.0, max_value=50.0),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_first_inequality(self, x, q):
+        lhs, rhs = observation1_first(x, q)
+        assert lhs <= rhs + 1e-12
+
+    @given(
+        x=st.floats(min_value=1e-9, max_value=1.0),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_second_inequality(self, x, q):
+        lhs, rhs = observation1_second(x, q)
+        assert lhs <= rhs + 1e-12
+
+    def test_vectorized(self):
+        x = np.linspace(0.01, 1.0, 20)
+        q = np.linspace(0.0, 1.0, 20)
+        lhs, rhs = observation1_first(x, q)
+        assert lhs.shape == (20,)
+        assert np.all(lhs <= rhs + 1e-12)
+
+    def test_tight_at_q_zero(self):
+        lhs, rhs = observation1_first(2.0, 0.0)
+        assert lhs == pytest.approx(rhs)
+
+
+class TestLemma1Sandwich:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        beta=st.floats(min_value=0.05, max_value=20.0),
+    )
+    def test_sandwich(self, seed, beta):
+        inst = random_instance(seed)
+        gen = np.random.default_rng(seed + 1)
+        q = gen.random(inst.n)
+        exact = success_probability(inst, q, beta)
+        lo = success_probability_lower(inst, q, beta)
+        hi = success_probability_upper(inst, q, beta)
+        assert np.all(lo <= exact + 1e-12)
+        assert np.all(exact <= hi + 1e-12)
+
+    def test_lower_bound_formula(self, two_link_instance):
+        q = np.array([1.0, 0.5])
+        beta = 2.0
+        lo = success_probability_lower(two_link_instance, q, beta)
+        # Link 0: exp(-β/S̄00 (ν + S̄10 q1)) = exp(-2/4 (0.5 + 2*0.5))
+        assert lo[0] == pytest.approx(1.0 * np.exp(-0.5 * (0.5 + 1.0)))
+
+    def test_upper_bound_formula(self, two_link_instance):
+        q = np.array([1.0, 1.0])
+        beta = 2.0
+        hi = success_probability_upper(two_link_instance, q, beta)
+        # Link 0: exp(-βν/S̄00 - min(1/2, βS̄10/(2S̄00))) with βS̄10/(2S̄00)=0.5
+        assert hi[0] == pytest.approx(np.exp(-2.0 * 0.5 / 4.0 - 0.5))
+
+    def test_bounds_tight_without_interference(self):
+        """With one transmitting link the lower bound is exact."""
+        inst = SINRInstance(np.array([[2.0, 1.0], [1.0, 2.0]]), noise=0.3)
+        q = np.array([1.0, 0.0])
+        exact = success_probability(inst, q, 1.0)
+        lo = success_probability_lower(inst, q, 1.0)
+        assert lo[0] == pytest.approx(exact[0])
+
+    def test_lemma2_one_over_e_consequence(self):
+        """For sets feasible at β in the non-fading model, the conditional
+        Rayleigh success probability at β is at least 1/e (core of Lemma 2)."""
+        for seed in range(15):
+            inst = random_instance(seed)
+            from repro.capacity.greedy import greedy_capacity
+
+            beta = 0.8
+            chosen = greedy_capacity(inst, beta)
+            if chosen.size == 0:
+                continue
+            q = np.zeros(inst.n)
+            q[chosen] = 1.0
+            probs = success_probability(inst, q, beta)
+            assert np.all(probs[chosen] >= np.exp(-1.0) - 1e-12)
+
+
+class TestDegenerateInputs:
+    def test_q_zero_gives_zero(self, two_link_instance):
+        q = np.zeros(2)
+        assert np.all(success_probability_lower(two_link_instance, q, 1.0) == 0.0)
+        assert np.all(success_probability_upper(two_link_instance, q, 1.0) == 0.0)
+
+    def test_invalid_q(self, two_link_instance):
+        with pytest.raises(ValueError):
+            success_probability_lower(two_link_instance, [2.0, 0.0], 1.0)

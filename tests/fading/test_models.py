@@ -1,0 +1,167 @@
+"""Tests for the generalized fading families (Nakagami, Rician)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.models import (
+    NakagamiFading,
+    NoFading,
+    RayleighFading,
+    RicianFading,
+    expected_successes_with_model,
+    simulate_slots_with_model,
+)
+from repro.geometry.placement import paper_random_network
+from repro.transform.blackbox import rayleigh_expected_binary
+
+MEANS = np.array([[2.0, 0.5], [1.0, 3.0]])
+
+
+@pytest.fixture
+def instance():
+    s, r = paper_random_network(25, rng=55)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestMeanNormalization:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            RayleighFading(),
+            NakagamiFading(0.5),
+            NakagamiFading(1.0),
+            NakagamiFading(4.0),
+            RicianFading(0.0),
+            RicianFading(3.0),
+            NoFading(),
+        ],
+    )
+    def test_mean_equals_nonfading_gain(self, model):
+        gen = np.random.default_rng(0)
+        draws = model.sample(MEANS, gen, size=20000)
+        np.testing.assert_allclose(draws.mean(axis=0), MEANS, rtol=0.05)
+
+    @pytest.mark.parametrize(
+        "model", [RayleighFading(), NakagamiFading(2.0), RicianFading(1.0)]
+    )
+    def test_zero_mean_gives_zero(self, model):
+        gen = np.random.default_rng(1)
+        draws = model.sample(np.array([[0.0]]), gen, size=50)
+        assert np.all(draws == 0.0)
+
+
+class TestFamilyIdentities:
+    def test_nakagami_m1_is_exponential(self):
+        gen = np.random.default_rng(2)
+        draws = NakagamiFading(1.0).sample(np.array([[2.0]]), gen, size=6000)[:, 0, 0]
+        _, p = stats.kstest(draws, "expon", args=(0.0, 2.0))
+        assert p > 0.01
+
+    def test_rician_k0_is_exponential(self):
+        gen = np.random.default_rng(3)
+        draws = RicianFading(0.0).sample(np.array([[2.0]]), gen, size=6000)[:, 0, 0]
+        _, p = stats.kstest(draws, "expon", args=(0.0, 2.0))
+        assert p > 0.01
+
+    def test_variance_shrinks_with_m(self):
+        gen = np.random.default_rng(4)
+        variances = [
+            NakagamiFading(m).sample(np.array([[1.0]]), gen, size=8000).var()
+            for m in (0.5, 1.0, 4.0, 16.0)
+        ]
+        assert variances == sorted(variances, reverse=True)
+        # Analytic: Var = 1/m for unit mean.
+        assert variances[1] == pytest.approx(1.0, rel=0.15)
+
+    def test_variance_shrinks_with_k(self):
+        gen = np.random.default_rng(5)
+        variances = [
+            RicianFading(k).sample(np.array([[1.0]]), gen, size=8000).var()
+            for k in (0.0, 1.0, 4.0, 16.0)
+        ]
+        assert variances == sorted(variances, reverse=True)
+
+    def test_no_fading_deterministic(self):
+        draws = NoFading().sample(MEANS, np.random.default_rng(6), size=3)
+        for t in range(3):
+            np.testing.assert_array_equal(draws[t], MEANS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NakagamiFading(0.2)
+        with pytest.raises(ValueError):
+            NakagamiFading(0.0)
+        with pytest.raises(ValueError):
+            RicianFading(-1.0)
+
+    def test_names(self):
+        assert RayleighFading().name == "rayleigh"
+        assert "m=2" in NakagamiFading(2.0).name
+        assert "K=3" in RicianFading(3.0).name
+
+
+class TestSlotSimulation:
+    def test_rayleigh_model_matches_theorem1(self, instance):
+        active = np.zeros(instance.n, dtype=bool)
+        active[:10] = True
+        beta = 2.5
+        est = expected_successes_with_model(
+            instance, active, beta, RayleighFading(), rng=7, num_slots=4000
+        )
+        exact = rayleigh_expected_binary(instance, np.flatnonzero(active), beta)
+        assert est == pytest.approx(exact, abs=0.35)
+
+    def test_nonfading_model_matches_deterministic(self, instance):
+        active = np.zeros(instance.n, dtype=bool)
+        active[:10] = True
+        beta = 2.5
+        est = expected_successes_with_model(
+            instance, active, beta, NoFading(), rng=8, num_slots=10
+        )
+        det = int(instance.successes(active, beta)[active].sum())
+        assert est == pytest.approx(det)
+
+    def test_milder_fading_more_successes(self, instance):
+        """Retention increases with Nakagami m on a feasible set."""
+        from repro.capacity.greedy import greedy_capacity
+
+        beta = 2.5
+        chosen = greedy_capacity(instance, beta)
+        values = [
+            expected_successes_with_model(
+                instance, chosen, beta, NakagamiFading(m), rng=9, num_slots=3000
+            )
+            for m in (1.0, 4.0, 32.0)
+        ]
+        assert values[0] <= values[1] + 0.3 <= values[2] + 0.6
+        assert values[-1] >= 0.95 * chosen.size
+
+    def test_silent_set(self, instance):
+        out = simulate_slots_with_model(
+            instance, np.zeros(instance.n, dtype=bool), 2.5, RayleighFading(), rng=10,
+            num_slots=5,
+        )
+        assert not out.any()
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            simulate_slots_with_model(
+                instance, np.ones(instance.n, dtype=bool), 2.5, RayleighFading(),
+                num_slots=0,
+            )
+
+    def test_chunking(self, instance):
+        """Tiny chunk size must not change the marginal statistics."""
+        import repro.fading.models as models_mod
+
+        active = np.zeros(instance.n, dtype=bool)
+        active[:5] = True
+        out = simulate_slots_with_model(
+            instance, active, 2.5, RayleighFading(), rng=11, num_slots=300
+        )
+        assert out.shape == (300, instance.n)
+        assert out[:, ~active].sum() == 0

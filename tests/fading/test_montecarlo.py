@@ -1,0 +1,90 @@
+"""Tests for the Monte-Carlo estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.sinr import SINRInstance
+from repro.fading.montecarlo import (
+    estimate_expected_utility,
+    estimate_success_probability,
+    expected_successes_exact,
+)
+from repro.fading.success import success_probability
+from repro.utility.binary import BinaryUtility
+from repro.utility.shannon import ShannonUtility
+
+
+class TestExpectedSuccessesExact:
+    def test_matches_sum_of_theorem1(self, paper_instance):
+        q = np.full(paper_instance.n, 0.4)
+        total = expected_successes_exact(paper_instance, q, 2.5)
+        assert total == pytest.approx(
+            float(success_probability(paper_instance, q, 2.5).sum())
+        )
+
+    def test_zero_when_silent(self, two_link_instance):
+        assert expected_successes_exact(two_link_instance, [0.0, 0.0], 1.0) == 0.0
+
+
+class TestEstimateSuccessProbability:
+    def test_converges_to_exact(self, two_link_instance):
+        q = np.array([0.6, 0.8])
+        exact = success_probability(two_link_instance, q, 1.2)
+        mc = estimate_success_probability(
+            two_link_instance, q, 1.2, rng=0, num_samples=6000
+        )
+        np.testing.assert_allclose(mc, exact, atol=0.04)
+
+    def test_validation(self, two_link_instance):
+        with pytest.raises(ValueError):
+            estimate_success_probability(
+                two_link_instance, [0.5, 0.5], 1.0, num_samples=0
+            )
+
+
+class TestEstimateExpectedUtility:
+    def test_binary_matches_exact(self, three_link_instance):
+        """For binary utilities the MC estimate must agree with Σ Q_i."""
+        q = np.array([0.5, 1.0, 0.7])
+        beta = 1.0
+        profile = BinaryUtility(3, beta)
+        total, per_link = estimate_expected_utility(
+            three_link_instance, profile.evaluate, q, rng=1, num_samples=8000
+        )
+        exact = expected_successes_exact(three_link_instance, q, beta)
+        assert total == pytest.approx(exact, abs=0.1)
+        assert per_link.shape == (3,)
+        assert total == pytest.approx(float(per_link.sum()))
+
+    def test_silent_network_zero(self, two_link_instance):
+        total, per_link = estimate_expected_utility(
+            two_link_instance,
+            BinaryUtility(2, 1.0).evaluate,
+            [0.0, 0.0],
+            rng=2,
+            num_samples=100,
+        )
+        assert total == 0.0 and np.all(per_link == 0.0)
+
+    def test_shannon_single_link_analytic(self):
+        """E[log(1 + Exp(m)/ν)] has a closed form via the exponential
+        integral; verify against scipy for one link."""
+        from scipy.special import exp1
+
+        mean, nu = 3.0, 1.5
+        inst = SINRInstance(np.array([[mean]]), noise=nu)
+        total, _ = estimate_expected_utility(
+            inst, ShannonUtility(1).evaluate, [1.0], rng=3, num_samples=20000
+        )
+        # E[log(1 + X/ν)] with X ~ Exp(mean): = e^{ν/mean} E1(ν/mean).
+        analytic = float(np.exp(nu / mean) * exp1(nu / mean))
+        assert total == pytest.approx(analytic, rel=0.05)
+
+    def test_invalid_samples(self, two_link_instance):
+        with pytest.raises(ValueError):
+            estimate_expected_utility(
+                two_link_instance,
+                BinaryUtility(2, 1.0).evaluate,
+                [0.5, 0.5],
+                num_samples=-1,
+            )

@@ -1,0 +1,147 @@
+"""Tests for the slot-level Rayleigh simulation."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.sinr import SINRInstance
+from repro.fading.rayleigh import (
+    sample_fading_gains,
+    simulate_sinr,
+    simulate_slot,
+    simulate_slots,
+    simulate_slots_bernoulli,
+)
+from repro.fading.success import success_probability
+
+
+class TestSampling:
+    def test_shapes(self, two_link_instance):
+        assert sample_fading_gains(two_link_instance, rng=0).shape == (2, 2)
+        assert sample_fading_gains(two_link_instance, rng=0, size=5).shape == (5, 2, 2)
+
+    def test_exponential_means(self, two_link_instance):
+        draws = sample_fading_gains(two_link_instance, rng=1, size=20000)
+        np.testing.assert_allclose(
+            draws.mean(axis=0), two_link_instance.gains, rtol=0.05
+        )
+
+    def test_exponential_distribution_ks(self):
+        """Kolmogorov–Smirnov: draws for one entry follow Exp(mean)."""
+        inst = SINRInstance(np.array([[2.0]]), noise=0.0)
+        draws = sample_fading_gains(inst, rng=2, size=5000)[:, 0, 0]
+        _, pvalue = stats.kstest(draws, "expon", args=(0.0, 2.0))
+        assert pvalue > 0.01
+
+    def test_zero_mean_entry_zero_draws(self):
+        inst = SINRInstance(np.array([[1.0, 0.0], [0.0, 1.0]]), noise=0.0)
+        draws = sample_fading_gains(inst, rng=3, size=100)
+        assert np.all(draws[:, 0, 1] == 0.0)
+
+    def test_independent_across_slots(self):
+        inst = SINRInstance(np.array([[1.0]]), noise=0.0)
+        draws = sample_fading_gains(inst, rng=4, size=2000)[:, 0, 0]
+        corr = np.corrcoef(draws[:-1], draws[1:])[0, 1]
+        assert abs(corr) < 0.1
+
+
+class TestSimulateSinr:
+    def test_silent_links_zero(self, two_link_instance):
+        out = simulate_sinr(two_link_instance, [True, False], rng=0, num_slots=4)
+        assert out.shape == (4, 2)
+        assert np.all(out[:, 1] == 0.0)
+        assert np.all(out[:, 0] > 0.0)
+
+    def test_nobody_transmits(self, two_link_instance):
+        out = simulate_sinr(two_link_instance, [False, False], rng=0, num_slots=3)
+        assert np.all(out == 0.0)
+
+    def test_sinr_definition_respected(self):
+        """γ^R = S_ii / (Σ S_ji + ν) — mean over slots must match the
+        analytic expectation of the ratio to within MC error for a
+        noise-dominated single link (where it is exponential/const)."""
+        inst = SINRInstance(np.array([[3.0]]), noise=1.5)
+        out = simulate_sinr(inst, [True], rng=5, num_slots=20000)[:, 0]
+        # SINR = Exp(3)/1.5, mean 2.
+        assert out.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_num_slots(self, two_link_instance):
+        with pytest.raises(ValueError):
+            simulate_sinr(two_link_instance, [True, True], rng=0, num_slots=0)
+
+
+class TestSlotSimulation:
+    def test_simulate_slot_mask_semantics(self, two_link_instance):
+        ok = simulate_slot(two_link_instance, [True, False], beta=0.01, rng=6)
+        assert not ok[1]  # silent link can never succeed
+
+    def test_frequency_matches_theorem1(self, paper_instance):
+        """Explicit exponential sampling reproduces the closed form."""
+        n = paper_instance.n
+        active = np.zeros(n, dtype=bool)
+        active[:10] = True
+        beta = 2.5
+        trials = 4000
+        hits = simulate_slots(
+            paper_instance, active, beta, rng=7, num_slots=trials
+        ).sum(axis=0)
+        q = active.astype(np.float64)
+        expected = success_probability(paper_instance, q, beta)
+        freq = hits / trials
+        band = 4.0 * np.sqrt(expected * (1 - expected) / trials) + 8.0 / trials
+        assert np.all(np.abs(freq - expected) <= band)
+
+    def test_bernoulli_path_matches_theorem1(self, paper_instance):
+        """The fast path has exactly the same marginals."""
+        n = paper_instance.n
+        active = np.zeros(n, dtype=bool)
+        active[:10] = True
+        beta = 2.5
+        trials = 4000
+        hits = simulate_slots_bernoulli(
+            paper_instance, active, beta, rng=8, num_slots=trials
+        ).sum(axis=0)
+        expected = success_probability(paper_instance, active.astype(float), beta)
+        freq = hits / trials
+        band = 4.0 * np.sqrt(expected * (1 - expected) / trials) + 8.0 / trials
+        assert np.all(np.abs(freq - expected) <= band)
+
+    def test_explicit_and_bernoulli_distributions_agree(self, paper_instance):
+        """Joint success *counts* per slot have the same distribution in
+        both paths (successes are independent across links given the
+        pattern) — compare count histograms with a chi-square-ish bound."""
+        n = paper_instance.n
+        active = np.zeros(n, dtype=bool)
+        active[:12] = True
+        beta = 2.5
+        trials = 3000
+        counts_a = simulate_slots(
+            paper_instance, active, beta, rng=9, num_slots=trials
+        ).sum(axis=1)
+        counts_b = simulate_slots_bernoulli(
+            paper_instance, active, beta, rng=10, num_slots=trials
+        ).sum(axis=1)
+        assert abs(counts_a.mean() - counts_b.mean()) < 0.35
+        assert abs(counts_a.std() - counts_b.std()) < 0.35
+
+    def test_per_link_beta_in_bernoulli(self, three_link_instance):
+        active = np.array([True, True, True])
+        betas = np.array([0.5, 1.0, 2.0])
+        out = simulate_slots_bernoulli(
+            three_link_instance, active, betas, rng=11, num_slots=2000
+        )
+        expected = success_probability(three_link_instance, active.astype(float), betas)
+        np.testing.assert_allclose(out.mean(axis=0), expected, atol=0.06)
+
+    def test_chunking_consistency(self, two_link_instance):
+        """Chunked long runs must still produce the right marginals."""
+        import repro.fading.rayleigh as ray
+
+        old = ray._BLOCK_ELEMENTS
+        try:
+            ray._BLOCK_ELEMENTS = 8  # force many tiny chunks
+            out = simulate_sinr(two_link_instance, [True, True], rng=12, num_slots=50)
+            assert out.shape == (50, 2)
+            assert np.all(out > 0.0)
+        finally:
+            ray._BLOCK_ELEMENTS = old

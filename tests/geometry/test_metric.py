@@ -1,0 +1,87 @@
+"""Tests for the metric abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.metric import EuclideanMetric, PNormMetric
+
+finite_points = arrays(
+    np.float64,
+    (4, 2),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        m = EuclideanMetric()
+        assert m.distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_pairwise_shape_and_values(self):
+        m = EuclideanMetric()
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 1.0], [2.0, 0.0]])
+        d = m.pairwise(a, b)
+        assert d.shape == (2, 3)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[1, 2] == pytest.approx(1.0)
+        assert d[0, 2] == pytest.approx(2.0)
+
+    def test_rowwise_matches_pairwise_diagonal(self):
+        gen = np.random.default_rng(0)
+        a = gen.normal(size=(5, 3))
+        b = gen.normal(size=(5, 3))
+        m = EuclideanMetric()
+        np.testing.assert_allclose(m.lengths(a, b), np.diagonal(m.pairwise(a, b)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric().pairwise(np.ones((2, 2)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            EuclideanMetric().lengths(np.ones((2, 2)), np.ones((3, 2)))
+
+
+class TestPNorm:
+    @pytest.mark.parametrize("p,expected", [(1.0, 7.0), (2.0, 5.0), (np.inf, 4.0)])
+    def test_norms(self, p, expected):
+        m = PNormMetric(p)
+        assert m.distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(expected)
+
+    def test_fractional_p_rejected(self):
+        with pytest.raises(ValueError):
+            PNormMetric(0.5)
+        with pytest.raises(ValueError):
+            PNormMetric(float("nan"))
+
+    def test_general_p(self):
+        m = PNormMetric(3.0)
+        assert m.distance([0.0], [2.0]) == pytest.approx(2.0)
+        assert m.distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(2 ** (1 / 3))
+
+    @pytest.mark.parametrize("p", [1.0, 1.5, 2.0, 3.0, np.inf])
+    @given(pts=finite_points)
+    def test_metric_axioms(self, pts, p):
+        m = PNormMetric(p)
+        d = m.pairwise(pts, pts)
+        # Symmetry and zero diagonal.
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diagonal(d), 0.0, atol=1e-12)
+        assert np.all(d >= 0.0)
+        # Triangle inequality over all index triples.
+        lhs = d[:, None, :]  # d(i, k)
+        rhs = d[:, :, None] + d[None, :, :]  # d(i, j) + d(j, k)
+        assert np.all(lhs <= rhs + 1e-6 * (1.0 + rhs))
+
+    def test_ordering_of_pnorms(self):
+        """For the same points, higher p gives smaller (or equal) distance."""
+        a, b = np.array([[0.0, 0.0]]), np.array([[1.0, 2.0]])
+        d1 = PNormMetric(1.0).pairwise(a, b)[0, 0]
+        d2 = PNormMetric(2.0).pairwise(a, b)[0, 0]
+        dinf = PNormMetric(np.inf).pairwise(a, b)[0, 0]
+        assert d1 >= d2 >= dinf
+
+    def test_repr(self):
+        assert "2.0" in repr(PNormMetric(2.0))
+        assert repr(EuclideanMetric()) == "EuclideanMetric()"

@@ -1,0 +1,149 @@
+"""Tests for network-topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.placement import (
+    cluster_network,
+    grid_network,
+    line_network,
+    nested_pairs_network,
+    paper_random_network,
+    poisson_network,
+)
+
+
+class TestPaperRandomNetwork:
+    def test_shapes(self):
+        s, r = paper_random_network(50, rng=0)
+        assert s.shape == (50, 2) and r.shape == (50, 2)
+
+    def test_receivers_in_square(self):
+        _, r = paper_random_network(200, area=1000.0, rng=1)
+        assert np.all(r >= 0.0) and np.all(r <= 1000.0)
+
+    def test_link_lengths_in_interval(self):
+        s, r = paper_random_network(500, min_length=20.0, max_length=40.0, rng=2)
+        lengths = np.linalg.norm(s - r, axis=1)
+        assert lengths.min() >= 20.0 - 1e-9
+        assert lengths.max() <= 40.0 + 1e-9
+
+    def test_lengths_roughly_uniform(self):
+        """The paper draws the radius uniformly; the mean must be ~(lo+hi)/2."""
+        s, r = paper_random_network(5000, min_length=20.0, max_length=40.0, rng=3)
+        lengths = np.linalg.norm(s - r, axis=1)
+        assert abs(lengths.mean() - 30.0) < 0.5
+
+    def test_angles_roughly_uniform(self):
+        s, r = paper_random_network(5000, rng=4)
+        offsets = s - r
+        angles = np.arctan2(offsets[:, 1], offsets[:, 0])
+        # Mean direction vector of uniform angles should be near zero.
+        assert np.linalg.norm([np.cos(angles).mean(), np.sin(angles).mean()]) < 0.05
+
+    def test_reproducible(self):
+        a = paper_random_network(10, rng=7)
+        b = paper_random_network(10, rng=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0},
+        {"n": -3},
+        {"n": 5, "area": 0.0},
+        {"n": 5, "min_length": -1.0},
+        {"n": 5, "min_length": 10.0, "max_length": 5.0},
+    ])
+    def test_invalid_args(self, kwargs):
+        n = kwargs.pop("n")
+        with pytest.raises(ValueError):
+            paper_random_network(n, **kwargs)
+
+
+class TestGridNetwork:
+    def test_receiver_positions(self):
+        s, r = grid_network(2, 3, spacing=10.0, link_length=1.0, rng=0)
+        assert r.shape == (6, 2)
+        assert {tuple(p) for p in r} == {
+            (0.0, 0.0), (10.0, 0.0), (20.0, 0.0),
+            (0.0, 10.0), (10.0, 10.0), (20.0, 10.0),
+        }
+
+    def test_fixed_link_length(self):
+        s, r = grid_network(3, 3, link_length=5.0, rng=1)
+        np.testing.assert_allclose(np.linalg.norm(s - r, axis=1), 5.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 3)
+        with pytest.raises(ValueError):
+            grid_network(2, 2, spacing=-1.0)
+
+
+class TestPoissonNetwork:
+    def test_mean_count(self):
+        counts = [
+            paper_like_count for paper_like_count in (
+                poisson_network(30 / 1e6, area=1000.0, rng=k)[0].shape[0]
+                for k in range(40)
+            )
+        ]
+        assert 15 < np.mean(counts) < 50  # intensity*area^2 = 30
+
+    def test_never_empty(self):
+        s, r = poisson_network(1e-12, area=10.0, rng=0)
+        assert s.shape[0] >= 1
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            poisson_network(0.0)
+
+
+class TestClusterNetwork:
+    def test_shapes(self):
+        s, r = cluster_network(4, 5, rng=0)
+        assert s.shape == (20, 2) and r.shape == (20, 2)
+
+    def test_clustering_tighter_than_uniform(self):
+        s, r = cluster_network(3, 30, area=1000.0, cluster_radius=10.0, rng=1)
+        # Mean nearest-neighbour distance among receivers must be far below
+        # the uniform expectation (~0.5/sqrt(n/area^2) ≈ 52 for n=90).
+        from scipy.spatial import cKDTree
+
+        d, _ = cKDTree(r).query(r, k=2)
+        assert d[:, 1].mean() < 20.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cluster_network(0, 5)
+
+
+class TestLineNetwork:
+    def test_deterministic_layout(self):
+        s, r = line_network(3, spacing=10.0, link_length=2.0)
+        np.testing.assert_allclose(r[:, 0], [0.0, 10.0, 20.0])
+        np.testing.assert_allclose(s[:, 0], [2.0, 12.0, 22.0])
+        np.testing.assert_allclose(s[:, 1], 0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            line_network(0)
+
+
+class TestNestedPairsNetwork:
+    def test_lengths_grow_geometrically(self):
+        s, r = nested_pairs_network(6, base_length=1.0, growth=2.0)
+        lengths = np.linalg.norm(s - r, axis=1)
+        ratios = lengths[1:] / lengths[:-1]
+        np.testing.assert_allclose(ratios, 2.0, rtol=1e-3)
+
+    def test_delta_is_growth_power(self):
+        s, r = nested_pairs_network(5, base_length=1.0, growth=3.0)
+        lengths = np.linalg.norm(s - r, axis=1)
+        assert lengths.max() / lengths.min() == pytest.approx(3.0**4, rel=1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            nested_pairs_network(3, growth=1.0)
+        with pytest.raises(ValueError):
+            nested_pairs_network(3, base_length=0.0)

@@ -1,0 +1,85 @@
+"""Tests for the torus metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.network import Network
+from repro.geometry.metric import TorusMetric
+
+SIZE = 100.0
+
+torus_points = arrays(
+    np.float64,
+    (4, 2),
+    elements=st.floats(min_value=0.0, max_value=SIZE - 1e-9, allow_nan=False),
+)
+
+
+class TestWrapAround:
+    def test_short_way_around(self):
+        m = TorusMetric(SIZE)
+        # 99 -> 1 is distance 2 around the seam, not 98.
+        assert m.distance([99.0, 0.0], [1.0, 0.0]) == pytest.approx(2.0)
+
+    def test_interior_matches_euclidean(self):
+        m = TorusMetric(SIZE)
+        assert m.distance([10.0, 10.0], [13.0, 14.0]) == pytest.approx(5.0)
+
+    def test_max_distance_is_half_size_diagonal(self):
+        m = TorusMetric(SIZE)
+        # No two points can be farther than the half-size diagonal.
+        gen = np.random.default_rng(0)
+        pts = gen.uniform(0, SIZE, (50, 2))
+        d = m.pairwise(pts, pts)
+        assert d.max() <= np.sqrt(2) * SIZE / 2 + 1e-9
+
+    def test_coordinates_mod_size(self):
+        """Points outside [0, size) wrap consistently."""
+        m = TorusMetric(SIZE)
+        assert m.distance([105.0, 0.0], [5.0, 0.0]) == pytest.approx(0.0)
+
+    def test_rowwise_matches_pairwise(self):
+        m = TorusMetric(SIZE)
+        gen = np.random.default_rng(1)
+        a = gen.uniform(0, SIZE, (6, 2))
+        b = gen.uniform(0, SIZE, (6, 2))
+        np.testing.assert_allclose(m.lengths(a, b), np.diagonal(m.pairwise(a, b)))
+
+    @given(pts=torus_points)
+    def test_metric_axioms(self, pts):
+        m = TorusMetric(SIZE)
+        d = m.pairwise(pts, pts)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diagonal(d), 0.0, atol=1e-9)
+        lhs = d[:, None, :]
+        rhs = d[:, :, None] + d[None, :, :]
+        assert np.all(lhs <= rhs + 1e-6 * (1.0 + rhs))
+
+    def test_p1_torus(self):
+        m = TorusMetric(SIZE, p=1.0)
+        assert m.distance([99.0, 99.0], [1.0, 1.0]) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorusMetric(0.0)
+        with pytest.raises(ValueError):
+            TorusMetric(-5.0)
+
+
+class TestTorusNetworks:
+    def test_boundary_free_interference(self):
+        """On the torus, a translated copy of a network has identical
+        cross-distances — the translation invariance that removes
+        boundary effects."""
+        gen = np.random.default_rng(2)
+        senders = gen.uniform(0, SIZE, (10, 2))
+        receivers = senders + gen.uniform(-3, 3, (10, 2))
+        m = TorusMetric(SIZE)
+        net = Network(senders % SIZE, receivers % SIZE, metric=m)
+        shift = np.array([37.0, 61.0])
+        net2 = Network((senders + shift) % SIZE, (receivers + shift) % SIZE, metric=m)
+        np.testing.assert_allclose(
+            net.cross_distances, net2.cross_distances, rtol=1e-9
+        )

@@ -1,0 +1,76 @@
+"""Tests for the Schedule data type."""
+
+import numpy as np
+import pytest
+
+from repro.core.sinr import SINRInstance
+from repro.latency.schedule import Schedule, validate_schedule
+
+
+@pytest.fixture
+def instance():
+    # Links 0 and 1 conflict hard; link 2 is independent.
+    gains = np.array(
+        [
+            [4.0, 4.0, 0.0],
+            [4.0, 4.0, 0.0],
+            [0.0, 0.0, 4.0],
+        ]
+    )
+    return SINRInstance(gains, noise=0.1)
+
+
+class TestScheduleType:
+    def test_from_lists(self):
+        s = Schedule.from_lists([[0, 2], [1]], n=3)
+        assert s.length == 2 and len(s) == 2
+        assert s.slots[0].tolist() == [0, 2]
+
+    def test_covered_and_covers_all(self):
+        s = Schedule.from_lists([[0], [2]], n=3)
+        assert s.covered.tolist() == [True, False, True]
+        assert not s.covers_all()
+        assert Schedule.from_lists([[0, 1], [2]], n=3).covers_all()
+
+    def test_slot_of(self):
+        s = Schedule.from_lists([[0], [1, 2], [1]], n=3)
+        assert s.slot_of(1) == 1
+        assert s.slot_of(0) == 0
+        assert Schedule.from_lists([[0]], n=2).slot_of(1) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Schedule.from_lists([[0, 3]], n=3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule.from_lists([[1, 1]], n=3)
+
+
+class TestValidateSchedule:
+    def test_valid_split(self, instance):
+        s = Schedule.from_lists([[0, 2], [1]], n=3)
+        assert validate_schedule(instance, s, beta=1.5)
+
+    def test_conflicting_slot_invalid(self, instance):
+        s = Schedule.from_lists([[0, 1], [2]], n=3)
+        assert not validate_schedule(instance, s, beta=1.5)
+
+    def test_uncovered_link_fails_require_all(self, instance):
+        s = Schedule.from_lists([[0], [1]], n=3)
+        assert not validate_schedule(instance, s, beta=1.5)
+        assert validate_schedule(instance, s, beta=1.5, require_all=False)
+
+    def test_retry_slots_count_once_successful(self, instance):
+        """A link scheduled twice passes if at least one slot works."""
+        s = Schedule.from_lists([[0, 1], [0], [1], [2]], n=3)
+        assert validate_schedule(instance, s, beta=1.5)
+
+    def test_size_mismatch(self, instance):
+        s = Schedule.from_lists([[0]], n=2)
+        with pytest.raises(ValueError):
+            validate_schedule(instance, s, beta=1.0)
+
+    def test_empty_slots_ignored(self, instance):
+        s = Schedule.from_lists([[], [0, 2], [], [1]], n=3)
+        assert validate_schedule(instance, s, beta=1.5)

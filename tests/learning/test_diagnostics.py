@@ -1,0 +1,83 @@
+"""Tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.learning.diagnostics import (
+    convergence_report,
+    convergence_round,
+    moving_average,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_trailing_semantics(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average(x, 2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_window_longer_than_series(self):
+        x = np.array([2.0, 4.0])
+        out = moving_average(x, 10)
+        np.testing.assert_allclose(out, [2.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+        with pytest.raises(ValueError):
+            moving_average([[1.0]], 2)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=40))
+    def test_bounded_by_extrema(self, data):
+        out = moving_average(data, 5)
+        assert np.all(out >= min(data) - 1e-9)
+        assert np.all(out <= max(data) + 1e-9)
+
+
+class TestConvergenceRound:
+    def test_step_series(self):
+        series = [0.0] * 20 + [10.0] * 40
+        # Window-5 average reaches 9 at round 25 (5 rounds into the step).
+        r = convergence_round(series, 9.0, window=5)
+        assert r == 25
+
+    def test_never_converges(self):
+        assert convergence_round([1.0] * 30, 5.0, window=5) is None
+
+    def test_dip_disqualifies_early_round(self):
+        series = [10.0] * 10 + [0.0] * 10 + [10.0] * 30
+        r = convergence_round(series, 9.0, window=1, slack=0.0)
+        assert r == 21  # the early plateau is invalidated by the dip
+
+    def test_slack_tolerates_small_dips(self):
+        series = [10.0] * 10 + [9.6] * 10 + [10.0] * 10
+        r = convergence_round(series, 10.0, window=1, slack=0.5)
+        assert r == 1
+
+    def test_immediate(self):
+        assert convergence_round([5.0, 5.0, 5.0], 5.0, window=1) == 1
+
+
+class TestConvergenceReport:
+    def test_learning_curve(self):
+        series = np.concatenate([np.linspace(0, 10, 30), np.full(70, 10.0)])
+        rep = convergence_report(series, window=10)
+        assert rep.final_level == pytest.approx(10.0)
+        assert rep.round_to_half is not None and rep.round_to_half < 30
+        assert rep.round_to_90pct is not None and rep.round_to_90pct <= 40
+        assert rep.round_to_half <= rep.round_to_90pct
+
+    def test_flat_series(self):
+        rep = convergence_report([4.0] * 20, window=5)
+        assert rep.final_level == 4.0
+        assert rep.round_to_half == 1
+        assert rep.round_to_90pct == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_report([])

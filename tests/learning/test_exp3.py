@@ -1,0 +1,67 @@
+"""Tests for the Exp3 bandit learner."""
+
+import numpy as np
+import pytest
+
+from repro.learning.exp3 import IDLE, SEND, Exp3Learner
+
+
+class TestMechanics:
+    def test_initial_uniformish(self):
+        l = Exp3Learner(rng=0, gamma=0.2)
+        assert l.send_probability == pytest.approx(0.5)
+
+    def test_exploration_floor(self):
+        l = Exp3Learner(rng=0, gamma=0.2)
+        for _ in range(500):
+            l.choose()
+            l.update(SEND, -1.0)  # send is always terrible
+        assert l.probabilities[SEND] >= 0.1 - 1e-12  # γ/2 floor
+
+    def test_learns_good_action(self):
+        gen = np.random.default_rng(3)
+        l = Exp3Learner(rng=gen, gamma=0.1)
+        for _ in range(800):
+            a = l.choose()
+            reward = 1.0 if a == SEND else 0.0
+            l.update(a, reward)
+        assert l.send_probability > 0.7
+
+    def test_horizon_tuning(self):
+        l = Exp3Learner(rng=0, horizon=10000)
+        assert 0.0 < l.gamma < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exp3Learner(gamma=0.0)
+        with pytest.raises(ValueError):
+            Exp3Learner(gamma=1.5)
+        l = Exp3Learner(rng=0)
+        with pytest.raises(ValueError):
+            l.update(2, 0.5)
+        with pytest.raises(ValueError):
+            l.update(SEND, 2.0)
+
+    def test_probabilities_sum_to_one(self):
+        l = Exp3Learner(rng=1, gamma=0.3)
+        for _ in range(50):
+            a = l.choose()
+            l.update(a, 1.0 if a == IDLE else -1.0)
+            assert l.probabilities.sum() == pytest.approx(1.0)
+
+
+class TestRegret:
+    def test_sublinear_regret_stochastic(self):
+        """Against i.i.d. rewards the bandit tracks the better arm."""
+        gen = np.random.default_rng(7)
+        T = 5000
+        l = Exp3Learner(rng=gen, horizon=T)
+        earned = 0.0
+        for _ in range(T):
+            a = l.choose()
+            # SEND pays +1 w.p. 0.7 else -1; IDLE pays 0.
+            reward = (1.0 if gen.random() < 0.7 else -1.0) if a == SEND else 0.0
+            earned += reward
+            l.update(a, reward)
+        best_fixed = T * 0.4  # E[send] = 0.4 per round
+        assert earned >= best_fixed - 2.5 * np.sqrt(T * np.log(2) * 2) - 250

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_registered_experiments_have_descriptions(self):
+        # All DESIGN.md experiments must be runnable from the CLI.
+        assert {f"E{k}" for k in range(1, 23)} <= set(EXPERIMENTS)
+        for exp_id, (desc, runner) in EXPERIMENTS.items():
+            assert exp_id.startswith("E")
+            assert desc and callable(runner)
+
+
+class TestRun:
+    def test_run_single_experiment_writes_outputs(self, tmp_path, capsys):
+        code = main(["run", "E11", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E11" in out and "PASS" in out
+        assert (tmp_path / "E11.txt").exists()
+        doc = json.loads((tmp_path / "E11.json").read_text())
+        assert doc["experiment_id"] == "E11"
+
+    def test_run_comma_list(self, capsys):
+        code = main(["run", "e11,e13"])  # lower-case accepted
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E11" in out and "E13" in out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(["report", "E13", "--out", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("# Experiment report")
+        assert "E13" in text and "[PASS]" in text or "PASS" in text
+
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "E13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "## E13" in out

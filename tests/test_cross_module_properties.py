@@ -1,0 +1,156 @@
+"""Cross-module property-based invariants.
+
+Each property here ties at least two subsystems together; they are the
+suite's deepest regression net because a violation means two
+independently-tested components disagree about the *model*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capacity.greedy import greedy_capacity
+from repro.capacity.optimum import local_search_capacity
+from repro.core.affectance import affectance_matrix, total_affectance
+from repro.core.network import Network
+from repro.core.power import LengthScaledPower, UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.bounds import (
+    success_probability_lower,
+    success_probability_upper,
+)
+from repro.fading.success import (
+    success_probability,
+    success_probability_conditional,
+    success_probability_conditional_batch,
+)
+from repro.geometry.placement import paper_random_network
+from repro.transform.blackbox import rayleigh_expected_binary
+from repro.utility.binary import BinaryUtility
+
+seeds = st.integers(0, 10**6)
+
+
+def make_instance(seed: int, n_max: int = 18, tau: "float | None" = None) -> SINRInstance:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(3, n_max))
+    s, r = paper_random_network(n, rng=gen, area=float(gen.uniform(200, 1200)))
+    power = UniformPower(2.0) if tau is None else LengthScaledPower(tau, 2.0)
+    return SINRInstance.from_network(
+        Network(s, r), power, alpha=float(gen.uniform(2.05, 3.5)),
+        noise=float(gen.uniform(0.0, 1e-6)),
+    )
+
+
+class TestModelConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_deterministic_feasibility_equals_certain_rayleigh_low_noise(self, seed):
+        """A non-fading-feasible set keeps ≥ 1/e of its size in Rayleigh
+        expectation — Lemma 2 glued across three modules (greedy,
+        Theorem 1, transfer)."""
+        inst = make_instance(seed)
+        beta = float(np.random.default_rng(seed + 1).uniform(0.5, 3.0))
+        chosen = greedy_capacity(inst, beta)
+        if chosen.size == 0:
+            return
+        expected = rayleigh_expected_binary(inst, chosen, beta)
+        assert expected >= chosen.size / np.e - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_affectance_and_sinr_agree_on_greedy_output(self, seed):
+        inst = make_instance(seed)
+        beta = 2.0
+        chosen = greedy_capacity(inst, beta)
+        mask = np.zeros(inst.n, dtype=bool)
+        mask[chosen] = True
+        a = affectance_matrix(inst, beta, clamped=False)
+        incoming = total_affectance(a, mask)
+        sinr_ok = inst.successes(mask, beta)
+        for i in chosen:
+            assert incoming[i] <= 1.0 + 1e-9
+            assert sinr_ok[i]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, tau=st.sampled_from([0.0, 0.5, 1.0]))
+    def test_lemma1_sandwich_all_power_families(self, seed, tau):
+        inst = make_instance(seed, tau=tau)
+        gen = np.random.default_rng(seed + 2)
+        q = gen.random(inst.n)
+        beta = float(gen.uniform(0.2, 5.0))
+        exact = success_probability(inst, q, beta)
+        assert np.all(success_probability_lower(inst, q, beta) <= exact + 1e-12)
+        assert np.all(exact <= success_probability_upper(inst, q, beta) + 1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_batch_and_scalar_conditional_agree(self, seed):
+        inst = make_instance(seed)
+        gen = np.random.default_rng(seed + 3)
+        patterns = gen.random((5, inst.n)) < 0.5
+        beta = 1.5
+        batch = success_probability_conditional_batch(inst, patterns, beta)
+        for t in range(5):
+            single = success_probability_conditional(
+                inst, patterns[t].astype(np.float64), beta
+            )
+            np.testing.assert_allclose(batch[t], single, rtol=1e-9, atol=1e-15)
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_capacity_non_increasing_in_beta(self, seed):
+        """Raising the threshold can only shrink the best feasible set."""
+        inst = make_instance(seed)
+        sizes = [
+            local_search_capacity(inst, beta, rng=seed, restarts=3).size
+            for beta in (0.5, 1.5, 4.0)
+        ]
+        # The estimator is randomized; allow one link of slack.
+        assert sizes[0] + 1 >= sizes[1] and sizes[1] + 1 >= sizes[2]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_expected_capacity_non_increasing_in_noise(self, seed):
+        inst = make_instance(seed)
+        q = np.full(inst.n, 0.5)
+        beta = 2.0
+        low = success_probability(inst.with_noise(0.0), q, beta).sum()
+        high = success_probability(inst.with_noise(1.0), q, beta).sum()
+        assert high <= low + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_subinstance_preserves_conditional_probabilities(self, seed):
+        """Links outside the active set do not influence Q̃ — restricting
+        the instance to the active links must not change anything."""
+        inst = make_instance(seed)
+        gen = np.random.default_rng(seed + 4)
+        mask = gen.random(inst.n) < 0.6
+        if not mask.any():
+            return
+        idx = np.flatnonzero(mask)
+        beta = 1.7
+        full = success_probability_conditional(inst, mask.astype(float), beta)[idx]
+        sub = inst.subinstance(idx)
+        restricted = success_probability_conditional(
+            sub, np.ones(idx.size), beta
+        )
+        np.testing.assert_allclose(full, restricted, rtol=1e-10)
+
+
+class TestUtilityConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_binary_utility_total_equals_success_count(self, seed):
+        inst = make_instance(seed)
+        gen = np.random.default_rng(seed + 5)
+        mask = gen.random(inst.n) < 0.5
+        beta = 2.0
+        profile = BinaryUtility(inst.n, beta)
+        sinr = inst.sinr(mask)
+        assert profile.total(sinr[None, :], mask[None, :])[0] == inst.success_count(
+            mask, beta
+        )

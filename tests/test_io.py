@@ -1,0 +1,114 @@
+"""Tests for instance/network persistence."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.metric import PNormMetric
+from repro.geometry.placement import paper_random_network
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_instance,
+    save_network,
+)
+
+
+class TestNetworkRoundTrip:
+    def test_geometric_exact(self, tmp_path):
+        s, r = paper_random_network(12, rng=0)
+        net = Network(s, r)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        back = load_network(path)
+        np.testing.assert_array_equal(back.senders, net.senders)
+        np.testing.assert_array_equal(back.receivers, net.receivers)
+        np.testing.assert_array_equal(back.cross_distances, net.cross_distances)
+
+    def test_pnorm_metric_preserved(self, tmp_path):
+        s, r = paper_random_network(5, rng=1)
+        net = Network(s, r, metric=PNormMetric(1.0))
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        back = load_network(path)
+        assert back.metric.p == 1.0
+        np.testing.assert_array_equal(back.lengths, net.lengths)
+
+    def test_matrix_network(self, tmp_path):
+        D = np.array([[1.0, 5.25], [4.125, 2.0]])
+        net = Network.from_distance_matrix(D)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        back = load_network(path)
+        assert not back.is_geometric
+        np.testing.assert_array_equal(back.cross_distances, net.cross_distances)
+
+    def test_file_is_json(self, tmp_path):
+        s, r = paper_random_network(3, rng=2)
+        path = tmp_path / "net.json"
+        save_network(Network(s, r), path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-network"
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_roundtrip_property(self, seed):
+        s, r = paper_random_network(6, rng=seed)
+        net = Network(s, r)
+        back = network_from_dict(network_to_dict(net))
+        np.testing.assert_array_equal(back.cross_distances, net.cross_distances)
+
+
+class TestInstanceRoundTrip:
+    def test_exact(self, tmp_path):
+        s, r = paper_random_network(10, rng=3)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        np.testing.assert_array_equal(back.gains, inst.gains)
+        assert back.noise == inst.noise
+
+    def test_zero_noise(self):
+        inst = SINRInstance(np.eye(2) + 0.5, noise=0.0)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.noise == 0.0
+
+    def test_subnormal_and_extreme_values_roundtrip(self):
+        gains = np.array([[1e-300, 1e300], [5e-324, 1.0]])
+        gains[np.diag_indices(2)] = [1e-300, 1.0]
+        inst = SINRInstance(gains, noise=1e-308)
+        back = instance_from_dict(instance_to_dict(inst))
+        np.testing.assert_array_equal(back.gains, inst.gains)
+        assert back.noise == inst.noise
+
+
+class TestFormatErrors:
+    def test_wrong_format_tag(self):
+        with pytest.raises(ValueError):
+            network_from_dict({"format": "something-else"})
+        with pytest.raises(ValueError):
+            instance_from_dict({"format": "repro-network"})
+
+    def test_wrong_version(self):
+        s, r = paper_random_network(3, rng=4)
+        doc = network_to_dict(Network(s, r))
+        doc["version"] = 999
+        with pytest.raises(ValueError):
+            network_from_dict(doc)
+
+    def test_unknown_kind(self):
+        s, r = paper_random_network(3, rng=5)
+        doc = network_to_dict(Network(s, r))
+        doc["kind"] = "hologram"
+        with pytest.raises(ValueError):
+            network_from_dict(doc)

@@ -1,0 +1,73 @@
+"""The public API surface: exports exist, docstring example runs."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.capacity
+        import repro.core
+        import repro.experiments
+        import repro.fading
+        import repro.geometry
+        import repro.io
+        import repro.latency
+        import repro.learning
+        import repro.transform
+        import repro.utility
+        import repro.utils  # noqa: F401
+
+
+class TestDocstringExample:
+    def test_quickstart_from_module_docstring(self):
+        """The exact snippet advertised in the package docstring."""
+        senders, receivers = repro.paper_random_network(50, rng=0)
+        net = repro.Network(senders, receivers)
+        inst = repro.SINRInstance.from_network(
+            net, repro.UniformPower(2.0), alpha=2.2, noise=4e-7
+        )
+        chosen = repro.greedy_capacity(inst, beta=2.5)
+        q = np.zeros(50)
+        q[chosen] = 1.0
+        expected = repro.success_probability(inst, q, 2.5)
+        assert bool(expected[chosen].sum() >= len(chosen) / np.e)
+
+    def test_doctest_of_package(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+
+class TestCrossModuleSanity:
+    def test_full_pipeline_binary(self):
+        """network -> instance -> schedule -> transfer -> latency, one go."""
+        senders, receivers = repro.paper_random_network(30, rng=1)
+        net = repro.Network(senders, receivers)
+        inst = repro.SINRInstance.from_network(net, repro.UniformPower(2.0), 2.2, 4e-7)
+        beta = 2.5
+        report = repro.transfer_capacity_algorithm(
+            inst,
+            repro.BinaryUtility(30, beta),
+            lambda i: repro.greedy_capacity(i, beta),
+        )
+        assert report.ratio >= 1 / np.e - 1e-12
+        latency = repro.repeated_max_latency(inst, beta).latency
+        assert latency >= repro.latency_lower_bound(inst, beta, rng=0) - 1
+        gap = repro.measured_optimum_gap(inst, beta, rng=2, restarts=2)
+        assert gap.ratio == pytest.approx(gap.rayleigh_value / gap.nonfading_value)

@@ -1,0 +1,128 @@
+"""Regression tests for bugs found and fixed during development.
+
+Each test documents the failure mode it guards against; if one of these
+fires again, the fix regressed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.optimum import local_search_capacity, optimal_capacity_bruteforce
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import paper_random_network
+
+
+class TestLocalSearchDuplicates:
+    """Bug: the improvement pass iterated a stale 'outside' list and could
+    re-insert a link added earlier in the same pass, returning a multiset
+    like [2, 2, 3, 4, 6, 6, 9] whose 'size' beat the true optimum."""
+
+    def test_no_duplicates_ever(self):
+        for seed in range(15):
+            s, r = paper_random_network(11, rng=seed, area=300.0)
+            inst = SINRInstance.from_network(
+                Network(s, r), UniformPower(2.0), 2.2, 4e-7
+            )
+            out = local_search_capacity(inst, 2.5, rng=seed + 1, restarts=8)
+            assert len(set(out.tolist())) == out.size
+
+    def test_original_failing_seed(self):
+        """Seed 17 of the discovery run: LS claimed 7 > exact 6."""
+        s, r = paper_random_network(11, rng=17, area=300.0)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+        exact = optimal_capacity_bruteforce(inst, 2.5).size
+        ls = local_search_capacity(inst, 2.5, rng=18, restarts=12)
+        assert ls.size <= exact
+        assert inst.is_feasible(ls, 2.5)
+
+
+class TestBranchAndBoundNonlocal:
+    """Bug: the recursive closure mutated `incoming` via augmented
+    assignment without a `nonlocal` declaration → UnboundLocalError on
+    every instance with at least one feasible candidate."""
+
+    def test_bb_runs_on_ordinary_instance(self):
+        s, r = paper_random_network(10, rng=0)
+        inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+        out = optimal_capacity_bruteforce(inst, 2.5)
+        assert out.size >= 1
+
+
+class TestBlockedLinkInfArithmetic:
+    """Bug: noise-blocked links put +inf into the affectance matrix; the
+    B&B's incremental add/subtract then produced inf - inf = NaN and
+    RuntimeWarnings.  Blocked columns are now zeroed (those links are
+    never candidates)."""
+
+    def test_no_warnings_and_correct_answer(self):
+        gains = np.array([[1.0, 0.2], [0.2, 100.0]])
+        inst = SINRInstance(gains, noise=1.0)  # link 0 blocked at beta=2
+        with np.errstate(invalid="raise"):
+            out = optimal_capacity_bruteforce(inst, 2.0)
+        assert out.tolist() == [1]
+
+
+class TestActivePatternAmbiguity:
+    """Bug: integer arrays like [0, 1] were heuristically interpreted as
+    masks when max <= 1, silently flipping semantics.  Integer arrays are
+    now always index lists."""
+
+    def test_zero_one_index_list(self, two_link_instance):
+        # [0, 1] means "links 0 and 1 transmit", not the mask (F, T).
+        via_indices = two_link_instance.sinr(np.array([0, 1]))
+        via_mask = two_link_instance.sinr(np.array([True, True]))
+        np.testing.assert_allclose(via_indices, via_mask)
+
+    def test_out_of_range_index_raises(self, two_link_instance):
+        with pytest.raises(IndexError):
+            two_link_instance.sinr(np.array([5]))
+
+    def test_float_pattern_rejected(self, two_link_instance):
+        with pytest.raises(TypeError):
+            two_link_instance.sinr(np.array([0.5, 0.5]))
+
+
+class TestAdaptiveAlohaAirTime:
+    """Bug: in adaptive mode, a phase that hit its step budget was thrown
+    away without counting the slots it burned, understating latency."""
+
+    def test_failed_phase_slots_counted(self):
+        from repro.latency.aloha import aloha_latency
+
+        # Mutually destructive links: only a lone transmitter succeeds,
+        # so high-probability phases with a small step budget must fail.
+        n = 6
+        inst = SINRInstance(np.full((n, n), 5.0), noise=0.0)
+        result = aloha_latency(
+            inst, 2.0, rng=4, q="adaptive", max_steps_factor=0.2
+        )
+        # At least one phase failed (probability was halved)...
+        assert result.q_used < 0.5
+        # ...and the failed phases' slots are part of the total: the
+        # schedule must be longer than the final phase alone could be if
+        # earlier phases were (wrongly) discarded with zero cost.
+        first_budget = int(0.2 * n / 0.5)
+        assert result.latency > first_budget
+        assert result.schedule.length == result.latency
+
+
+class TestShapeChecksNeedPaperDensity:
+    """Bug (experiment-design level): Figure-1 shape checks failed on
+    small test networks because shrinking n at fixed area changes link
+    *density*, which is what drives every interference shape.  Scaled-
+    down configurations must scale area with sqrt(n)."""
+
+    def test_density_preserved_config_reproduces_crossover(self):
+        from repro.experiments import Figure1Config, run_figure1
+
+        cfg = Figure1Config(
+            num_networks=3,
+            num_links=40,
+            area=1000.0 * (40 / 100) ** 0.5,
+            num_transmit_seeds=6,
+            probabilities=(0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+        )
+        res = run_figure1(cfg)
+        assert res.checks["uniform: curves cross"]

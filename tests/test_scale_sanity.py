@@ -1,0 +1,78 @@
+"""Numerical sanity at larger-than-paper scale (n = 500).
+
+The paper's simulations stop at n = 200; downstream users will not.
+These tests push the core kernels to n = 500 and assert numerical
+health (no overflow/NaN, probabilities in range, algorithms terminate)
+— cheap insurance that the vectorized paths have no size cliffs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.greedy import greedy_capacity
+from repro.core.affectance import affectance_matrix
+from repro.core.network import Network
+from repro.core.power import SquareRootPower, UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.bounds import (
+    success_probability_lower,
+    success_probability_upper,
+)
+from repro.fading.success import success_probability
+from repro.geometry.placement import paper_random_network
+
+N = 500
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    s, r = paper_random_network(N, area=1000.0 * np.sqrt(N / 100.0), rng=0)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestBigInstanceNumerics:
+    def test_theorem1_in_range_no_warnings(self, big_instance):
+        q = np.full(N, 0.5)
+        with np.errstate(all="raise"):
+            p = success_probability(big_instance, q, 2.5)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+        assert np.all(np.isfinite(p))
+
+    def test_lemma1_sandwich_at_scale(self, big_instance):
+        q = np.full(N, 0.7)
+        exact = success_probability(big_instance, q, 2.5)
+        lo = success_probability_lower(big_instance, q, 2.5)
+        hi = success_probability_upper(big_instance, q, 2.5)
+        assert np.all(lo <= exact + 1e-12) and np.all(exact <= hi + 1e-12)
+
+    def test_sinr_batch_at_scale(self, big_instance):
+        patterns = np.random.default_rng(1).random((32, N)) < 0.5
+        sinr = big_instance.sinr_batch(patterns)
+        assert sinr.shape == (32, N)
+        assert np.all(np.isfinite(sinr[patterns]))
+
+    def test_greedy_terminates_and_feasible(self, big_instance):
+        chosen = greedy_capacity(big_instance, 2.5)
+        assert chosen.size > 50  # density-limited but substantial
+        assert big_instance.is_feasible(chosen, 2.5)
+
+    def test_affectance_finite(self, big_instance):
+        a = affectance_matrix(big_instance, 2.5, clamped=True)
+        assert np.all((a >= 0.0) & (a <= 1.0))
+
+    def test_extreme_path_loss_exponent(self):
+        """α = 6 (indoor worst case) drives gains over ~10 orders of
+        magnitude; probabilities must stay clean."""
+        s, r = paper_random_network(100, rng=2)
+        inst = SINRInstance.from_network(Network(s, r), SquareRootPower(2.0), 6.0, 1e-12)
+        q = np.full(100, 0.5)
+        with np.errstate(over="raise", invalid="raise"):
+            p = success_probability(inst, q, 2.5)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+
+    def test_tiny_and_huge_beta(self, big_instance):
+        q = np.full(N, 0.5)
+        p_tiny = success_probability(big_instance, q, 1e-6)
+        p_huge = success_probability(big_instance, q, 1e9)
+        assert np.all(p_tiny <= q + 1e-12)
+        assert np.all(p_huge >= 0.0) and p_huge.max() < 1e-3

@@ -1,0 +1,97 @@
+"""Tests for the Section-4 ALOHA step transformation."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.success import success_probability
+from repro.geometry.placement import paper_random_network
+from repro.transform.aloha_transform import (
+    estimate_step_success_nonfading,
+    transformed_step_simulate,
+    transformed_step_success_probability,
+)
+
+BETA = 2.5
+
+
+@pytest.fixture
+def instance():
+    s, r = paper_random_network(25, rng=31)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestTransformedProbability:
+    def test_any_of_k_formula(self, instance):
+        q = np.full(instance.n, 0.3)
+        single = success_probability(instance, q, BETA)
+        four = transformed_step_success_probability(instance, q, BETA, repeats=4)
+        np.testing.assert_allclose(four, 1.0 - (1.0 - single) ** 4)
+
+    def test_one_repeat_is_identity(self, instance):
+        q = np.full(instance.n, 0.3)
+        np.testing.assert_allclose(
+            transformed_step_success_probability(instance, q, BETA, repeats=1),
+            success_probability(instance, q, BETA),
+        )
+
+    def test_more_repeats_more_success(self, instance):
+        q = np.full(instance.n, 0.3)
+        p2 = transformed_step_success_probability(instance, q, BETA, repeats=2)
+        p4 = transformed_step_success_probability(instance, q, BETA, repeats=4)
+        assert np.all(p4 >= p2)
+
+    def test_paper_domination_claim(self, instance):
+        """1 - (1 - p/e)^4 >= p for p <= 1/2 — with the Lemma-1 argument,
+        the transformed Rayleigh step dominates the non-fading step for
+        transmit probabilities at most 1/2 (measured)."""
+        for q_level in (0.05, 0.2, 0.5):
+            q = np.full(instance.n, q_level)
+            transformed = transformed_step_success_probability(instance, q, BETA)
+            nonfading = estimate_step_success_nonfading(
+                instance, q, BETA, rng=7, num_samples=5000
+            )
+            band = 4.0 * np.sqrt(nonfading * (1 - nonfading) / 5000) + 8.0 / 5000
+            assert np.all(transformed + band >= nonfading)
+
+    def test_scalar_inequality_behind_the_claim(self):
+        """The pure numeric fact used in Section 4."""
+        p = np.linspace(0.0, 0.5, 200)
+        assert np.all(1.0 - (1.0 - p / np.e) ** 4 >= p - 1e-12)
+
+    def test_validation(self, instance):
+        q = np.full(instance.n, 0.3)
+        with pytest.raises(ValueError):
+            transformed_step_success_probability(instance, q, BETA, repeats=0)
+        with pytest.raises(ValueError):
+            transformed_step_success_probability(instance, q, 0.0)
+
+
+class TestSimulatedStep:
+    def test_frequency_matches_probability(self, instance):
+        q = np.full(instance.n, 0.3)
+        p = transformed_step_success_probability(instance, q, BETA)
+        gen = np.random.default_rng(11)
+        hits = np.zeros(instance.n)
+        trials = 3000
+        for _ in range(trials):
+            hits += transformed_step_simulate(instance, q, BETA, gen)
+        np.testing.assert_allclose(hits / trials, p, atol=0.05)
+
+
+class TestNonfadingEstimate:
+    def test_q_one_is_deterministic(self, instance):
+        """With q = 1 the pattern is fixed, so the estimate must equal the
+        deterministic indicator exactly."""
+        q = np.ones(instance.n)
+        est = estimate_step_success_nonfading(instance, q, BETA, rng=3, num_samples=50)
+        det = instance.successes(np.ones(instance.n, dtype=bool), BETA).astype(float)
+        np.testing.assert_array_equal(est, det)
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            estimate_step_success_nonfading(
+                instance, np.ones(instance.n), BETA, num_samples=0
+            )

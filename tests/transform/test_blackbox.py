@@ -1,0 +1,142 @@
+"""Tests for the Lemma-2 black-box transfer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capacity.greedy import greedy_capacity
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.montecarlo import estimate_expected_utility
+from repro.geometry.placement import paper_random_network
+from repro.transform.blackbox import (
+    lemma2_lower_bound,
+    rayleigh_expected_binary,
+    transfer_capacity_algorithm,
+)
+from repro.utility.binary import BinaryUtility
+from repro.utility.shannon import ShannonUtility
+from repro.utility.weighted import WeightedUtility
+
+BETA = 2.5
+ONE_OVER_E = float(np.exp(-1.0))
+
+
+def random_instance(seed: int, n: int = 20) -> SINRInstance:
+    s, r = paper_random_network(n, rng=seed)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestRayleighExpectedBinary:
+    def test_matches_theorem1_sum(self, paper_instance):
+        subset = greedy_capacity(paper_instance, BETA)
+        expected = rayleigh_expected_binary(paper_instance, subset, BETA)
+        from repro.fading.success import success_probability
+
+        q = np.zeros(paper_instance.n)
+        q[subset] = 1.0
+        assert expected == pytest.approx(
+            float(success_probability(paper_instance, q, BETA)[subset].sum())
+        )
+
+    def test_empty_subset(self, paper_instance):
+        assert rayleigh_expected_binary(paper_instance, np.array([], dtype=int), BETA) == 0.0
+
+    def test_boolean_mask_accepted(self, paper_instance):
+        mask = np.zeros(paper_instance.n, dtype=bool)
+        mask[:3] = True
+        a = rayleigh_expected_binary(paper_instance, mask, BETA)
+        b = rayleigh_expected_binary(paper_instance, np.arange(3), BETA)
+        assert a == pytest.approx(b)
+
+
+class TestLemma2Guarantee:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_binary_ratio_at_least_one_over_e(self, seed):
+        """The *exact* expected Rayleigh successes of any feasible set are
+        at least a 1/e fraction of the set size — Lemma 2 with binary
+        utilities, no sampling involved."""
+        inst = random_instance(seed)
+        subset = greedy_capacity(inst, BETA)
+        if subset.size == 0:
+            return
+        expected = rayleigh_expected_binary(inst, subset, BETA)
+        assert expected >= subset.size * ONE_OVER_E - 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_certified_bound_correct(self, seed):
+        """bound = Σ u_i(γ^nf) Q_i(1_S, γ^nf) must be (a) >= (1/e) x value
+        and (b) <= the true Rayleigh expectation."""
+        inst = random_instance(seed)
+        profile = ShannonUtility(inst.n, cap=1e6)
+        subset = greedy_capacity(inst, BETA)
+        if subset.size == 0:
+            return
+        value, bound = lemma2_lower_bound(inst, subset, profile)
+        assert bound >= value * ONE_OVER_E - 1e-9
+        mask = np.zeros(inst.n)
+        mask[subset] = 1.0
+        mc, _ = estimate_expected_utility(
+            inst, profile.evaluate, mask, rng=seed, num_samples=3000
+        )
+        assert mc >= bound * 0.9  # MC noise tolerance
+
+    def test_empty_subset(self, paper_instance):
+        value, bound = lemma2_lower_bound(
+            paper_instance, np.array([], dtype=int), BinaryUtility(paper_instance.n, BETA)
+        )
+        assert value == 0.0 and bound == 0.0
+
+    def test_infinite_sinr_transfers_fully(self):
+        """ν = 0 and no interferers: utility transfers with probability 1."""
+        inst = SINRInstance(np.array([[2.0, 0.0], [0.0, 2.0]]), noise=0.0)
+        profile = ShannonUtility(2, cap=100.0)
+        value, bound = lemma2_lower_bound(inst, np.array([0, 1]), profile)
+        assert value == pytest.approx(2 * np.log1p(100.0))
+        assert bound == pytest.approx(value)
+
+
+class TestTransferReport:
+    def test_binary_exact_path(self, paper_instance):
+        report = transfer_capacity_algorithm(
+            paper_instance,
+            BinaryUtility(paper_instance.n, BETA),
+            lambda inst: greedy_capacity(inst, BETA),
+        )
+        assert report.nonfading_value == report.subset.size  # feasible set
+        assert report.ratio >= ONE_OVER_E - 1e-12
+        assert report.rayleigh_value >= report.certified_bound - 1e-9
+
+    def test_weighted_exact_path(self, paper_instance):
+        n = paper_instance.n
+        w = np.linspace(1.0, 2.0, n)
+        report = transfer_capacity_algorithm(
+            paper_instance,
+            WeightedUtility(w, BETA),
+            lambda inst: greedy_capacity(inst, BETA),
+        )
+        mask = np.zeros(n, dtype=bool)
+        mask[report.subset] = True
+        assert report.nonfading_value == pytest.approx(float(w[mask].sum()))
+        assert report.ratio >= ONE_OVER_E - 1e-9
+
+    def test_shannon_mc_path(self, paper_instance):
+        report = transfer_capacity_algorithm(
+            paper_instance,
+            ShannonUtility(paper_instance.n, cap=1e6),
+            lambda inst: greedy_capacity(inst, BETA),
+            rng=0,
+            num_samples=2000,
+        )
+        assert report.ratio >= ONE_OVER_E * 0.9  # MC tolerance
+
+    def test_ratio_nan_for_empty_solution(self, paper_instance):
+        report = transfer_capacity_algorithm(
+            paper_instance,
+            BinaryUtility(paper_instance.n, BETA),
+            lambda inst: np.array([], dtype=int),
+        )
+        assert np.isnan(report.ratio)

@@ -1,0 +1,121 @@
+"""Tests for Algorithm 1 (Theorem 2's simulation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.success import success_probability
+from repro.geometry.placement import paper_random_network
+from repro.transform.simulation import (
+    PAPER_REPEATS_PER_STAGE,
+    simulate_rayleigh_optimum,
+    simulation_schedule,
+)
+from repro.utils.logstar import b_sequence
+
+BETA = 2.5
+
+
+@pytest.fixture
+def instance():
+    s, r = paper_random_network(40, rng=41)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+class TestSchedule:
+    def test_stage_structure(self):
+        q = np.full(50, 0.8)
+        plan = simulation_schedule(q)
+        bs = b_sequence(50)
+        assert len(plan) == len(bs)
+        for (b_k, stage_q, reps), b_expected in zip(plan, bs):
+            assert b_k == pytest.approx(b_expected)
+            assert reps == PAPER_REPEATS_PER_STAGE
+            np.testing.assert_allclose(stage_q, np.clip(q / (4.0 * b_k), 0, 1))
+
+    def test_first_stage_probability(self):
+        """b_0 = 1/4 so stage 0 uses q_i / 1 = q_i (clipped)."""
+        q = np.array([0.6, 0.2])
+        plan = simulation_schedule(q)
+        np.testing.assert_allclose(plan[0][1], q)
+
+    def test_probabilities_decay_across_stages(self):
+        q = np.full(100, 1.0)
+        plan = simulation_schedule(q)
+        maxima = [stage_q.max() for _, stage_q, _ in plan]
+        assert all(a >= b for a, b in zip(maxima, maxima[1:]))
+
+    def test_total_slots_is_logstar(self):
+        q = np.full(100, 0.5)
+        plan = simulation_schedule(q)
+        assert len(plan) <= 8  # log* scale
+        assert sum(reps for _, _, reps in plan) == len(plan) * 19
+
+    def test_custom_repeats_and_n(self):
+        q = np.full(10, 0.5)
+        plan = simulation_schedule(q, n=1000, repeats=5)
+        assert plan[0][2] == 5
+        assert len(plan) == len(b_sequence(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulation_schedule(np.array([0.5]), repeats=0)
+        with pytest.raises(ValueError):
+            simulation_schedule(np.array([1.5]))
+
+
+class TestSimulationOutcome:
+    def test_shapes_and_bookkeeping(self, instance):
+        q = np.full(instance.n, 0.5)
+        out = simulate_rayleigh_optimum(instance, q, BETA, rng=0)
+        assert out.success.shape == (instance.n,)
+        assert out.best_sinr.shape == (instance.n,)
+        assert out.num_slots == out.num_stages * PAPER_REPEATS_PER_STAGE
+        assert out.per_slot_success_counts.shape == (out.num_slots,)
+        assert out.num_stages == len(b_sequence(instance.n))
+
+    def test_success_consistent_with_best_sinr(self, instance):
+        q = np.full(instance.n, 0.5)
+        out = simulate_rayleigh_optimum(instance, q, BETA, rng=1)
+        np.testing.assert_array_equal(out.success, out.best_sinr >= BETA)
+
+    def test_zero_probability_links_never_succeed(self, instance):
+        q = np.zeros(instance.n)
+        q[0] = 1.0
+        out = simulate_rayleigh_optimum(instance, q, BETA, rng=2)
+        assert not out.success[1:].any()
+
+    def test_lemma3_domination(self, instance):
+        """Measured any-slot success >= exact Rayleigh single-slot Q_i."""
+        q = np.full(instance.n, 0.6)
+        rayleigh = success_probability(instance, q, BETA)
+        trials = 300
+        gen = np.random.default_rng(3)
+        hits = np.zeros(instance.n)
+        for _ in range(trials):
+            hits += simulate_rayleigh_optimum(instance, q, BETA, gen).success
+        freq = hits / trials
+        band = 4.0 * np.sqrt(freq * (1 - freq) / trials) + 8.0 / trials
+        assert np.all(freq + band >= rayleigh)
+
+    def test_reproducible(self, instance):
+        q = np.full(instance.n, 0.5)
+        a = simulate_rayleigh_optimum(instance, q, BETA, rng=9)
+        b = simulate_rayleigh_optimum(instance, q, BETA, rng=9)
+        np.testing.assert_array_equal(a.success, b.success)
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            simulate_rayleigh_optimum(instance, np.full(instance.n, 0.5), 0.0)
+
+
+def test_theorem2_schedule_length_scaling():
+    """Slots grow like 19 · log* n — still tiny at astronomic n."""
+    for n, max_stages in [(10, 6), (100, 8), (10**6, 9)]:
+        q = np.full(min(n, 10), 0.5)
+        plan = simulation_schedule(q, n=n)
+        assert len(plan) <= max_stages

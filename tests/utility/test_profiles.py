@@ -1,0 +1,127 @@
+"""Tests for the utility-function families (Definition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sinr import SINRInstance
+from repro.utility.base import validity_constant
+from repro.utility.binary import BinaryUtility
+from repro.utility.shannon import ShannonUtility
+from repro.utility.weighted import WeightedUtility
+
+
+class TestBinaryUtility:
+    def test_step_values(self):
+        u = BinaryUtility(3, beta=2.0)
+        np.testing.assert_allclose(
+            u(np.array([1.9, 2.0, 2.1])), [0.0, 1.0, 1.0]
+        )
+
+    def test_total_counts_successes(self):
+        u = BinaryUtility(3, beta=1.0)
+        sinr = np.array([[0.5, 2.0, 3.0]])
+        assert u.total(sinr)[0] == 2.0
+
+    def test_total_respects_active_mask(self):
+        u = BinaryUtility(3, beta=1.0)
+        sinr = np.array([[2.0, 2.0, 2.0]])
+        active = np.array([[True, False, True]])
+        assert u.total(sinr, active)[0] == 2.0
+
+    def test_batch_shape(self):
+        u = BinaryUtility(4, beta=1.0)
+        out = u(np.ones((5, 7, 4)))
+        assert out.shape == (5, 7, 4)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            BinaryUtility(3, beta=0.0)
+
+    def test_concave_from_is_beta(self):
+        np.testing.assert_allclose(BinaryUtility(2, 2.5).concave_from(), 2.5)
+
+
+class TestWeightedUtility:
+    def test_weighted_values(self):
+        u = WeightedUtility([2.0, 0.5], beta=1.0)
+        np.testing.assert_allclose(u(np.array([1.5, 1.5])), [2.0, 0.5])
+        np.testing.assert_allclose(u(np.array([0.5, 1.5])), [0.0, 0.5])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedUtility([1.0, -1.0], beta=1.0)
+
+    def test_weights_copied_and_frozen(self):
+        w = np.array([1.0, 2.0])
+        u = WeightedUtility(w, beta=1.0)
+        w[0] = 9.0
+        np.testing.assert_allclose(u.weights, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            u.weights[0] = 5.0
+
+    def test_reduces_to_binary_with_unit_weights(self):
+        wu = WeightedUtility(np.ones(3), beta=2.0)
+        bu = BinaryUtility(3, beta=2.0)
+        x = np.array([1.0, 2.0, 5.0])
+        np.testing.assert_allclose(wu(x), bu(x))
+
+
+class TestShannonUtility:
+    def test_log1p(self):
+        u = ShannonUtility(2)
+        np.testing.assert_allclose(u(np.array([0.0, np.e - 1.0])), [0.0, 1.0])
+
+    def test_scale(self):
+        u = ShannonUtility(1, scale=3.0)
+        assert u(np.array([np.e - 1.0]))[0] == pytest.approx(3.0)
+
+    def test_cap(self):
+        u = ShannonUtility(1, cap=10.0)
+        assert u(np.array([1e12]))[0] == pytest.approx(np.log1p(10.0))
+        assert np.isfinite(u(np.array([np.inf]))[0])
+
+    def test_uncapped_inf(self):
+        u = ShannonUtility(1)
+        assert np.isinf(u(np.array([np.inf]))[0])
+
+    @settings(max_examples=30)
+    @given(
+        x=st.floats(min_value=0.0, max_value=1e6),
+        y=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_concave_nondecreasing(self, x, y):
+        u = ShannonUtility(1)
+        lo, hi = sorted((x, y))
+        assert u(np.array([hi]))[0] >= u(np.array([lo]))[0]
+        mid = u(np.array([(lo + hi) / 2.0]))[0]
+        assert mid >= 0.5 * (u(np.array([lo]))[0] + u(np.array([hi]))[0]) - 1e-9
+
+
+class TestValidity:
+    def test_binary_validity_threshold(self):
+        """Valid iff β < S̄(i,i)/ν strictly, per Definition 1."""
+        gains = np.array([[10.0, 0.1], [0.1, 10.0]])
+        inst_ok = SINRInstance(gains, noise=1.0)  # S̄/ν = 10
+        assert BinaryUtility(2, beta=5.0).is_valid_for(inst_ok)
+        assert not BinaryUtility(2, beta=10.0).is_valid_for(inst_ok)
+        assert not BinaryUtility(2, beta=20.0).is_valid_for(inst_ok)
+
+    def test_zero_noise_always_valid(self):
+        inst = SINRInstance(np.eye(2) + 0.1, noise=0.0)
+        assert BinaryUtility(2, beta=100.0).is_valid_for(inst)
+
+    def test_shannon_always_valid(self, paper_instance):
+        assert ShannonUtility(paper_instance.n).is_valid_for(paper_instance)
+
+    def test_constants_exceed_one(self, paper_instance):
+        c = validity_constant(BinaryUtility(paper_instance.n, 2.5), paper_instance)
+        assert c is not None and np.all(c > 1.0)
+
+    def test_size_mismatch_rejected(self, paper_instance):
+        with pytest.raises(ValueError):
+            validity_constant(BinaryUtility(3, 1.0), paper_instance)
+
+    def test_profile_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            BinaryUtility(0, 1.0)

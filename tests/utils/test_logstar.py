@@ -1,0 +1,96 @@
+"""Tests for the iterated logarithm and Algorithm 1's stage sequence."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.logstar import b_sequence, log_star, num_simulation_stages
+
+
+class TestLogStar:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [
+            (0.0, 0),
+            (0.5, 0),
+            (1.0, 0),
+            (1.5, 1),
+            (2.0, 1),
+            (3.0, 2),
+            (4.0, 2),
+            (5.0, 3),
+            (16.0, 3),
+            (17.0, 4),
+            (65536.0, 4),
+            (65537.0, 5),
+        ],
+    )
+    def test_known_values_base2(self, x, expected):
+        assert log_star(x) == expected
+
+    def test_negative_is_zero(self):
+        assert log_star(-100.0) == 0
+
+    def test_monotone_nondecreasing(self):
+        values = [log_star(x) for x in [1, 2, 3, 5, 10, 100, 1e4, 1e8, 1e30]]
+        assert values == sorted(values)
+
+    def test_natural_base(self):
+        # log* base e: e^e ≈ 15.15 needs 3 applications.
+        assert log_star(math.e, base=math.e) == 1
+        assert log_star(math.e**math.e, base=math.e) == 2
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            log_star(10.0, base=1.0)
+        with pytest.raises(ValueError):
+            log_star(10.0, base=0.5)
+
+    @given(st.floats(min_value=1.0001, max_value=1e300))
+    def test_definition_property(self, x):
+        """log*(x) applications of log2 bring x to <= 1; one fewer does not."""
+        k = log_star(x)
+        value = x
+        for _ in range(k):
+            value = math.log2(value)
+        assert value <= 1.0
+        # Reapplying the definition with k-1 steps must leave value > 1.
+        if k > 0:
+            value = x
+            for _ in range(k - 1):
+                value = math.log2(value)
+            assert value > 1.0
+
+
+class TestBSequence:
+    def test_paper_recursion(self):
+        seq = b_sequence(1000)
+        assert seq[0] == pytest.approx(0.25)
+        for a, b in zip(seq, seq[1:]):
+            assert b == pytest.approx(math.exp(a / 2.0))
+
+    def test_all_below_n(self):
+        for n in (1, 2, 10, 100, 10**6):
+            assert all(b < n for b in b_sequence(n))
+
+    def test_next_element_reaches_n(self):
+        for n in (2, 10, 100, 10**6):
+            seq = b_sequence(n)
+            assert math.exp(seq[-1] / 2.0) >= n
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            b_sequence(0)
+        with pytest.raises(ValueError):
+            b_sequence(-5)
+
+    def test_stage_counts_are_tiny(self):
+        """Θ(log* n): even astronomically many links need few stages."""
+        assert num_simulation_stages(100) <= 8
+        assert num_simulation_stages(10**9) <= 9
+        assert num_simulation_stages(10**100) <= 11
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_stage_count_monotone(self, n):
+        assert num_simulation_stages(n) <= num_simulation_stages(n + 1)

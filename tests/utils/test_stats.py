@@ -1,0 +1,83 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import Summary, mean_confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_basic_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.n == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_singleton(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0
+        assert s.std == 0.0
+        assert s.ci_half_width == 0.0
+
+    def test_ci_bounds_consistent(self):
+        s = summarize(np.arange(100), confidence=0.95)
+        assert s.ci_low == pytest.approx(s.mean - s.ci_half_width)
+        assert s.ci_high == pytest.approx(s.mean + s.ci_half_width)
+
+    def test_wider_confidence_wider_interval(self):
+        data = np.random.default_rng(0).normal(size=50)
+        assert (
+            summarize(data, 0.99).ci_half_width
+            > summarize(data, 0.95).ci_half_width
+            > summarize(data, 0.90).ci_half_width
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, np.nan])
+        with pytest.raises(ValueError):
+            summarize([1.0, np.inf])
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=0.8)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_mean_within_extrema(self, data):
+        s = summarize(data)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+
+    def test_coverage_of_ci(self):
+        """~95% of CIs around sample means cover the true mean."""
+        gen = np.random.default_rng(42)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            s = summarize(gen.normal(loc=3.0, size=40))
+            hits += s.ci_low <= 3.0 <= s.ci_high
+        assert hits / trials > 0.88
+
+
+def test_mean_confidence_interval_tuple():
+    mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+    assert low <= mean <= high
+    assert mean == pytest.approx(2.0)
+
+
+def test_summary_is_frozen():
+    s = Summary(1.0, 0.0, 0.0, 1, 1.0, 1.0)
+    with pytest.raises(AttributeError):
+        s.mean = 2.0

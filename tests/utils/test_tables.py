@@ -1,0 +1,83 @@
+"""Tests for text table/series rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.25]])
+        assert "a" in out and "bb" in out
+        assert "2.5000" in out and "4.2500" in out
+
+    def test_title_rendered(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_none_renders_dash(self):
+        out = format_table(["x", "y"], [[1, None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_string_and_bool_cells(self):
+        out = format_table(["k", "v"], [["name", True]])
+        assert "name" in out and "True" in out
+
+    def test_precision(self):
+        out = format_table(["x"], [[1.23456789]], precision=2)
+        assert "1.23" in out and "1.2346" not in out
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [[1], [100], [10000]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines equally wide
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(s) == 3
+        assert len(set(s)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(s) == sorted(s)
+        assert s[0] != s[-1]
+
+    def test_extremes_hit_end_glyphs(self):
+        s = sparkline([0.0, 1.0])
+        assert s[0] == "▁" and s[-1] == "█"
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("q", [0.1, 0.2], {"curve": [1.0, 2.0]})
+        assert "q" in out and "curve" in out
+        assert "0.1000" in out and "2.0000" in out
+
+    def test_sparkline_footer(self):
+        out = format_series("x", [1, 2, 3], {"c": [1.0, 2.0, 3.0]})
+        assert "shape:" in out
+
+    def test_sparkline_suppressed(self):
+        out = format_series(
+            "x", [1, 2, 3], {"c": [1.0, 2.0, 3.0]}, with_sparklines=False
+        )
+        assert "shape:" not in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"c": [1.0]})
+
+    def test_multiple_curves_ordered(self):
+        out = format_series("x", [1], {"a": [1.0], "b": [2.0]})
+        header = out.splitlines()[0]
+        assert header.index("a") < header.index("b")

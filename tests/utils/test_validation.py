@@ -1,0 +1,87 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+    check_square_matrix,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts(self, v):
+        assert check_probability(v) == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01, np.nan])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_and_converts(self):
+        out = check_probability_vector([0, 1, 0.5])
+        assert out.dtype == np.float64
+        assert out.tolist() == [0.0, 1.0, 0.5]
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.5, 0.5], n=3)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.5, 1.5])
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.5, np.nan])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5]])
+
+    def test_no_copy_when_already_float(self):
+        arr = np.array([0.1, 0.9])
+        assert check_probability_vector(arr) is arr
+
+
+class TestScalarChecks:
+    def test_positive(self):
+        assert check_positive(2) == 2.0
+        for bad in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0) == 0.0
+        assert check_nonnegative(3.5) == 3.5
+        for bad in (-1e-9, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                check_nonnegative(bad)
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_positive(-1, "alpha")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts(self):
+        m = check_square_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert m.shape == (2, 2)
+
+    def test_size_enforced(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.eye(3), n=2)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            check_square_matrix(np.ones(4))
