@@ -5,6 +5,8 @@ at paper scale (n = 100–200 links), so performance regressions in the
 numerical core are caught independently of the experiment drivers.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,7 +16,12 @@ from repro.core.affectance import affectance_matrix
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance, mean_signal_matrix
-from repro.fading.rayleigh import sample_fading_gains, simulate_slots_bernoulli
+from repro.fading.rayleigh import (
+    sample_fading_gains,
+    simulate_sinr_patterns,
+    simulate_slots,
+    simulate_slots_bernoulli,
+)
 from repro.fading.success import (
     success_probability,
     success_probability_conditional_batch,
@@ -70,6 +77,64 @@ def test_bernoulli_slots_1000(benchmark, inst100):
     active[:40] = True
     gen = np.random.default_rng(4)
     benchmark(simulate_slots_bernoulli, inst100, active, BETA, gen, num_slots=1000)
+
+
+def _loop_success_counts(inst, qv, beta, gen, num_samples):
+    """The seed repository's Monte-Carlo inner loop: one
+    ``simulate_slots`` call per drawn transmit pattern.  Kept verbatim as
+    the baseline the batched kernel is measured against."""
+    counts = np.zeros(inst.n, dtype=np.int64)
+    batch = 64
+    done = 0
+    while done < num_samples:
+        t = min(batch, num_samples - done)
+        patterns = gen.random((t, inst.n)) < qv
+        for row in patterns:
+            if row.any():
+                counts += simulate_slots(inst, row, beta, gen, num_slots=1)[0]
+        done += t
+    return counts
+
+
+def _batched_success_counts(inst, qv, beta, gen, num_samples):
+    patterns = gen.random((num_samples, inst.n)) < qv
+    sinr = simulate_sinr_patterns(inst, patterns, gen)
+    return ((sinr >= beta) & patterns).sum(axis=0)
+
+
+def test_batched_mc_kernel_speedup(inst100):
+    """The batched ``(T, n, n)`` Monte-Carlo kernel must beat the seed's
+    per-pattern Python loop by >= 3x at n=100, T=1000 (it measures ~10x+
+    in practice; the margin absorbs machine noise)."""
+    qv = np.full(100, 0.5)
+    num_samples = 1000
+    # Warm-up both paths once so allocator/first-call costs don't skew.
+    _loop_success_counts(inst100, qv, BETA, np.random.default_rng(0), 64)
+    _batched_success_counts(inst100, qv, BETA, np.random.default_rng(0), 64)
+
+    def best_of(fn, repeats=3):
+        times = []
+        for rep in range(repeats):
+            gen = np.random.default_rng(100 + rep)
+            start = time.perf_counter()
+            fn(inst100, qv, BETA, gen, num_samples)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    loop_time = best_of(_loop_success_counts)
+    batched_time = best_of(_batched_success_counts)
+    speedup = loop_time / batched_time
+    print(
+        f"\nbatched MC kernel: loop {loop_time * 1e3:.1f} ms, "
+        f"batched {batched_time * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, f"batched kernel only {speedup:.2f}x faster than loop"
+
+
+def test_sinr_patterns_batched_1000(benchmark, inst100):
+    gen = np.random.default_rng(8)
+    patterns = gen.random((1000, 100)) < 0.5
+    benchmark(simulate_sinr_patterns, inst100, patterns, gen)
 
 
 def test_greedy_capacity_n100(benchmark, inst100):

@@ -1,0 +1,37 @@
+"""Execution engine: experiment registry, deterministic parallel executor.
+
+The engine is the layer between the experiment drivers and the CLI:
+
+* :mod:`repro.engine.registry` — decorator-based registration of every
+  DESIGN.md experiment (id, title, scale→config factory, runner), so the
+  CLI and the benchmark suite discover experiments instead of
+  hand-maintaining a table.
+* :mod:`repro.engine.executor` — a ``map_tasks`` abstraction with serial
+  and process-pool backends.  Each task carries a child
+  :class:`numpy.random.SeedSequence` spawned from the experiment's root
+  seed, so ``jobs=1`` and ``jobs=8`` produce bit-identical results.
+"""
+
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs
+from repro.engine.registry import (
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    register,
+    scaled_config,
+    seed_kwargs,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "StageTimer",
+    "Task",
+    "all_specs",
+    "get_spec",
+    "make_tasks",
+    "map_tasks",
+    "register",
+    "resolve_jobs",
+    "scaled_config",
+    "seed_kwargs",
+]

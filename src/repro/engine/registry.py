@@ -1,0 +1,160 @@
+"""Decorator-based experiment registry.
+
+Each experiment driver module registers itself:
+
+.. code-block:: python
+
+    @register(
+        "E1",
+        title="Figure 1: capacity vs transmit probability",
+        config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+    )
+    def run_figure1(config=None, *, jobs=1) -> ExperimentResult: ...
+
+The registry replaces the hand-maintained experiment table that used to
+live in ``cli.py``: ``python -m repro {list,run,report}`` and the test
+suite discover experiments through :func:`all_specs`, and adding an
+experiment is just decorating its driver.
+
+The ``config`` factory maps ``(scale, seed)`` to the keyword arguments
+of the runner; ``scale`` is ``"quick"`` or ``"paper"`` and ``seed`` is
+an optional root-seed override (``None`` keeps the driver default).
+Runners that accept a ``jobs`` parameter are automatically detected and
+receive the CLI's ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # circular at runtime: driver modules import this one
+    from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "ExperimentSpec",
+    "all_specs",
+    "get_spec",
+    "register",
+    "scaled_config",
+    "seed_kwargs",
+]
+
+#: (scale, seed-override) -> runner keyword arguments.
+ConfigFactory = Callable[[str, "int | None"], "dict[str, Any]"]
+
+SCALES = ("quick", "paper")
+
+
+def scaled_config(cls, scale: str, seed: "int | None" = None):
+    """Build ``cls.paper()`` or ``cls.quick()``, optionally re-seeded.
+
+    ``cls`` is a frozen config dataclass with a ``seed`` field (e.g.
+    :class:`~repro.experiments.config.Figure1Config`).
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    cfg = cls.paper() if scale == "paper" else cls.quick()
+    if seed is not None:
+        cfg = replace(cfg, seed=int(seed))
+    return cfg
+
+
+def seed_kwargs(seed: "int | None") -> "dict[str, int]":
+    """``{"seed": seed}`` when an override is given, else ``{}`` — for
+    drivers that take the root seed as a keyword argument."""
+    return {} if seed is None else {"seed": int(seed)}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, config factory, and runner."""
+
+    experiment_id: str
+    title: str
+    config_factory: ConfigFactory
+    runner: Callable[..., ExperimentResult]
+    supports_jobs: bool
+
+    def make_kwargs(
+        self, scale: str = "quick", seed: "int | None" = None
+    ) -> "dict[str, Any]":
+        """Runner keyword arguments for a scale and optional seed override."""
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+        return dict(self.config_factory(scale, seed))
+
+    def run(
+        self,
+        scale: str = "quick",
+        *,
+        seed: "int | None" = None,
+        jobs: "int | None" = 1,
+    ) -> ExperimentResult:
+        """Run the experiment, recording total wall-clock in ``timings``."""
+        kwargs = self.make_kwargs(scale, seed)
+        if self.supports_jobs:
+            kwargs["jobs"] = jobs
+        start = perf_counter()
+        result = self.runner(**kwargs)
+        timings = dict(result.timings)
+        timings["total"] = perf_counter() - start
+        return replace(result, timings=timings)
+
+
+_REGISTRY: "dict[str, ExperimentSpec]" = {}
+
+
+def register(experiment_id: str, *, title: str, config: ConfigFactory):
+    """Register the decorated driver function under ``experiment_id``.
+
+    Raises if the id is registered twice — each DESIGN.md experiment has
+    exactly one driver.
+    """
+
+    def decorate(fn: Callable[..., ExperimentResult]):
+        exp_id = experiment_id.upper()
+        if exp_id in _REGISTRY:
+            raise ValueError(
+                f"experiment {exp_id} is already registered "
+                f"(by {_REGISTRY[exp_id].runner.__module__})"
+            )
+        supports_jobs = "jobs" in inspect.signature(fn).parameters
+        _REGISTRY[exp_id] = ExperimentSpec(
+            experiment_id=exp_id,
+            title=title,
+            config_factory=config,
+            runner=fn,
+            supports_jobs=supports_jobs,
+        )
+        return fn
+
+    return decorate
+
+
+def _load_all() -> None:
+    """Import every driver module (they self-register on import)."""
+    import repro.experiments  # noqa: F401
+
+
+def _sort_key(exp_id: str):
+    tail = exp_id[1:]
+    return (0, int(tail)) if tail.isdigit() else (1, exp_id)
+
+
+def all_specs() -> "dict[str, ExperimentSpec]":
+    """All registered experiments, ordered by numeric id (E1, E2, ...)."""
+    _load_all()
+    return {k: _REGISTRY[k] for k in sorted(_REGISTRY, key=_sort_key)}
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment by id (case-insensitive)."""
+    _load_all()
+    exp_id = experiment_id.upper()
+    if exp_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY, key=_sort_key))
+        raise KeyError(f"unknown experiment id {experiment_id!r}; choose from {known}")
+    return _REGISTRY[exp_id]

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.fading.success import success_probability
@@ -29,6 +30,14 @@ from repro.utils.tables import format_table
 __all__ = ["run_alg1_ablation"]
 
 
+@register(
+    "E12",
+    title="Algorithm 1 constants ablation",
+    config=lambda scale, seed: {
+        "trials": 500 if scale == "paper" else 150,
+        **seed_kwargs(seed),
+    },
+)
 def run_alg1_ablation(
     *,
     n: int = 60,

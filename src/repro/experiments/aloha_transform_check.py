@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure1_networks, instance_pair
@@ -26,6 +27,11 @@ from repro.utils.tables import format_table
 __all__ = ["run_aloha_transform_check"]
 
 
+@register(
+    "E10",
+    title="ALOHA 4-repeat transformation",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
 def run_aloha_transform_check(
     config: "Figure1Config | None" = None,
     *,

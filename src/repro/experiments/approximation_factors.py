@@ -24,6 +24,7 @@ from repro.capacity.power_control import power_control_capacity
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import (
@@ -60,6 +61,14 @@ def _families(n: int, factory: RngFactory, seeds: int):
     yield "nested", Network(s, r)
 
 
+@register(
+    "E19",
+    title="Approximation factors vs exact optima",
+    config=lambda scale, seed: {
+        "seeds": 6 if scale == "paper" else 3,
+        **seed_kwargs(seed),
+    },
+)
 def run_approximation_factors(
     *,
     n: int = 14,

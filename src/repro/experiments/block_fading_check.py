@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.fading.block import BlockFadingChannel
@@ -37,6 +38,14 @@ from repro.utils.tables import format_table
 __all__ = ["run_block_fading_check"]
 
 
+@register(
+    "E15",
+    title="Block fading: the transformation's i.i.d. assumption",
+    config=lambda scale, seed: {
+        "trials": 4000 if scale == "paper" else 1200,
+        **seed_kwargs(seed),
+    },
+)
 def run_block_fading_check(
     *,
     n: int = 60,

@@ -22,9 +22,11 @@ from repro.capacity.power_control import power_control_capacity
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
-from repro.experiments.workloads import figure1_networks, instance_pair
+from repro.experiments.workloads import figure1_network, instance_pair
 from repro.geometry.placement import nested_pairs_network
 from repro.transform.blackbox import rayleigh_expected_binary
 from repro.utils.rng import RngFactory
@@ -54,46 +56,64 @@ def _evaluate(inst: SINRInstance, subset: np.ndarray, beta: float) -> tuple[int,
     return nf, ray
 
 
+def _capacity_task(task: Task) -> "dict[str, tuple[int, float]]":
+    """One network: (non-fading, Rayleigh) values of all four algorithms."""
+    cfg, net_idx, opt_restarts = task.payload
+    factory = RngFactory(cfg.seed)
+    beta, alpha, noise = cfg.params.beta, cfg.params.alpha, cfg.params.noise
+    net = figure1_network(cfg, net_idx)
+    uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
+    out: dict[str, tuple[int, float]] = {}
+    out["greedy uniform"] = _evaluate(uniform, greedy_capacity(uniform, beta), beta)
+    out["greedy sqrt"] = _evaluate(sqrt_inst, greedy_capacity(sqrt_inst, beta), beta)
+    pc = power_control_capacity(net, beta, alpha, noise)
+    if pc.selected.size:
+        pc_inst = SINRInstance.from_network(
+            net, pc.power_assignment(net.n), alpha, noise
+        )
+        out["power control"] = _evaluate(pc_inst, pc.selected, beta)
+    else:
+        out["power control"] = (0, 0.0)
+    out["OPT estimate (uniform)"] = _evaluate(
+        uniform,
+        local_search_capacity(
+            uniform, beta, rng=factory.stream("cc-opt", net_idx),
+            restarts=opt_restarts,
+        ),
+        beta,
+    )
+    return out
+
+
+@register(
+    "E7",
+    title="Capacity algorithm comparison",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
 def run_capacity_compare(
     config: "Figure1Config | None" = None,
     *,
     nested_n: int = 12,
     opt_restarts: int = 6,
+    jobs: "int | None" = 1,
 ) -> ExperimentResult:
     """Compare the capacity algorithms on random and nested families."""
     cfg = config if config is not None else Figure1Config.quick()
-    factory = RngFactory(cfg.seed)
-    beta, alpha, noise = cfg.params.beta, cfg.params.alpha, cfg.params.noise
+    beta = cfg.params.beta
+
+    timer = StageTimer()
+    with timer.stage("sweep"):
+        tasks = make_tasks(
+            [(cfg, k, opt_restarts) for k in range(cfg.num_networks)],
+            root_seed=cfg.seed,
+            name="capacity-task",
+        )
+        per_network = map_tasks(_capacity_task, tasks, jobs=jobs)
 
     acc: dict[str, list[tuple[int, float]]] = {}
-
-    def record(name: str, value: tuple[int, float]) -> None:
-        acc.setdefault(name, []).append(value)
-
-    networks = figure1_networks(cfg)
-    for net_idx, net in enumerate(networks):
-        uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
-        record("greedy uniform", _evaluate(uniform, greedy_capacity(uniform, beta), beta))
-        record("greedy sqrt", _evaluate(sqrt_inst, greedy_capacity(sqrt_inst, beta), beta))
-        pc = power_control_capacity(net, beta, alpha, noise)
-        if pc.selected.size:
-            pc_inst = SINRInstance.from_network(
-                net, pc.power_assignment(net.n), alpha, noise
-            )
-            record("power control", _evaluate(pc_inst, pc.selected, beta))
-        else:
-            record("power control", (0, 0.0))
-        record(
-            "OPT estimate (uniform)",
-            _evaluate(
-                uniform,
-                local_search_capacity(
-                    uniform, beta, rng=factory.stream("cc-opt", net_idx),
-                    restarts=opt_restarts,
-                ),
-                beta,
-            ),
-        )
+    for records in per_network:
+        for name, value in records.items():
+            acc.setdefault(name, []).append(value)
 
     # Nested-pairs family: uniform power collapses, power control does not.
     # Growth 6 with α = 3 and β = 1 makes the whole nested set power-
@@ -163,4 +183,5 @@ def run_capacity_compare(
         },
         config=repr(cfg),
         checks=checks,
+        timings=timer.timings,
     )

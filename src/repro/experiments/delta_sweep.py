@@ -23,6 +23,7 @@ from repro.capacity.power_control import power_control_capacity
 from repro.core.network import Network
 from repro.core.power import SquareRootPower, UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import RngFactory
 from repro.utils.tables import format_table
@@ -61,6 +62,14 @@ def _diverse_network(
     return Network(np.array(senders), np.array(receivers))
 
 
+@register(
+    "E21",
+    title="Power-assignment hierarchy vs delta",
+    config=lambda scale, seed: {
+        "networks_per_delta": 8 if scale == "paper" else 4,
+        **seed_kwargs(seed),
+    },
+)
 def run_delta_sweep(
     *,
     clusters: int = 6,

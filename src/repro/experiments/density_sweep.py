@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import Figure1Config, PaperParameters
 from repro.experiments.figure1 import _network_curves
 from repro.experiments.runner import ExperimentResult
@@ -40,6 +42,39 @@ def _crossover(q: np.ndarray, nf: np.ndarray, ray: np.ndarray) -> "float | None"
     return None
 
 
+def _density_task(task: Task) -> "tuple[np.ndarray, np.ndarray]":
+    """Curves of one (area, network) cell of the density sweep."""
+    seed, num_links, area, k, num_transmit_seeds, pp = task.payload
+    factory = RngFactory(seed)
+    cfg_proto = Figure1Config(params=pp)
+    probs = np.round(np.arange(0.05, 1.0001, 0.05), 3)
+    s, r = paper_random_network(
+        num_links,
+        area=area,
+        min_length=cfg_proto.min_length,
+        max_length=cfg_proto.max_length,
+        rng=factory.stream("dens-net", area, k),
+    )
+    inst, _ = instance_pair(Network(s, r), pp, with_sqrt=False)
+    return _network_curves(
+        inst,
+        probs,
+        num_transmit_seeds,
+        0,
+        "exact",
+        pp.beta,
+        factory.stream("dens-run", area, k),
+    )
+
+
+@register(
+    "E13",
+    title="Density sweep: crossover location",
+    config=lambda scale, seed: {
+        "num_networks": 10 if scale == "paper" else 4,
+        **seed_kwargs(seed),
+    },
+)
 def run_density_sweep(
     *,
     num_links: int = 100,
@@ -48,37 +83,30 @@ def run_density_sweep(
     num_transmit_seeds: int = 15,
     params: "PaperParameters | None" = None,
     seed: int = 2012,
+    jobs: "int | None" = 1,
 ) -> ExperimentResult:
     """Sweep the deployment area (density) and locate peaks/crossovers."""
     pp = params if params is not None else PaperParameters.figure1()
-    factory = RngFactory(seed)
     probs = np.round(np.arange(0.05, 1.0001, 0.05), 3)
-    cfg_proto = Figure1Config(params=pp)
+
+    timer = StageTimer()
+    with timer.stage("sweep"):
+        cells = [
+            (seed, num_links, area, k, num_transmit_seeds, pp)
+            for area in areas
+            for k in range(num_networks)
+        ]
+        tasks = make_tasks(cells, root_seed=seed, name="density-task")
+        per_cell = map_tasks(_density_task, tasks, jobs=jobs)
 
     rows = []
     crossovers: list[float] = []
     peaks: list[float] = []
-    for area in areas:
+    for area_idx, area in enumerate(areas):
         nf_total = np.zeros(probs.size)
         ray_total = np.zeros(probs.size)
         for k in range(num_networks):
-            s, r = paper_random_network(
-                num_links,
-                area=area,
-                min_length=cfg_proto.min_length,
-                max_length=cfg_proto.max_length,
-                rng=factory.stream("dens-net", area, k),
-            )
-            inst, _ = instance_pair(Network(s, r), pp, with_sqrt=False)
-            nf, ray = _network_curves(
-                inst,
-                probs,
-                num_transmit_seeds,
-                0,
-                "exact",
-                pp.beta,
-                factory.stream("dens-run", area, k),
-            )
+            nf, ray = per_cell[area_idx * num_networks + k]
             nf_total += nf
             ray_total += ray
         nf_mean = nf_total / num_networks
@@ -126,4 +154,5 @@ def run_density_sweep(
         data={"rows": rows},
         config=f"areas={areas}, n={num_links}, networks={num_networks}",
         checks=checks,
+        timings=timer.timings,
     )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import paper_random_network
@@ -30,6 +31,15 @@ from repro.utils.tables import format_table
 __all__ = ["run_equilibria_study"]
 
 
+@register(
+    "E16",
+    title="Equilibria & price of anarchy",
+    config=lambda scale, seed: {
+        "num_networks": 8 if scale == "paper" else 4,
+        "num_starts": 12 if scale == "paper" else 8,
+        **seed_kwargs(seed),
+    },
+)
 def run_equilibria_study(
     *,
     n: int = 60,

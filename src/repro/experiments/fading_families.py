@@ -26,6 +26,7 @@ from repro.capacity.greedy import greedy_capacity
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.fading.models import (
@@ -43,6 +44,14 @@ __all__ = ["run_fading_families"]
 ONE_OVER_E = float(np.exp(-1.0))
 
 
+@register(
+    "E14",
+    title="Fading families (Nakagami / Rician)",
+    config=lambda scale, seed: {
+        "mc_slots": 8000 if scale == "paper" else 1500,
+        **seed_kwargs(seed),
+    },
+)
 def run_fading_families(
     *,
     n: int = 80,

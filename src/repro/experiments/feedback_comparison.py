@@ -21,6 +21,7 @@ from repro.capacity.optimum import local_search_capacity
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, scaled_config, seed_kwargs
 from repro.experiments.config import Figure2Config
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import paper_random_network
@@ -34,6 +35,14 @@ from repro.utils.tables import format_table
 __all__ = ["run_feedback_comparison"]
 
 
+@register(
+    "E22",
+    title="Full-information vs bandit feedback",
+    config=lambda scale, seed: {
+        "config": scaled_config(Figure2Config, scale, seed),
+        **seed_kwargs(seed),
+    },
+)
 def run_feedback_comparison(
     *,
     config: "Figure2Config | None" = None,

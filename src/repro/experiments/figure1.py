@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
-from repro.experiments.workloads import figure1_networks, instance_pair
+from repro.experiments.workloads import figure1_network, instance_pair
 from repro.fading.success import success_probability_conditional_batch
 from repro.utils.rng import RngFactory
 from repro.utils.tables import format_series
@@ -62,32 +64,62 @@ def _network_curves(
     return nonfading, rayleigh
 
 
-def run_figure1(config: "Figure1Config | None" = None) -> ExperimentResult:
+def _figure1_task(task: Task) -> "dict[str, np.ndarray]":
+    """Per-network sweep: all four curves of one Figure-1 network.
+
+    Randomness is re-derived from the config's seed and the network
+    index, so the result is independent of which process runs the task.
+    """
+    cfg, net_idx = task.payload
+    factory = RngFactory(cfg.seed)
+    probs = np.asarray(cfg.probabilities, dtype=np.float64)
+    net = figure1_network(cfg, net_idx)
+    uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
+    out: dict[str, np.ndarray] = {}
+    for name, inst in (("uniform", uniform), ("sqrt", sqrt_inst)):
+        nf, ray = _network_curves(
+            inst,
+            probs,
+            cfg.num_transmit_seeds,
+            cfg.num_fading_seeds,
+            cfg.fading_mode,
+            cfg.params.beta,
+            factory.stream("figure1-run", net_idx, name),
+        )
+        out[f"{name} nonfading"] = nf
+        out[f"{name} rayleigh"] = ray
+    return out
+
+
+@register(
+    "E1",
+    title="Figure 1: capacity vs transmit probability",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
+def run_figure1(
+    config: "Figure1Config | None" = None, *, jobs: "int | None" = 1
+) -> ExperimentResult:
     """Run the Figure-1 experiment and render its series."""
     cfg = config if config is not None else Figure1Config.quick()
     if cfg.fading_mode not in ("exact", "sample"):
         raise ValueError(f"unknown fading_mode {cfg.fading_mode!r}")
-    factory = RngFactory(cfg.seed)
     probs = np.asarray(cfg.probabilities, dtype=np.float64)
-    beta = cfg.params.beta
 
-    totals = {name: np.zeros(probs.size) for name in CURVES}
-    networks = figure1_networks(cfg)
-    for net_idx, net in enumerate(networks):
-        uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
-        for name, inst in (("uniform", uniform), ("sqrt", sqrt_inst)):
-            nf, ray = _network_curves(
-                inst,
-                probs,
-                cfg.num_transmit_seeds,
-                cfg.num_fading_seeds,
-                cfg.fading_mode,
-                beta,
-                factory.stream("figure1-run", net_idx, name),
-            )
-            totals[f"{name} nonfading"] += nf
-            totals[f"{name} rayleigh"] += ray
-    curves = {name: vals / len(networks) for name, vals in totals.items()}
+    timer = StageTimer()
+    with timer.stage("sweep"):
+        tasks = make_tasks(
+            [(cfg, k) for k in range(cfg.num_networks)],
+            root_seed=cfg.seed,
+            name="figure1-task",
+        )
+        per_network = map_tasks(_figure1_task, tasks, jobs=jobs)
+
+    with timer.stage("aggregate"):
+        totals = {name: np.zeros(probs.size) for name in CURVES}
+        for net_curves in per_network:
+            for name in CURVES:
+                totals[name] += net_curves[name]
+        curves = {name: vals / cfg.num_networks for name, vals in totals.items()}
 
     # Shape checks from Section 7's discussion.
     checks = {}
@@ -117,4 +149,5 @@ def run_figure1(config: "Figure1Config | None" = None) -> ExperimentResult:
         data={"q": probs.tolist(), **{k: v.tolist() for k, v in curves.items()}},
         config=repr(cfg),
         checks=checks,
+        timings=timer.timings,
     )

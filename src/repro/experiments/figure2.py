@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.capacity.optimum import local_search_capacity
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure2Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure2_networks, instance_pair
@@ -26,6 +27,11 @@ from repro.utils.tables import format_series
 __all__ = ["run_figure2"]
 
 
+@register(
+    "E2",
+    title="Figure 2: no-regret learning over time",
+    config=lambda scale, seed: {"config": scaled_config(Figure2Config, scale, seed)},
+)
 def run_figure2(config: "Figure2Config | None" = None) -> ExperimentResult:
     """Run the Figure-2 experiment and render its series."""
     cfg = config if config is not None else Figure2Config.quick()

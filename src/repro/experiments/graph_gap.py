@@ -21,6 +21,7 @@ from repro.analysis.graphs import conflict_graph, graph_model_gap
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import paper_random_network
@@ -30,6 +31,15 @@ from repro.utils.tables import format_table
 __all__ = ["run_graph_gap"]
 
 
+@register(
+    "E20",
+    title="Graph-model gap vs density (why SINR)",
+    config=lambda scale, seed: {
+        "networks_per_area": 5 if scale == "paper" else 3,
+        "num_samples": 300 if scale == "paper" else 120,
+        **seed_kwargs(seed),
+    },
+)
 def run_graph_gap(
     *,
     num_links: int = 60,

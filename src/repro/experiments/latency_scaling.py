@@ -22,6 +22,7 @@ from repro.analysis.lower_bounds import latency_lower_bound
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import paper_random_network
@@ -34,6 +35,15 @@ from repro.utils.tables import format_table
 __all__ = ["run_latency_scaling"]
 
 
+@register(
+    "E18",
+    title="Latency scaling vs lower bounds",
+    config=lambda scale, seed: {
+        "sizes": (25, 50, 100, 200) if scale == "paper" else (25, 50, 100),
+        "networks_per_size": 5 if scale == "paper" else 3,
+        **seed_kwargs(seed),
+    },
+)
 def run_latency_scaling(
     *,
     sizes: tuple[int, ...] = (25, 50, 100),

@@ -12,9 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
-from repro.experiments.workloads import figure1_networks, instance_pair
+from repro.experiments.workloads import figure1_network, instance_pair
 from repro.transform.blackbox import transfer_capacity_algorithm
 from repro.utility.binary import BinaryUtility
 from repro.utility.shannon import ShannonUtility
@@ -28,44 +30,73 @@ __all__ = ["run_lemma2_transfer"]
 ONE_OVER_E = float(np.exp(-1.0))
 
 
+def _lemma2_task(task: Task) -> "list[tuple[str, str, float, bool]]":
+    """One network: transfer ratios for every (power, utility) pair.
+
+    Returns ``(power, utility, ratio, certified_ok)`` tuples for pairs
+    with positive non-fading value.
+    """
+    cfg, net_idx, mc_samples = task.payload
+    factory = RngFactory(cfg.seed)
+    beta = cfg.params.beta
+    net = figure1_network(cfg, net_idx)
+    uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
+    entries: list[tuple[str, str, float, bool]] = []
+    for pw_name, inst in (("uniform", uniform), ("sqrt", sqrt_inst)):
+        n = inst.n
+        weights_rng = factory.stream("lemma2-weights", net_idx, pw_name)
+        profiles = {
+            "binary": BinaryUtility(n, beta),
+            "weighted": WeightedUtility(weights_rng.uniform(0.5, 2.0, n), beta),
+            "shannon": ShannonUtility(n, cap=1e4),
+        }
+        for u_name, profile in profiles.items():
+            report = transfer_capacity_algorithm(
+                inst,
+                profile,
+                lambda i_: greedy_capacity(i_, beta),
+                rng=factory.stream("lemma2-mc", net_idx, pw_name, u_name),
+                num_samples=mc_samples,
+                beta=beta,
+            )
+            if report.nonfading_value > 0:
+                certified = bool(
+                    report.certified_bound
+                    >= ONE_OVER_E * report.nonfading_value - 1e-9
+                )
+                entries.append((pw_name, u_name, report.ratio, certified))
+    return entries
+
+
+@register(
+    "E5",
+    title="Lemma 2: 1/e transfer",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
 def run_lemma2_transfer(
     config: "Figure1Config | None" = None,
     *,
     mc_samples: int = 1500,
+    jobs: "int | None" = 1,
 ) -> ExperimentResult:
     """Measure the Rayleigh/non-fading utility ratio of greedy solutions."""
     cfg = config if config is not None else Figure1Config.quick()
-    factory = RngFactory(cfg.seed)
-    beta = cfg.params.beta
-    networks = figure1_networks(cfg)
+
+    timer = StageTimer()
+    with timer.stage("sweep"):
+        tasks = make_tasks(
+            [(cfg, k, mc_samples) for k in range(cfg.num_networks)],
+            root_seed=cfg.seed,
+            name="lemma2-task",
+        )
+        per_network = map_tasks(_lemma2_task, tasks, jobs=jobs)
 
     ratios: dict[tuple[str, str], list[float]] = {}
     certified_ok = True
-    for net_idx, net in enumerate(networks):
-        uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
-        for pw_name, inst in (("uniform", uniform), ("sqrt", sqrt_inst)):
-            n = inst.n
-            weights_rng = factory.stream("lemma2-weights", net_idx, pw_name)
-            profiles = {
-                "binary": BinaryUtility(n, beta),
-                "weighted": WeightedUtility(weights_rng.uniform(0.5, 2.0, n), beta),
-                "shannon": ShannonUtility(n, cap=1e4),
-            }
-            for u_name, profile in profiles.items():
-                report = transfer_capacity_algorithm(
-                    inst,
-                    profile,
-                    lambda i_: greedy_capacity(i_, beta),
-                    rng=factory.stream("lemma2-mc", net_idx, pw_name, u_name),
-                    num_samples=mc_samples,
-                    beta=beta,
-                )
-                if report.nonfading_value > 0:
-                    ratios.setdefault((pw_name, u_name), []).append(report.ratio)
-                    certified_ok &= (
-                        report.certified_bound
-                        >= ONE_OVER_E * report.nonfading_value - 1e-9
-                    )
+    for entries in per_network:
+        for pw_name, u_name, ratio, certified in entries:
+            ratios.setdefault((pw_name, u_name), []).append(ratio)
+            certified_ok &= certified
 
     rows = []
     min_ratio = float("inf")
@@ -96,4 +127,5 @@ def run_lemma2_transfer(
         },
         config=repr(cfg),
         checks=checks,
+        timings=timer.timings,
     )

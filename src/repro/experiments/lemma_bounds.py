@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure1_networks, instance_pair
@@ -24,6 +25,11 @@ from repro.utils.tables import format_table
 __all__ = ["run_lemma_bounds"]
 
 
+@register(
+    "E4",
+    title="Theorem 1 / Lemma 1 bounds",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
 def run_lemma_bounds(
     config: "Figure1Config | None" = None,
     *,

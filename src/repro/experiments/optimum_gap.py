@@ -19,6 +19,7 @@ from repro.analysis.model_gap import measured_optimum_gap
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.placement import paper_random_network
@@ -29,6 +30,14 @@ from repro.utils.tables import format_table
 __all__ = ["run_optimum_gap"]
 
 
+@register(
+    "E11",
+    title="Measured optimum gap vs log* n",
+    config=lambda scale, seed: {
+        "sizes": (20, 40, 80, 160) if scale == "paper" else (20, 40, 80),
+        **seed_kwargs(seed),
+    },
+)
 def run_optimum_gap(
     *,
     sizes: tuple[int, ...] = (20, 40, 80),

@@ -15,9 +15,11 @@ import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
 from repro.capacity.optimum import local_search_capacity, optimal_capacity_bruteforce
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
-from repro.experiments.workloads import figure1_networks, instance_pair
+from repro.experiments.workloads import figure1_network, instance_pair
 from repro.utils.rng import RngFactory
 from repro.utils.stats import summarize
 from repro.utils.tables import format_table
@@ -27,42 +29,63 @@ __all__ = ["run_optimum_stat"]
 PAPER_VALUE = 49.75
 
 
+def _optimum_task(task: Task) -> tuple[int, int, int, int]:
+    """One network: greedy and local-search sizes, plus the exact-vs-LS
+    calibration pair on its truncated subinstance."""
+    cfg, net_idx, restarts, exact_subinstance_size = task.payload
+    factory = RngFactory(cfg.seed)
+    beta = cfg.params.beta
+    net = figure1_network(cfg, net_idx)
+    inst, _ = instance_pair(net, cfg.params, with_sqrt=False)
+    greedy = int(greedy_capacity(inst, beta).size)
+    ls = int(
+        local_search_capacity(
+            inst, beta, rng=factory.stream("opt-ls", net_idx), restarts=restarts
+        ).size
+    )
+    # Exact-vs-estimator calibration on a truncated instance.
+    k = min(exact_subinstance_size, inst.n)
+    sub = inst.subinstance(np.arange(k))
+    exact = int(optimal_capacity_bruteforce(sub, beta).size)
+    ls_sub = int(
+        local_search_capacity(
+            sub, beta, rng=factory.stream("opt-ls-small", net_idx), restarts=restarts
+        ).size
+    )
+    return greedy, ls, exact, ls_sub
+
+
+@register(
+    "E3",
+    title="Optimum statistic (paper: 49.75)",
+    config=lambda scale, seed: {"config": scaled_config(Figure1Config, scale, seed)},
+)
 def run_optimum_stat(
     config: "Figure1Config | None" = None,
     *,
     restarts: int = 8,
     exact_subinstance_size: int = 18,
+    jobs: "int | None" = 1,
 ) -> ExperimentResult:
     """Estimate the uniform-power optimum on the Figure-1 ensemble."""
     cfg = config if config is not None else Figure1Config.quick()
-    factory = RngFactory(cfg.seed)
-    beta = cfg.params.beta
 
-    greedy_sizes: list[int] = []
-    ls_sizes: list[int] = []
-    exact_small: list[int] = []
-    ls_small: list[int] = []
-    for net_idx, net in enumerate(figure1_networks(cfg)):
-        inst, _ = instance_pair(net, cfg.params, with_sqrt=False)
-        greedy_sizes.append(int(greedy_capacity(inst, beta).size))
-        ls_sizes.append(
-            int(
-                local_search_capacity(
-                    inst, beta, rng=factory.stream("opt-ls", net_idx), restarts=restarts
-                ).size
-            )
+    timer = StageTimer()
+    with timer.stage("sweep"):
+        tasks = make_tasks(
+            [
+                (cfg, k, restarts, exact_subinstance_size)
+                for k in range(cfg.num_networks)
+            ],
+            root_seed=cfg.seed,
+            name="optimum-task",
         )
-        # Exact-vs-estimator calibration on a truncated instance.
-        k = min(exact_subinstance_size, inst.n)
-        sub = inst.subinstance(np.arange(k))
-        exact_small.append(int(optimal_capacity_bruteforce(sub, beta).size))
-        ls_small.append(
-            int(
-                local_search_capacity(
-                    sub, beta, rng=factory.stream("opt-ls-small", net_idx), restarts=restarts
-                ).size
-            )
-        )
+        per_network = map_tasks(_optimum_task, tasks, jobs=jobs)
+
+    greedy_sizes = [row[0] for row in per_network]
+    ls_sizes = [row[1] for row in per_network]
+    exact_small = [row[2] for row in per_network]
+    ls_small = [row[3] for row in per_network]
 
     ls = summarize(ls_sizes)
     greedy = summarize(greedy_sizes)
@@ -120,4 +143,5 @@ def run_optimum_stat(
         },
         config=repr(cfg),
         checks=checks,
+        timings=timer.timings,
     )

@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from repro.capacity.optimum import local_search_capacity
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure2Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure2_networks, instance_pair
@@ -28,6 +29,11 @@ from repro.utils.tables import format_table
 __all__ = ["run_regret_stats"]
 
 
+@register(
+    "E9",
+    title="Regret-learning statistics",
+    config=lambda scale, seed: {"config": scaled_config(Figure2Config, scale, seed)},
+)
 def run_regret_stats(config: "Figure2Config | None" = None) -> ExperimentResult:
     """Record regret, Lemma-5, and capacity-ratio statistics."""
     cfg = config if config is not None else Figure2Config.quick()

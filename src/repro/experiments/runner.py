@@ -33,6 +33,12 @@ class ExperimentResult:
     checks:
         Named boolean shape checks ("who wins", monotonicity, bound
         satisfaction, ...) — the machine-readable reproduction verdicts.
+    timings:
+        Per-stage wall-clock seconds, populated by the engine (the
+        executor's :class:`~repro.engine.executor.StageTimer` plus a
+        ``"total"`` entry added by the registry).  Deliberately excluded
+        from :meth:`to_json` so result files are byte-identical across
+        re-runs and worker counts.
     """
 
     experiment_id: str
@@ -41,6 +47,7 @@ class ExperimentResult:
     data: dict = field(default_factory=dict)
     config: str = ""
     checks: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     @property
     def all_checks_pass(self) -> bool:
@@ -68,8 +75,12 @@ class ExperimentResult:
             indent=2,
         )
 
-    def render(self) -> str:
-        """Full printable report: header, table, check verdicts."""
+    def render(self, *, timings: bool = False) -> str:
+        """Full printable report: header, table, check verdicts.
+
+        ``timings=True`` appends the per-stage wall-clock section (the
+        CLI's ``--timings`` flag).
+        """
         lines = [f"[{self.experiment_id}] {self.title}", ""]
         lines.append(self.text)
         if self.checks:
@@ -77,4 +88,9 @@ class ExperimentResult:
             lines.append("shape checks:")
             for name, ok in self.checks.items():
                 lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        if timings and self.timings:
+            lines.append("")
+            lines.append("timings (wall-clock seconds):")
+            for name, seconds in self.timings.items():
+                lines.append(f"  {name}: {seconds:.3f}")
         return "\n".join(lines)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure1_networks, instance_pair
@@ -34,6 +35,14 @@ from repro.utils.tables import format_series
 __all__ = ["run_shannon_figure"]
 
 
+@register(
+    "E17",
+    title="Shannon-utility Figure 1 (no crossover)",
+    config=lambda scale, seed: {
+        "config": scaled_config(Figure1Config, scale, seed),
+        "fading_slots": 10 if scale == "paper" else 6,
+    },
+)
 def run_shannon_figure(
     config: "Figure1Config | None" = None,
     *,

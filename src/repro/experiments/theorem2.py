@@ -22,6 +22,8 @@ import numpy as np
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.fading.success import success_probability
@@ -33,7 +35,71 @@ from repro.utils.tables import format_table
 
 __all__ = ["run_theorem2"]
 
+#: Trials per executor task.  A fixed constant (never derived from the
+#: worker count) so the chunk boundaries — and hence the aggregation
+#: order of the partial sums — are identical for every ``jobs`` value.
+_TRIAL_CHUNK = 25
 
+
+def _theorem2_instance(seed: int, n: int, pp: PaperParameters) -> SINRInstance:
+    factory = RngFactory(seed)
+    s, r = paper_random_network(n, rng=factory.stream("t2-net", n))
+    return SINRInstance.from_network(
+        Network(s, r), UniformPower(pp.power_scale), pp.alpha, pp.noise
+    )
+
+
+def _theorem2_sim_task(task: Task):
+    """One chunk of Algorithm-1 trials for one network size.
+
+    Returns partial sums ``(hits, utility_sum, num_stages, num_slots)``
+    over trials ``[start, stop)``; every trial draws from its own named
+    stream, so chunks are process-independent.
+    """
+    from repro.utility.shannon import ShannonUtility
+
+    seed, n, start, stop, q_level, pp = task.payload
+    factory = RngFactory(seed)
+    inst = _theorem2_instance(seed, n, pp)
+    q = np.full(n, q_level)
+    profile = ShannonUtility(n, cap=1e6)
+    hits = np.zeros(n, dtype=np.int64)
+    utility_sum = np.zeros(n, dtype=np.float64)
+    num_stages = num_slots = 0
+    for t in range(start, stop):
+        out = simulate_rayleigh_optimum(
+            inst, q, pp.beta, factory.stream("t2-sim", n, t)
+        )
+        hits += out.success
+        utility_sum += profile(np.minimum(out.best_sinr, 1e6))
+        num_stages, num_slots = out.num_stages, out.num_slots
+    return hits, utility_sum, num_stages, num_slots
+
+
+def _theorem2_util_task(task: Task) -> np.ndarray:
+    """Per-link ``E[u(γ^R)]`` estimate for one network size, batched."""
+    from repro.fading.rayleigh import simulate_sinr_patterns
+    from repro.utility.shannon import ShannonUtility
+
+    seed, n, q_level, util_trials, pp = task.payload
+    factory = RngFactory(seed)
+    inst = _theorem2_instance(seed, n, pp)
+    profile = ShannonUtility(n, cap=1e6)
+    mc_rng = factory.stream("t2-util", n)
+    patterns = mc_rng.random((util_trials, n)) < q_level
+    sinr = simulate_sinr_patterns(inst, patterns, mc_rng)
+    vals = np.where(patterns, profile(sinr), 0.0)
+    return vals.sum(axis=0) / util_trials
+
+
+@register(
+    "E6",
+    title="Theorem 2 / Algorithm 1 simulation",
+    config=lambda scale, seed: {
+        "trials": 500 if scale == "paper" else 150,
+        **seed_kwargs(seed),
+    },
+)
 def run_theorem2(
     *,
     sizes: tuple[int, ...] = (20, 50, 100),
@@ -41,6 +107,7 @@ def run_theorem2(
     trials: int = 200,
     params: "PaperParameters | None" = None,
     seed: int = 2012,
+    jobs: "int | None" = 1,
 ) -> ExperimentResult:
     """Measure Algorithm 1 against the exact Rayleigh probabilities.
 
@@ -50,46 +117,49 @@ def run_theorem2(
     the best simulation slot, ``E[u(γ^R)] ≤ 8·E[u(max_t γ^{nf,t})]``
     (the constant from the proof's decomposition).
     """
-    from repro.fading.rayleigh import simulate_sinr
-    from repro.utility.shannon import ShannonUtility
-
     pp = params if params is not None else PaperParameters.figure1()
-    factory = RngFactory(seed)
+    util_trials = max(trials, 200)
+
+    timer = StageTimer()
+    with timer.stage("simulate"):
+        chunks = [
+            (seed, n, start, min(start + _TRIAL_CHUNK, trials), q_level, pp)
+            for n in sizes
+            for start in range(0, trials, _TRIAL_CHUNK)
+        ]
+        sim_tasks = make_tasks(chunks, root_seed=seed, name="t2-sim-task")
+        sim_parts = map_tasks(_theorem2_sim_task, sim_tasks, jobs=jobs)
+
+    with timer.stage("utility"):
+        util_tasks = make_tasks(
+            [(seed, n, q_level, util_trials, pp) for n in sizes],
+            root_seed=seed,
+            name="t2-util-task",
+        )
+        ray_utilities = map_tasks(_theorem2_util_task, util_tasks, jobs=jobs)
+
     rows = []
     domination_ok = True
     stage_growth_ok = True
     utility_factor_ok = True
     utility_factors = []
-    for n in sizes:
-        s, r = paper_random_network(n, rng=factory.stream("t2-net", n))
-        net = Network(s, r)
-        inst = SINRInstance.from_network(net, UniformPower(pp.power_scale), pp.alpha, pp.noise)
+    for size_idx, n in enumerate(sizes):
+        inst = _theorem2_instance(seed, n, pp)
         q = np.full(n, q_level)
         rayleigh = success_probability(inst, q, pp.beta)
-        profile = ShannonUtility(n, cap=1e6)
         hits = np.zeros(n, dtype=np.int64)
         sim_utility = np.zeros(n, dtype=np.float64)
         num_stages = num_slots = 0
-        for t in range(trials):
-            out = simulate_rayleigh_optimum(
-                inst, q, pp.beta, factory.stream("t2-sim", n, t)
-            )
-            hits += out.success
-            sim_utility += profile(np.minimum(out.best_sinr, 1e6))
-            num_stages, num_slots = out.num_stages, out.num_slots
+        for chunk, part in zip(chunks, sim_parts):
+            if chunk[1] != n:
+                continue
+            hits += part[0]
+            sim_utility += part[1]
+            num_stages, num_slots = part[2], part[3]
         sim_prob = hits / trials
         sim_utility /= trials  # E[u(max_t γ^{nf,t})] per link
         # E[u(γ^R)] per link under one Rayleigh slot with pattern ~ q.
-        mc_rng = factory.stream("t2-util", n)
-        ray_utility = np.zeros(n, dtype=np.float64)
-        util_trials = max(trials, 200)
-        for _ in range(util_trials):
-            pattern = mc_rng.random(n) < q
-            if not pattern.any():
-                continue
-            sinr = simulate_sinr(inst, pattern, mc_rng, num_slots=1)[0]
-            ray_utility += np.where(pattern, profile(sinr), 0.0)
-        ray_utility /= util_trials
+        ray_utility = ray_utilities[size_idx]
         factor = float(ray_utility.sum() / max(sim_utility.sum(), 1e-12))
         utility_factors.append(factor)
         utility_factor_ok &= factor <= 8.0
@@ -140,4 +210,5 @@ def run_theorem2(
         data={"rows": rows},
         config=f"sizes={sizes}, q={q_level}, trials={trials}, params={pp!r}",
         checks=checks,
+        timings=timer.timings,
     )

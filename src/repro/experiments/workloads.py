@@ -12,26 +12,34 @@ from repro.geometry.placement import paper_random_network
 from repro.utils.rng import RngFactory
 
 __all__ = [
+    "figure1_network",
     "figure1_networks",
     "figure2_networks",
     "instance_pair",
 ]
 
 
+def figure1_network(config: Figure1Config, index: int) -> Network:
+    """Network ``index`` of the Figure-1 ensemble.
+
+    Each network depends only on ``(config.seed, index)``, so executor
+    tasks can build their own network in any worker process and still
+    match a serial run bit-for-bit.
+    """
+    factory = RngFactory(config.seed)
+    s, r = paper_random_network(
+        config.num_links,
+        area=config.area,
+        min_length=config.min_length,
+        max_length=config.max_length,
+        rng=factory.stream("figure1-network", index),
+    )
+    return Network(s, r)
+
+
 def figure1_networks(config: Figure1Config) -> list[Network]:
     """The Figure-1 network ensemble (one per network seed)."""
-    factory = RngFactory(config.seed)
-    nets = []
-    for k in range(config.num_networks):
-        s, r = paper_random_network(
-            config.num_links,
-            area=config.area,
-            min_length=config.min_length,
-            max_length=config.max_length,
-            rng=factory.stream("figure1-network", k),
-        )
-        nets.append(Network(s, r))
-    return nets
+    return [figure1_network(config, k) for k in range(config.num_networks)]
 
 
 def figure2_networks(config: Figure2Config) -> list[Network]:

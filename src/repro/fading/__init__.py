@@ -41,6 +41,7 @@ from repro.fading.montecarlo import (
 from repro.fading.rayleigh import (
     sample_fading_gains,
     simulate_sinr,
+    simulate_sinr_patterns,
     simulate_slot,
     simulate_slots,
     simulate_slots_bernoulli,
@@ -66,6 +67,7 @@ __all__ = [
     "observation1_second",
     "sample_fading_gains",
     "simulate_sinr",
+    "simulate_sinr_patterns",
     "simulate_slot",
     "simulate_slots",
     "simulate_slots_bernoulli",

@@ -4,6 +4,13 @@ These estimators serve two roles: validating the closed forms (Theorem 1,
 Lemma 1) against brute-force sampling, and evaluating quantities that have
 no closed form — chiefly the expected *non-binary* utility
 ``E[Σ u_i(γ_i^R)]`` for Shannon-type utility functions.
+
+Sampling is fully batched: each chunk draws the ``(T, n)`` transmit
+patterns and the ``(T, n, n)`` exponential gain tensor at once and
+evaluates every slot's SINR against its own pattern in a single
+vectorized pass (:func:`repro.fading.rayleigh.simulate_sinr_patterns`).
+Chunk sizes are bounded so memory stays constant regardless of
+``num_samples``.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.sinr import SINRInstance
-from repro.fading.rayleigh import simulate_sinr, simulate_slots
+from repro.fading.rayleigh import _BLOCK_ELEMENTS, simulate_sinr_patterns
 from repro.fading.success import success_probability
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector
@@ -32,6 +39,12 @@ def expected_successes_exact(instance: SINRInstance, q, beta) -> float:
     needed thanks to Theorem 1 and linearity of expectation.
     """
     return float(success_probability(instance, q, beta).sum())
+
+
+def _sample_chunk_size(n: int) -> int:
+    """Patterns per vectorized chunk: the gain tensor of one chunk stays
+    within the fading module's block budget."""
+    return max(1, _BLOCK_ELEMENTS // max(1, n * n))
 
 
 def estimate_success_probability(
@@ -57,16 +70,13 @@ def estimate_success_probability(
     gen = as_generator(rng)
     qv = check_probability_vector(q, instance.n)
     counts = np.zeros(instance.n, dtype=np.int64)
-    # Group samples by transmit pattern draw to amortize; patterns change
-    # every slot, so we simulate slot-by-slot in modest batches.
-    batch = 64
+    block = _sample_chunk_size(instance.n)
     done = 0
     while done < num_samples:
-        t = min(batch, num_samples - done)
+        t = min(block, num_samples - done)
         patterns = gen.random((t, instance.n)) < qv
-        for row in patterns:
-            if row.any():
-                counts += simulate_slots(instance, row, beta, gen, num_slots=1)[0]
+        sinr = simulate_sinr_patterns(instance, patterns, gen)
+        counts += ((sinr >= beta) & patterns).sum(axis=0)
         done += t
     return counts / num_samples
 
@@ -107,17 +117,14 @@ def estimate_expected_utility(
     gen = as_generator(rng)
     qv = check_probability_vector(q, instance.n)
     per_link = np.zeros(instance.n, dtype=np.float64)
-    batch = 64
+    block = _sample_chunk_size(instance.n)
     done = 0
     while done < num_samples:
-        t = min(batch, num_samples - done)
+        t = min(block, num_samples - done)
         patterns = gen.random((t, instance.n)) < qv
-        for row in patterns:
-            if not row.any():
-                continue
-            sinr = simulate_sinr(instance, row, gen, num_slots=1)[0]
-            vals = np.asarray(utility(sinr[None, :]))[0]
-            per_link += np.where(row, vals, 0.0)
+        sinr = simulate_sinr_patterns(instance, patterns, gen)
+        vals = np.asarray(utility(sinr))
+        per_link += np.where(patterns, vals, 0.0).sum(axis=0)
         done += t
     per_link /= num_samples
     return float(per_link.sum()), per_link

@@ -32,6 +32,7 @@ from repro.utils.validation import check_positive
 __all__ = [
     "sample_fading_gains",
     "simulate_sinr",
+    "simulate_sinr_patterns",
     "simulate_slot",
     "simulate_slots",
     "simulate_slots_bernoulli",
@@ -71,15 +72,19 @@ def _sinr_from_draws(draws: np.ndarray, active: np.ndarray, noise: float) -> np.
     """SINR per link from drawn gain matrices.
 
     ``draws`` is ``(..., n, n)`` with ``draws[..., j, i]`` the strength of
-    sender ``j`` at receiver ``i``; ``active`` is a boolean ``(n,)`` mask.
+    sender ``j`` at receiver ``i``; ``active`` is a boolean mask, either a
+    single ``(n,)`` pattern shared by every draw or pattern-varying with
+    any shape broadcastable against the draws' leading axes (e.g.
+    ``(T, n)`` masks for ``(T, n, n)`` draws).
     """
+    act = np.asarray(active, dtype=bool)
     diag = np.diagonal(draws, axis1=-2, axis2=-1)  # own signals, (..., n)
-    total = np.einsum("...ji,j->...i", draws, active.astype(np.float64))
-    denom = total - active * diag + noise
+    total = np.einsum("...ji,...j->...i", draws, act.astype(np.float64))
+    denom = total - act * diag + noise
     out = np.zeros(denom.shape, dtype=np.float64)
     with np.errstate(divide="ignore", invalid="ignore"):
-        np.divide(diag, denom, out=out, where=active & (denom > 0.0))
-    out[np.broadcast_to(active, denom.shape) & (denom <= 0.0)] = np.inf
+        np.divide(diag, denom, out=out, where=act & (denom > 0.0))
+    out[np.broadcast_to(act, denom.shape) & (denom <= 0.0)] = np.inf
     return out
 
 
@@ -120,6 +125,70 @@ def simulate_sinr(
         t = min(block, num_slots - done)
         draws = sample_fading_gains(sub, gen, size=t)
         out[done : done + t, idx] = _sinr_from_draws(draws, all_active, instance.noise)
+        done += t
+    return out
+
+
+def simulate_sinr_patterns(
+    instance: SINRInstance, patterns: np.ndarray, rng=None
+) -> np.ndarray:
+    """Sample one fading SINR slot per transmit pattern, fully batched.
+
+    ``patterns`` is a boolean ``(T, n)`` array — one independent transmit
+    pattern per slot (unlike :func:`simulate_sinr`, which holds a single
+    pattern fixed across slots).  This is the Monte-Carlo hot path: there
+    is no per-pattern Python loop, and the whole batch reduces to one
+    ``(T, n)`` exponential draw plus one ``(T, n) @ (n, n)`` product per
+    memory-bounded chunk.
+
+    Sampling scheme (common random numbers across receivers): each slot
+    draws **one** ``Exp(1)`` variate ``E_j`` per sender and sets
+    ``S(j, i) = S̄(j, i) · E_j`` for every receiver ``i``.  At any fixed
+    receiver, its own signal uses ``E_i`` — which never appears in its own
+    interference sum — and the interference terms use ``{E_j, j ≠ i}``,
+    mutually independent of it.  The per-(slot, link) joint law of
+    (signal, interference), and hence the marginal SINR distribution of
+    every link, is therefore *exactly* the model's; what changes is only
+    the within-slot dependence **across** links (they share sender
+    draws).  Per-link success frequencies and expected utilities — the
+    quantities every Monte-Carlo estimator built on this kernel returns —
+    are unbiased with exactly the per-link variance of fully independent
+    draws, by linearity of expectation.  Consumers that need the joint
+    within-slot law across links should use :func:`simulate_sinr` or
+    :func:`sample_fading_gains` instead.
+
+    Returns shape ``(T, n)``; links silent in a pattern read 0 in its row.
+    """
+    pats = np.asarray(patterns)
+    if pats.dtype != np.bool_:
+        raise TypeError(f"patterns must be boolean, got dtype {pats.dtype}")
+    if pats.ndim != 2 or pats.shape[1] != instance.n:
+        raise ValueError(
+            f"patterns must have shape (T, {instance.n}), got {pats.shape}"
+        )
+    num_slots, n = pats.shape
+    out = np.zeros((num_slots, n), dtype=np.float64)
+    if num_slots == 0:
+        return out
+    gen = as_generator(rng)
+    gains = instance.gains
+    own = instance.signal  # S̄(i,i), shape (n,)
+    block = max(1, _BLOCK_ELEMENTS // max(1, n))
+    done = 0
+    while done < num_slots:
+        t = min(block, num_slots - done)
+        chunk = pats[done : done + t]
+        act = chunk.astype(np.float64)
+        draws = gen.standard_exponential((t, n))  # E_j per (slot, sender)
+        # total[t, i] = Σ_j act_j · S̄(j, i) · E_j  — includes j = i.
+        total = (act * draws) @ gains
+        signal = own * draws
+        denom = total - act * signal + instance.noise
+        sinr = np.zeros((t, n), dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(signal, denom, out=sinr, where=chunk & (denom > 0.0))
+        sinr[chunk & (denom <= 0.0)] = np.inf
+        out[done : done + t] = sinr
         done += t
     return out
 

@@ -1,0 +1,62 @@
+"""Serial-vs-parallel determinism of the refactored experiment drivers.
+
+The executor contract: every task re-derives its randomness from the
+experiment's root seed and its own indices, and results are aggregated
+in task order — so the number of worker processes must not change a
+single byte of the result JSON.
+"""
+
+import numpy as np
+
+from repro.experiments import Figure1Config
+from repro.experiments.capacity_compare import run_capacity_compare
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.theorem2 import run_theorem2
+from repro.fading.montecarlo import estimate_success_probability
+from repro.fading.success import success_probability
+
+TINY_FIG1 = Figure1Config(
+    num_networks=2,
+    num_links=25,
+    area=1000.0 * (25 / 100) ** 0.5,
+    num_transmit_seeds=4,
+    probabilities=(0.2, 0.5, 0.8),
+)
+
+
+class TestDriverJobsParity:
+    def test_figure1_jobs_1_equals_jobs_4(self):
+        serial = run_figure1(TINY_FIG1, jobs=1)
+        parallel = run_figure1(TINY_FIG1, jobs=4)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_theorem2_jobs_1_equals_jobs_4(self):
+        kwargs = dict(sizes=(12, 20), trials=30)
+        serial = run_theorem2(jobs=1, **kwargs)
+        parallel = run_theorem2(jobs=4, **kwargs)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_capacity_compare_jobs_1_equals_jobs_4(self):
+        kwargs = dict(config=TINY_FIG1, nested_n=6, opt_restarts=2)
+        serial = run_capacity_compare(jobs=1, **kwargs)
+        parallel = run_capacity_compare(jobs=4, **kwargs)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_timings_not_serialized(self):
+        result = run_figure1(TINY_FIG1, jobs=1)
+        assert result.timings  # populated ...
+        assert "timings" not in result.to_json()  # ... but never in the JSON
+
+
+class TestBatchedKernelStatistics:
+    def test_batched_estimator_matches_exact_law(self, paper_instance):
+        """The batched Monte-Carlo kernel converges to Theorem 1's exact
+        per-link success probabilities (the seed's loop kernel target)."""
+        q = np.full(paper_instance.n, 0.5)
+        exact = success_probability(paper_instance, q, beta=1.0)
+        est = estimate_success_probability(
+            paper_instance, q, beta=1.0, num_samples=40000, rng=7
+        )
+        # 5-sigma Bernoulli band per link.
+        band = 5.0 * np.sqrt(np.maximum(exact * (1 - exact), 1e-4) / 40000)
+        np.testing.assert_array_less(np.abs(est - exact), band + 1e-12)

@@ -1,0 +1,87 @@
+"""Tests for the deterministic task executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs
+
+
+def _draw(task: Task) -> float:
+    """Pickleable task function: one uniform from the task's seed."""
+    return float(np.random.default_rng(task.seed).random())
+
+
+def _payload_square(task: Task) -> int:
+    return task.payload**2
+
+
+class TestMakeTasks:
+    def test_indices_and_payloads(self):
+        tasks = make_tasks(["a", "b", "c"])
+        assert [t.index for t in tasks] == [0, 1, 2]
+        assert [t.payload for t in tasks] == ["a", "b", "c"]
+        assert all(t.seed is None for t in tasks)
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        one = make_tasks(range(4), root_seed=7, name="x")
+        two = make_tasks(range(4), root_seed=7, name="x")
+        draws_one = [_draw(t) for t in one]
+        draws_two = [_draw(t) for t in two]
+        assert draws_one == draws_two
+        assert len(set(draws_one)) == 4
+
+    def test_seeds_depend_on_name_and_root(self):
+        base = [_draw(t) for t in make_tasks(range(3), root_seed=7, name="x")]
+        other_name = [_draw(t) for t in make_tasks(range(3), root_seed=7, name="y")]
+        other_root = [_draw(t) for t in make_tasks(range(3), root_seed=8, name="x")]
+        assert base != other_name
+        assert base != other_root
+
+
+class TestMapTasks:
+    def test_serial_preserves_order(self):
+        tasks = make_tasks([3, 1, 2])
+        assert map_tasks(_payload_square, tasks, jobs=1) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        tasks = make_tasks(range(5), root_seed=11)
+        serial = map_tasks(_draw, tasks, jobs=1)
+        parallel = map_tasks(_draw, tasks, jobs=3)
+        assert serial == parallel
+
+    def test_worker_exception_propagates(self):
+        def boom(task: Task):
+            raise ValueError("bad task %d" % task.index)
+
+        with pytest.raises(ValueError, match="bad task"):
+            map_tasks(boom, make_tasks(range(2)), jobs=1)
+
+    def test_empty_tasks(self):
+        assert map_tasks(_payload_square, [], jobs=4) == []
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(8) == 8
+
+    def test_all_cores(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestStageTimer:
+    def test_accumulates_named_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert set(timer.timings) == {"a", "b"}
+        assert all(v >= 0.0 for v in timer.timings.values())

@@ -1,0 +1,82 @@
+"""Registry parity: every DESIGN.md experiment is registered exactly once."""
+
+import pytest
+
+from repro.engine.registry import (
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    register,
+    scaled_config,
+    seed_kwargs,
+)
+from repro.experiments.config import Figure1Config
+
+DESIGN_IDS = [f"E{k}" for k in range(1, 23)]
+
+
+class TestParity:
+    def test_all_design_experiments_registered_exactly_once(self):
+        # dict keys are unique, so matching the DESIGN.md §3 id list
+        # exactly means each driver registered once and none is missing.
+        assert list(all_specs()) == DESIGN_IDS
+
+    def test_specs_are_well_formed(self):
+        for exp_id, spec in all_specs().items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.experiment_id == exp_id
+            assert spec.title
+            assert callable(spec.runner)
+            kwargs = spec.make_kwargs("quick")
+            assert isinstance(kwargs, dict)
+
+    def test_sweep_drivers_support_jobs(self):
+        specs = all_specs()
+        for exp_id in ("E1", "E3", "E5", "E6", "E7", "E13"):
+            assert specs[exp_id].supports_jobs, exp_id
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_spec("e1") is get_spec("E1")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_spec("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("E1", title="dup", config=lambda scale, seed: {})(lambda: None)
+
+
+class TestConfigHelpers:
+    def test_scaled_config_scales(self):
+        quick = scaled_config(Figure1Config, "quick")
+        paper = scaled_config(Figure1Config, "paper")
+        assert quick == Figure1Config.quick()
+        assert paper == Figure1Config.paper()
+
+    def test_scaled_config_seed_override(self):
+        cfg = scaled_config(Figure1Config, "quick", seed=123)
+        assert cfg.seed == 123
+        assert scaled_config(Figure1Config, "quick").seed != 123
+
+    def test_scaled_config_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            scaled_config(Figure1Config, "huge")
+
+    def test_seed_kwargs(self):
+        assert seed_kwargs(None) == {}
+        assert seed_kwargs(5) == {"seed": 5}
+
+    def test_make_kwargs_threads_seed(self):
+        kwargs = get_spec("E1").make_kwargs("quick", seed=321)
+        assert kwargs["config"].seed == 321
+        kwargs = get_spec("E11").make_kwargs("quick", seed=321)
+        assert kwargs["seed"] == 321
+
+    def test_run_records_total_timing(self):
+        result = get_spec("E11").run("quick")
+        assert result.experiment_id == "E11"
+        assert "total" in result.timings
+        assert result.timings["total"] > 0.0

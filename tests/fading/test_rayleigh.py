@@ -8,6 +8,7 @@ from repro.core.sinr import SINRInstance
 from repro.fading.rayleigh import (
     sample_fading_gains,
     simulate_sinr,
+    simulate_sinr_patterns,
     simulate_slot,
     simulate_slots,
     simulate_slots_bernoulli,
@@ -145,3 +146,68 @@ class TestSlotSimulation:
             assert np.all(out > 0.0)
         finally:
             ray._BLOCK_ELEMENTS = old
+
+
+class TestSimulateSinrPatterns:
+    def test_shape_and_masking(self, two_link_instance):
+        patterns = np.array([[True, False], [False, False], [True, True]])
+        out = simulate_sinr_patterns(two_link_instance, patterns, rng=0)
+        assert out.shape == (3, 2)
+        assert np.all(out[~patterns] == 0.0)
+        assert np.all(out[0, 0] > 0.0)
+        assert np.all(out[2] > 0.0)
+
+    def test_matches_theorem1_per_pattern(self, paper_instance):
+        """Success frequencies under pattern-varying masks reproduce the
+        exact law: each slot's pattern is Bernoulli(q) and the batched
+        kernel's thresholded SINR must match Theorem 1's Q_i(q, β)."""
+        n = paper_instance.n
+        beta = 2.5
+        trials = 6000
+        gen = np.random.default_rng(13)
+        q = np.full(n, 0.4)
+        patterns = gen.random((trials, n)) < q
+        sinr = simulate_sinr_patterns(paper_instance, patterns, gen)
+        freq = ((sinr >= beta) & patterns).sum(axis=0) / trials
+        expected = success_probability(paper_instance, q, beta)
+        band = 4.0 * np.sqrt(expected * (1 - expected) / trials) + 8.0 / trials
+        assert np.all(np.abs(freq - expected) <= band)
+
+    def test_agrees_with_per_pattern_loop(self, paper_instance):
+        """Statistical equivalence with the seed's loop kernel: running
+        ``simulate_slots`` pattern-by-pattern and the batched kernel give
+        the same per-link success frequencies up to MC noise."""
+        n = paper_instance.n
+        beta = 2.5
+        trials = 3000
+        gen = np.random.default_rng(14)
+        patterns = gen.random((trials, n)) < 0.5
+        sinr = simulate_sinr_patterns(paper_instance, patterns, gen)
+        batched = ((sinr >= beta) & patterns).sum(axis=0) / trials
+
+        loop_gen = np.random.default_rng(15)
+        loop_hits = np.zeros(n)
+        for row in patterns[:600]:  # loop kernel is slow; subsample
+            loop_hits += simulate_slots(
+                paper_instance, row, beta, rng=loop_gen, num_slots=1
+            )[0]
+        loop = loop_hits / 600
+        band = 4.0 * np.sqrt(np.maximum(batched * (1 - batched), 1e-3) / 600)
+        assert np.all(np.abs(batched - loop) <= band + 0.02)
+
+    def test_chunking_consistency(self, two_link_instance):
+        import repro.fading.rayleigh as ray
+
+        patterns = np.ones((40, 2), dtype=bool)
+        whole = simulate_sinr_patterns(
+            two_link_instance, patterns, rng=np.random.default_rng(16)
+        )
+        old = ray._BLOCK_ELEMENTS
+        try:
+            ray._BLOCK_ELEMENTS = 8  # force many tiny chunks
+            chunked = simulate_sinr_patterns(
+                two_link_instance, patterns, rng=np.random.default_rng(16)
+            )
+        finally:
+            ray._BLOCK_ELEMENTS = old
+        np.testing.assert_allclose(whole, chunked)

@@ -8,7 +8,9 @@ place but not the others.
 import re
 from pathlib import Path
 
-from repro.cli import EXPERIMENTS
+from repro.engine.registry import all_specs
+
+EXPERIMENTS = all_specs()
 
 REPO = Path(__file__).parent.parent
 DESIGN = (REPO / "DESIGN.md").read_text(encoding="utf-8")
@@ -49,12 +51,11 @@ class TestExperimentInventory:
             )
 
     def test_driver_ids_match_registry_keys(self):
-        for exp_id, (_, runner) in EXPERIMENTS.items():
-            result = None
+        for exp_id, spec in EXPERIMENTS.items():
             # Only run the cheapest drivers here; identity of the rest is
             # covered by their own tests.
             if exp_id in ("E11", "E13"):
-                result = runner("quick")
+                result = spec.run("quick")
                 assert result.experiment_id == exp_id
 
 
