@@ -1,0 +1,136 @@
+"""Per-round cost of the channel layer, across members.
+
+Every consumer (game rounds, scheduler slots, transform replays) pays one
+channel call per round, so the per-call cost of each member is the unit
+economics of the whole library.  This module benchmarks the four
+operations of the interface — ``realize``, ``realize_batch``,
+``counterfactual``, ``success_probability`` — on the non-fading,
+exact-Rayleigh, and Monte-Carlo (Nakagami) channels at paper scale
+(n = 100).
+
+Run under pytest-benchmark as usual, or execute the module directly to
+(re)record the JSON baseline::
+
+    PYTHONPATH=src python benchmarks/bench_channels.py   # writes BENCH_channels.json
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.channel import MonteCarloChannel, NonFadingChannel, RayleighChannel
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.models import NakagamiFading
+from repro.geometry.placement import paper_random_network
+
+BETA = 2.5
+N = 100
+BATCH = 256
+
+_BASELINE = Path(__file__).resolve().parent / "BENCH_channels.json"
+
+
+def _instance() -> SINRInstance:
+    s, r = paper_random_network(N, rng=0)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+@pytest.fixture(scope="module")
+def inst100() -> SINRInstance:
+    return _instance()
+
+
+def _channels(inst):
+    return {
+        "nonfading": NonFadingChannel(inst, BETA),
+        "rayleigh": RayleighChannel(inst, BETA),
+        "nakagami_m2": MonteCarloChannel(inst, BETA, NakagamiFading(2.0), mc_slots=500),
+    }
+
+
+def _mask(n):
+    mask = np.zeros(n, dtype=bool)
+    mask[:40] = True
+    return mask
+
+
+@pytest.mark.parametrize("kind", ["nonfading", "rayleigh", "nakagami_m2"])
+def test_realize_per_slot(benchmark, inst100, kind):
+    ch = _channels(inst100)[kind]
+    mask, gen = _mask(N), np.random.default_rng(1)
+    benchmark(ch.realize, mask, gen)
+
+
+@pytest.mark.parametrize("kind", ["nonfading", "rayleigh", "nakagami_m2"])
+def test_realize_batch_256(benchmark, inst100, kind):
+    ch = _channels(inst100)[kind]
+    gen = np.random.default_rng(2)
+    patterns = gen.random((BATCH, N)) < 0.4
+    benchmark(ch.realize_batch, patterns, gen)
+
+
+@pytest.mark.parametrize("kind", ["nonfading", "rayleigh", "nakagami_m2"])
+def test_counterfactual_per_round(benchmark, inst100, kind):
+    ch = _channels(inst100)[kind]
+    mask, gen = _mask(N), np.random.default_rng(3)
+    benchmark(ch.counterfactual, mask, gen)
+
+
+@pytest.mark.parametrize("kind", ["rayleigh", "nakagami_m2"])
+def test_success_probability(benchmark, inst100, kind):
+    ch = _channels(inst100)[kind]
+    q, gen = np.full(N, 0.4), np.random.default_rng(4)
+    benchmark(ch.success_probability, q, gen)
+
+
+def _time_call(fn, *args, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record_baseline(path=_BASELINE) -> dict:
+    """Time every (channel, operation) pair and write the JSON baseline."""
+    inst = _instance()
+    mask = _mask(N)
+    q = np.full(N, 0.4)
+    gen = np.random.default_rng(0)
+    patterns = gen.random((BATCH, N)) < 0.4
+    out = {"n": N, "beta": BETA, "batch": BATCH, "seconds": {}}
+    for kind, ch in _channels(inst).items():
+        ch.realize(mask, gen)  # warm-up
+        entry = {
+            "realize": _time_call(ch.realize, mask, gen),
+            "realize_batch_256": _time_call(ch.realize_batch, patterns, gen),
+            "counterfactual": _time_call(ch.counterfactual, mask, gen),
+        }
+        if kind != "nonfading":
+            entry["success_probability"] = _time_call(ch.success_probability, q, gen)
+        out["seconds"][kind] = entry
+    Path(path).write_text(json.dumps(out, indent=2) + "\n", encoding="utf-8")
+    return out
+
+
+def test_exact_rayleigh_beats_monte_carlo(inst100):
+    """The Bernoulli fast path must stay well under the explicit-sampling
+    channel per slot — that gap is why RayleighChannel is the default."""
+    chans = _channels(inst100)
+    mask, gen = _mask(N), np.random.default_rng(5)
+    for ch in chans.values():
+        ch.realize(mask, gen)
+    exact = _time_call(chans["rayleigh"].realize, mask, gen, repeats=20)
+    mc = _time_call(chans["nakagami_m2"].realize, mask, gen, repeats=20)
+    assert exact < mc * 1.5, f"exact {exact * 1e6:.0f}us vs MC {mc * 1e6:.0f}us"
+
+
+if __name__ == "__main__":
+    doc = record_baseline()
+    print(json.dumps(doc, indent=2))

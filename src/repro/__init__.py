@@ -44,6 +44,15 @@ from repro.capacity import (
     optimal_capacity_bruteforce,
     power_control_capacity,
 )
+from repro.channel import (
+    BlockFadingChannel,
+    Channel,
+    MonteCarloChannel,
+    NonFadingChannel,
+    RayleighChannel,
+    make_channel,
+    parse_channel_spec,
+)
 from repro.core import (
     CustomPower,
     LengthScaledPower,
@@ -132,7 +141,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BinaryUtility",
+    "BlockFadingChannel",
     "CapacityGame",
+    "Channel",
     "CustomPower",
     "EuclideanMetric",
     "Exp3Learner",
@@ -142,14 +153,17 @@ __all__ = [
     "LinearPower",
     "Link",
     "Metric",
+    "MonteCarloChannel",
     "MultiHopRequest",
     "NakagamiFading",
     "Network",
     "NoFading",
+    "NonFadingChannel",
     "PNormMetric",
     "PowerAssignment",
     "RWMLearner",
     "RWMLearnerBank",
+    "RayleighChannel",
     "RayleighFading",
     "RicianFading",
     "RngFactory",
@@ -187,6 +201,7 @@ __all__ = [
     "load_network",
     "local_search_capacity",
     "log_star",
+    "make_channel",
     "measured_optimum_gap",
     "min_feasible_powers",
     "multihop_latency",
@@ -195,6 +210,7 @@ __all__ = [
     "optimal_capacity_bruteforce",
     "optimize_transmission_probabilities",
     "paper_random_network",
+    "parse_channel_spec",
     "poisson_network",
     "power_control_capacity",
     "price_of_anarchy_sample",

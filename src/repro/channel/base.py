@@ -1,0 +1,185 @@
+"""The ``Channel`` abstraction — one answer to "does a transmission succeed?".
+
+The paper's whole program is moving algorithms between interference
+models (Lemma 2, Theorem 2, Section 8's "further realistic" models), so
+the question *how a transmission succeeds* must not be re-decided inside
+every consumer.  A :class:`Channel` binds an
+:class:`~repro.core.sinr.SINRInstance` to a SINR threshold ``β`` and one
+interference model, and exposes the three operations every consumer in
+the library needs:
+
+* **Per-slot sampling** — :meth:`Channel.realize` draws one slot's
+  success mask for a transmit pattern, :meth:`Channel.realize_batch`
+  evaluates a ``(B, n)`` batch of patterns in one vectorized pass.
+* **Counterfactual evaluation** — :meth:`Channel.counterfactual`
+  answers "had link ``i`` sent, would it have been received?" for every
+  link simultaneously, the quantity the Section-6 capacity game feeds
+  its learners.
+* **Probabilities** — :meth:`Channel.success_probability` and
+  :meth:`Channel.conditional_success_probability` return the exact
+  per-link success probabilities where a closed form exists (Theorem 1
+  for Rayleigh, the degenerate 0/1 law for non-fading) and fall back to
+  Monte-Carlo estimation otherwise (pass ``rng``).
+
+Channels hold **no hidden random state**: every sampling method draws
+only from the caller-supplied generator, which is what preserves the
+engine's byte-identical ``--jobs`` determinism.  The one exception is
+deliberate and documented — :class:`~repro.channel.block.BlockFadingChannel`
+keeps the *current coherence block's* draws between calls (that is the
+physics being modelled), but refreshes them only from the passed-in
+generator.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.sinr import SINRInstance, _as_active_bool
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["Channel"]
+
+
+class Channel(abc.ABC):
+    """An interference model bound to an instance and a threshold ``β``.
+
+    Subclasses implement :meth:`realize` and :meth:`counterfactual` (and
+    usually override :meth:`realize_batch` with a vectorized path); the
+    probability interface raises :class:`NotImplementedError` unless the
+    model admits a closed form or the subclass provides an estimator.
+    """
+
+    #: Whether success is a deterministic function of the transmit
+    #: pattern (no randomness consumed by :meth:`realize`).
+    is_deterministic: bool = False
+
+    #: Whether :meth:`success_probability` is exact (closed form) rather
+    #: than a Monte-Carlo estimate.
+    has_exact_probabilities: bool = False
+
+    def __init__(self, instance: SINRInstance, beta: float):
+        if not isinstance(instance, SINRInstance):
+            raise TypeError(f"instance must be an SINRInstance, got {type(instance).__name__}")
+        self.instance = instance
+        self.beta = check_positive(beta, "beta")
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short display name (also the spec-string round trip)."""
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, beta={self.beta:g})"
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def _mask(self, active) -> np.ndarray:
+        return _as_active_bool(active, self.n)
+
+    def _patterns(self, patterns) -> np.ndarray:
+        pats = np.asarray(patterns)
+        if pats.dtype != np.bool_:
+            raise TypeError(f"patterns must be boolean, got dtype {pats.dtype}")
+        if pats.ndim != 2 or pats.shape[1] != self.n:
+            raise ValueError(f"patterns must have shape (B, {self.n}), got {pats.shape}")
+        return pats
+
+    # -- sampling ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def realize(self, active, rng=None) -> np.ndarray:
+        """One slot: the boolean success mask under transmit pattern
+        ``active`` (success = transmitted *and* cleared ``β``).
+
+        ``active`` is a boolean mask or an integer index list; ``rng`` is
+        consumed only by stochastic channels.
+        """
+
+    def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Success masks for a ``(B, n)`` batch of independent slots.
+
+        The default loops over :meth:`realize`; vectorized channels
+        override this with a single batched kernel.
+        """
+        pats = self._patterns(patterns)
+        gen = as_generator(rng)
+        out = np.zeros(pats.shape, dtype=bool)
+        for t in range(pats.shape[0]):
+            out[t] = self.realize(pats[t], gen)
+        return out
+
+    @abc.abstractmethod
+    def counterfactual(self, active, rng=None) -> np.ndarray:
+        """Success-if-sent indicator for *every* link given the others.
+
+        Entry ``i`` answers: had link ``i`` transmitted this slot while
+        the senders of ``active`` other than ``i`` transmit, would it
+        have been received?  For links in ``active`` this coincides with
+        the realized outcome; for silent links it is the counterfactual
+        the capacity game's full-information losses require.
+        """
+
+    def sinr_batch(self, patterns: np.ndarray, rng=None) -> "np.ndarray | None":
+        """Sampled (or deterministic) SINR values per pattern, if the
+        channel exposes them; ``None`` for success-only channels (e.g.
+        the Bernoulli Rayleigh fast path, which never materialises SINRs).
+        """
+        return None
+
+    # -- probabilities -----------------------------------------------------
+
+    def success_probability(self, q, rng=None) -> np.ndarray:
+        """Per-link probability of transmitting *and* clearing ``β`` when
+        every sender ``j`` transmits independently with probability
+        ``q_j``.
+
+        Exact where the model admits a closed form
+        (``has_exact_probabilities``); Monte-Carlo channels estimate it
+        and therefore require ``rng``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no success-probability form; "
+            "use a Monte-Carlo channel's estimator or sample realize()"
+        )
+
+    def conditional_success_probability(self, q, rng=None) -> np.ndarray:
+        """Per-link probability of clearing ``β`` *given* the link sends,
+        while the other senders transmit with probabilities ``q``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no conditional-probability form"
+        )
+
+    def expected_successes(self, subset, rng=None) -> float:
+        """Expected number of successes when exactly the links of
+        ``subset`` transmit — the replay quantity of Lemma 2 / E14.
+
+        Default: sum of :meth:`success_probability` at the 0/1 pattern.
+        """
+        mask = self._mask(np.asarray(subset))
+        if not mask.any():
+            return 0.0
+        probs = self.success_probability(mask.astype(np.float64), rng)
+        return float(probs[mask].sum())
+
+    # -- derived channels --------------------------------------------------
+
+    def subchannel(self, indices) -> "Channel":
+        """Channel restricted to the given links (recursive schedulers).
+
+        Stateful channels (block fading) may refuse; the schedulers in
+        :mod:`repro.latency` therefore evaluate service on the *full*
+        instance with global masks and never need this mid-run.
+        """
+        return type(self)(self.instance.subinstance(indices), self.beta)
+
+    def reset(self) -> None:
+        """Forget any temporal state (coherence blocks); no-op here."""

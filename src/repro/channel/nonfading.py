@@ -1,0 +1,74 @@
+"""The deterministic (non-fading) SINR channel of Section 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.base import Channel
+from repro.core.sinr import SINRInstance
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["NonFadingChannel"]
+
+
+class NonFadingChannel(Channel):
+    """Success is the deterministic test ``γ^nf ≥ β``; no randomness.
+
+    The degenerate member of the channel family: :meth:`realize`
+    consumes no randomness, probabilities are 0/1 indicators, and the
+    batched path is PR 1's single ``(B, n) @ (n, n)`` product.
+    """
+
+    is_deterministic = True
+    has_exact_probabilities = True
+
+    @property
+    def name(self) -> str:
+        return "nonfading"
+
+    def realize(self, active, rng=None) -> np.ndarray:
+        return self.instance.successes(self._mask(active), self.beta)
+
+    def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        pats = self._patterns(patterns)
+        return (self.instance.sinr_batch(pats) >= self.beta) & pats
+
+    def counterfactual(self, active, rng=None) -> np.ndarray:
+        """Deterministic had-I-sent test against the realized senders.
+
+        Reception of ``i`` depends only on the *others*: interference at
+        ``r_i`` from the active senders ``j ≠ i`` (whether ``i`` itself
+        sent is irrelevant to its own counterfactual).
+        """
+        inst = self.instance
+        a = self._mask(active)
+        diag = inst.signal
+        interference = a.astype(np.float64) @ inst.gains - a * diag
+        denom = interference + inst.noise
+        with np.errstate(divide="ignore"):
+            sinr_if_sent = np.where(denom > 0.0, diag / np.maximum(denom, 1e-300), np.inf)
+        return sinr_if_sent >= self.beta
+
+    def sinr_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        return self.instance.sinr_batch(self._patterns(patterns))
+
+    def success_probability(self, q, rng=None) -> np.ndarray:
+        """Exact only for binary patterns (the deterministic replay case);
+        fractional ``q`` has no per-link closed form in this model."""
+        qv = check_probability_vector(q, self.n)
+        if not np.all((qv == 0.0) | (qv == 1.0)):
+            raise NotImplementedError(
+                "non-fading success probabilities are closed-form only for "
+                "binary transmit patterns; sample realize_batch for fractional q"
+            )
+        mask = qv.astype(bool)
+        return self.realize(mask).astype(np.float64)
+
+    def conditional_success_probability(self, q, rng=None) -> np.ndarray:
+        qv = check_probability_vector(q, self.n)
+        if not np.all((qv == 0.0) | (qv == 1.0)):
+            raise NotImplementedError(
+                "non-fading conditional probabilities are closed-form only "
+                "for binary transmit patterns"
+            )
+        return self.counterfactual(qv.astype(bool)).astype(np.float64)

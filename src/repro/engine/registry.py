@@ -20,7 +20,9 @@ The ``config`` factory maps ``(scale, seed)`` to the keyword arguments
 of the runner; ``scale`` is ``"quick"`` or ``"paper"`` and ``seed`` is
 an optional root-seed override (``None`` keeps the driver default).
 Runners that accept a ``jobs`` parameter are automatically detected and
-receive the CLI's ``--jobs`` value.
+receive the CLI's ``--jobs`` value; likewise runners with a ``channel``
+parameter receive the CLI's ``--channel`` spec (e.g. ``rayleigh``,
+``nakagami:m=2``, ``block:coherence=5``).
 """
 
 from __future__ import annotations
@@ -77,6 +79,7 @@ class ExperimentSpec:
     config_factory: ConfigFactory
     runner: Callable[..., ExperimentResult]
     supports_jobs: bool
+    supports_channel: bool = False
 
     def make_kwargs(
         self, scale: str = "quick", seed: "int | None" = None
@@ -92,11 +95,24 @@ class ExperimentSpec:
         *,
         seed: "int | None" = None,
         jobs: "int | None" = 1,
+        channel: "str | None" = None,
     ) -> ExperimentResult:
-        """Run the experiment, recording total wall-clock in ``timings``."""
+        """Run the experiment, recording total wall-clock in ``timings``.
+
+        ``channel`` (a spec string) overrides the experiment's channel
+        when the driver supports it; passing one to a driver that does
+        not is an error rather than a silent default run.
+        """
         kwargs = self.make_kwargs(scale, seed)
         if self.supports_jobs:
             kwargs["jobs"] = jobs
+        if channel is not None:
+            if not self.supports_channel:
+                raise ValueError(
+                    f"experiment {self.experiment_id} does not take a "
+                    "--channel override"
+                )
+            kwargs["channel"] = channel
         start = perf_counter()
         result = self.runner(**kwargs)
         timings = dict(result.timings)
@@ -121,13 +137,14 @@ def register(experiment_id: str, *, title: str, config: ConfigFactory):
                 f"experiment {exp_id} is already registered "
                 f"(by {_REGISTRY[exp_id].runner.__module__})"
             )
-        supports_jobs = "jobs" in inspect.signature(fn).parameters
+        params = inspect.signature(fn).parameters
         _REGISTRY[exp_id] = ExperimentSpec(
             experiment_id=exp_id,
             title=title,
             config_factory=config,
             runner=fn,
-            supports_jobs=supports_jobs,
+            supports_jobs="jobs" in params,
+            supports_channel="channel" in params,
         )
         return fn
 

@@ -47,12 +47,18 @@ def run_equilibria_study(
     num_starts: int = 8,
     params: "PaperParameters | None" = None,
     seed: int = 2012,
+    channel: "str | None" = None,
 ) -> ExperimentResult:
-    """Sample equilibria and tabulate their welfare vs OPT."""
+    """Sample equilibria and tabulate their welfare vs OPT.
+
+    ``channel`` swaps the faded side of the comparison (default
+    ``"rayleigh"``) for any channel spec, e.g. ``"nakagami:m=2"``.
+    """
     pp = params if params is not None else PaperParameters.figure1()
     factory = RngFactory(seed)
+    faded = channel if channel is not None else "rayleigh"
     rows = []
-    poa_values = {"nonfading": [], "rayleigh": []}
+    poa_values = {"nonfading": [], faded: []}
     converged_total = starts_total = 0
     for k in range(num_networks):
         s, r = paper_random_network(
@@ -61,12 +67,12 @@ def run_equilibria_study(
         inst = SINRInstance.from_network(
             Network(s, r), UniformPower(pp.power_scale), pp.alpha, pp.noise
         )
-        for model in ("nonfading", "rayleigh"):
+        for model in ("nonfading", faded):
             sample = price_of_anarchy_sample(
                 inst,
                 pp.beta,
                 factory.stream("eq-dyn", k, model),
-                model=model,
+                channel=model,
                 num_starts=num_starts,
             )
             converged_total += sample["num_converged"]
@@ -90,11 +96,11 @@ def run_equilibria_study(
         "non-fading empirical PoA <= 1.5 on every instance": all(
             v <= 1.5 for v in poa_values["nonfading"]
         ),
-        "rayleigh equilibria keep a constant fraction of OPT (PoA <= e)": all(
-            v <= np.e + 0.2 for v in poa_values["rayleigh"]
+        f"{faded} equilibria keep a constant fraction of OPT (PoA <= e)": all(
+            v <= np.e + 0.2 for v in poa_values[faded]
         ),
-        "rayleigh PoA >= non-fading PoA on average (fading discount)": (
-            float(np.mean(poa_values["rayleigh"]))
+        f"{faded} PoA >= non-fading PoA on average (fading discount)": (
+            float(np.mean(poa_values[faded]))
             >= float(np.mean(poa_values["nonfading"])) - 0.05
         ),
     }

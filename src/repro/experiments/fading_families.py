@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
+from repro.channel.spec import make_channel
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
@@ -61,12 +62,19 @@ def run_fading_families(
     mc_slots: int = 2000,
     params: "PaperParameters | None" = None,
     seed: int = 2012,
+    channel: "str | None" = None,
 ) -> ExperimentResult:
-    """Retention of the greedy schedule across fading families."""
+    """Retention of the greedy schedule across fading families.
+
+    ``channel`` adds one extra retention row evaluated through the
+    channel layer (e.g. ``block:coherence=5`` or ``rician:k=2,slots=4000``);
+    the standard family grid always runs.
+    """
     pp = params if params is not None else PaperParameters.figure1()
     factory = RngFactory(seed)
 
     retention: dict[str, list[float]] = {}
+    extra_channel: list[float] = []
     rayleigh_exact: list[float] = []
     for k in range(num_networks):
         s, r = paper_random_network(
@@ -102,6 +110,10 @@ def run_fading_families(
                 num_slots=mc_slots,
             )
             retention.setdefault(f"rician K={kf:g}", []).append(value / size)
+        if channel is not None:
+            ch = make_channel(channel, inst, pp.beta)
+            value = ch.expected_successes(chosen, factory.stream("fam-channel", k))
+            extra_channel.append(value / size)
 
     means = {name: float(np.mean(vals)) for name, vals in retention.items()}
     ray_mean = float(np.mean(rayleigh_exact))
@@ -131,6 +143,10 @@ def run_fading_families(
     }
     rows = [["rayleigh (exact, Theorem 1)", ray_mean]]
     rows += [[name, value] for name, value in means.items()]
+    if channel is not None and extra_channel:
+        extra_mean = float(np.mean(extra_channel))
+        rows.append([f"--channel {channel}", extra_mean])
+        means[f"channel:{channel}"] = extra_mean
     text = format_table(
         ["fading model", "retention (E[successes] / |S|)"],
         rows,

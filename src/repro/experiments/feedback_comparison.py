@@ -47,11 +47,17 @@ def run_feedback_comparison(
     *,
     config: "Figure2Config | None" = None,
     seed: int = 2012,
+    channel: "str | None" = None,
 ) -> ExperimentResult:
-    """RWM (full information) vs Exp3 (bandit) on the Figure-2 game."""
+    """RWM (full information) vs Exp3 (bandit) on the Figure-2 game.
+
+    ``channel`` swaps the faded side of the comparison (default
+    ``"rayleigh"``) for any channel spec.
+    """
     cfg = config if config is not None else Figure2Config.quick()
     factory = RngFactory(seed)
     beta = cfg.params.beta
+    faded = channel if channel is not None else "rayleigh"
     T = cfg.num_rounds
 
     rows = []
@@ -72,10 +78,10 @@ def run_feedback_comparison(
             inst, beta, rng=factory.stream("fb-opt", net_idx),
             restarts=cfg.opt_restarts,
         ).size
-        for model in ("nonfading", "rayleigh"):
+        for model in ("nonfading", faded):
             for feedback in ("full-info", "bandit"):
                 game = CapacityGame(
-                    inst, beta, model=model,
+                    inst, beta, channel=model,
                     rng=factory.stream("fb-game", net_idx, model, feedback),
                 )
                 if feedback == "full-info":
@@ -112,15 +118,15 @@ def run_feedback_comparison(
         ]
         >= 0.6,
         "bandit also converges to a constant fraction (>= 35% of OPT)": min(
-            mean_ratio[("nonfading", "bandit")], mean_ratio[("rayleigh", "bandit")]
+            mean_ratio[("nonfading", "bandit")], mean_ratio[(faded, "bandit")]
         )
         >= 0.35,
         "full information at least as good as bandit (both models)": all(
             mean_ratio[(m, "full-info")] >= mean_ratio[(m, "bandit")] - 0.05
-            for m in ("nonfading", "rayleigh")
+            for m in ("nonfading", faded)
         ),
-        "rayleigh discount applies to both feedback models": all(
-            mean_ratio[("rayleigh", fb)] <= mean_ratio[("nonfading", fb)] + 0.05
+        f"{faded} discount applies to both feedback models": all(
+            mean_ratio[(faded, fb)] <= mean_ratio[("nonfading", fb)] + 0.05
             for fb in ("full-info", "bandit")
         ),
     }

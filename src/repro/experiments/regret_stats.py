@@ -34,11 +34,23 @@ __all__ = ["run_regret_stats"]
     title="Regret-learning statistics",
     config=lambda scale, seed: {"config": scaled_config(Figure2Config, scale, seed)},
 )
-def run_regret_stats(config: "Figure2Config | None" = None) -> ExperimentResult:
-    """Record regret, Lemma-5, and capacity-ratio statistics."""
+def run_regret_stats(
+    config: "Figure2Config | None" = None,
+    *,
+    channel: "str | None" = None,
+) -> ExperimentResult:
+    """Record regret, Lemma-5, and capacity-ratio statistics.
+
+    ``channel`` swaps the faded side of the comparison (default
+    ``"rayleigh"``).  The Lemma-4 realized-vs-expected comparison uses
+    the exact Theorem-1 expected rewards and is therefore evaluated only
+    on the exact Rayleigh runs; other families fall back to realized
+    regret there.
+    """
     cfg = config if config is not None else Figure2Config.quick()
     factory = RngFactory(cfg.seed)
     beta = cfg.params.beta
+    faded = channel if channel is not None else "rayleigh"
     T = cfg.num_rounds
 
     rows = []
@@ -51,9 +63,9 @@ def run_regret_stats(config: "Figure2Config | None" = None) -> ExperimentResult:
         opt = local_search_capacity(
             inst, beta, rng=factory.stream("rs-opt", net_idx), restarts=cfg.opt_restarts
         ).size
-        for model in ("nonfading", "rayleigh"):
+        for model in ("nonfading", faded):
             game = CapacityGame(
-                inst, beta, model=model, rng=factory.stream("rs-game", net_idx, model)
+                inst, beta, channel=model, rng=factory.stream("rs-game", net_idx, model)
             )
             res = game.play(T)
             realized = res.realized_regret()

@@ -40,6 +40,7 @@ __all__ = [
     "NakagamiFading",
     "RicianFading",
     "NoFading",
+    "simulate_sinr_patterns_with_model",
     "simulate_slots_with_model",
     "expected_successes_with_model",
 ]
@@ -139,6 +140,64 @@ class NoFading(FadingModel):
     @property
     def name(self) -> str:
         return "nonfading"
+
+
+def simulate_sinr_patterns_with_model(
+    instance: SINRInstance,
+    patterns: np.ndarray,
+    model: FadingModel,
+    rng=None,
+    *,
+    counterfactual: bool = False,
+) -> np.ndarray:
+    """One fading SINR slot per transmit pattern, batched, for any model.
+
+    The generic analogue of
+    :func:`repro.fading.rayleigh.simulate_sinr_patterns`, with the same
+    common-random-numbers scheme: each slot draws one unit-mean fading
+    multiplier ``F_j`` per sender and sets ``S(j, i) = S̄(j, i) · F_j``.
+    At a fixed receiver the own-signal multiplier never enters its own
+    interference sum, so the per-(slot, link) marginal SINR law is
+    exactly the model's; only the within-slot dependence across links
+    changes, which leaves every per-link frequency estimator unbiased.
+
+    With ``counterfactual=True`` the returned entry for *every* link
+    ``i`` (active or not) is the SINR it would see *had it sent* while
+    the pattern's other senders transmit — the quantity the capacity
+    game's counterfactual rewards are built on.  Otherwise silent links
+    read 0, as in the Rayleigh kernel.
+    """
+    pats = np.asarray(patterns)
+    if pats.dtype != np.bool_:
+        raise TypeError(f"patterns must be boolean, got dtype {pats.dtype}")
+    if pats.ndim != 2 or pats.shape[1] != instance.n:
+        raise ValueError(f"patterns must have shape (T, {instance.n}), got {pats.shape}")
+    num_slots, n = pats.shape
+    out = np.zeros((num_slots, n), dtype=np.float64)
+    if num_slots == 0:
+        return out
+    gen = as_generator(rng)
+    gains = instance.gains
+    own = instance.signal
+    unit = np.ones(n, dtype=np.float64)
+    block = max(1, 12_000_000 // max(1, n))
+    done = 0
+    while done < num_slots:
+        t = min(block, num_slots - done)
+        chunk = pats[done : done + t]
+        act = chunk.astype(np.float64)
+        draws = model.sample(unit, gen, size=t)  # F_j per (slot, sender)
+        total = (act * draws) @ gains  # includes j = i when i is active
+        signal = own * draws
+        denom = total - act * signal + instance.noise
+        where = np.ones_like(chunk) if counterfactual else chunk
+        sinr = np.zeros((t, n), dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(signal, denom, out=sinr, where=where & (denom > 0.0))
+        sinr[where & (denom <= 0.0)] = np.inf
+        out[done : done + t] = sinr
+        done += t
+    return out
 
 
 def simulate_slots_with_model(

@@ -4,15 +4,26 @@ Benchmark instances should be shareable and archivable; this module
 serialises :class:`~repro.core.network.Network` and
 :class:`~repro.core.sinr.SINRInstance` objects to a single JSON document
 (human-inspectable, version-tagged) and back, with exact float
-round-tripping via hexadecimal float encoding of the arrays.
+round-tripping.
 
 JSON is used rather than ``.npz`` so instance files diff cleanly in
 version control and survive without NumPy version coupling; the arrays
 in play are small (≤ a few hundred links).
+
+Two on-disk array encodings exist:
+
+* **version 1** — one hexadecimal float string per value
+  (``float.hex``).  Verbose but grep-able; still read transparently.
+* **version 2** (current writer) — the raw little-endian ``float64``
+  buffer, base64-encoded.  Exact round trip, ~4× smaller than v1, still
+  a single JSON document.
+
+Writers emit version 2; readers accept both.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from pathlib import Path
 
@@ -32,18 +43,48 @@ __all__ = [
     "instance_from_dict",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions the readers understand (1 = hex-float lists, 2 = base64 buffers).
+_READABLE_VERSIONS = (1, 2)
 
 
 def _encode_array(arr: np.ndarray) -> dict:
-    """Exact, text-safe encoding: shape plus hex-float values."""
-    a = np.asarray(arr, dtype=np.float64)
-    return {"shape": list(a.shape), "hex": [v.hex() for v in a.ravel().tolist()]}
+    """Exact, text-safe encoding: shape plus the base64 float64 buffer
+    (little-endian, C order)."""
+    a = np.ascontiguousarray(arr, dtype="<f8")
+    return {
+        "shape": list(a.shape),
+        "b64": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
 
 
 def _decode_array(obj: dict) -> np.ndarray:
-    values = np.array([float.fromhex(h) for h in obj["hex"]], dtype=np.float64)
+    """Inverse of :func:`_encode_array`; also accepts the version-1
+    hex-float encoding (``{"shape": ..., "hex": [...]}``)."""
+    if "b64" in obj:
+        raw = base64.b64decode(obj["b64"])
+        values = np.frombuffer(raw, dtype="<f8").astype(np.float64)
+    elif "hex" in obj:
+        values = np.array([float.fromhex(h) for h in obj["hex"]], dtype=np.float64)
+    else:
+        raise ValueError("array document has neither 'b64' nor 'hex' payload")
+    expected = int(np.prod(obj["shape"])) if obj["shape"] else 1
+    if values.size != expected:
+        raise ValueError(
+            f"array payload holds {values.size} values, shape {obj['shape']} "
+            f"needs {expected}"
+        )
     return values.reshape(obj["shape"])
+
+
+def _check_version(doc: dict, what: str) -> None:
+    version = doc.get("version")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported {what} format version {version!r}; "
+            f"readable versions: {_READABLE_VERSIONS}"
+        )
 
 
 def network_to_dict(network: Network) -> dict:
@@ -62,11 +103,10 @@ def network_to_dict(network: Network) -> dict:
 
 
 def network_from_dict(doc: dict) -> Network:
-    """Inverse of :func:`network_to_dict`."""
+    """Inverse of :func:`network_to_dict` (reads format versions 1 and 2)."""
     if doc.get("format") != "repro-network":
         raise ValueError("not a repro network document")
-    if doc.get("version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported network format version {doc.get('version')}")
+    _check_version(doc, "network")
     if doc["kind"] == "geometric":
         from repro.geometry.metric import PNormMetric
 
@@ -91,11 +131,10 @@ def instance_to_dict(instance: SINRInstance) -> dict:
 
 
 def instance_from_dict(doc: dict) -> SINRInstance:
-    """Inverse of :func:`instance_to_dict`."""
+    """Inverse of :func:`instance_to_dict` (reads format versions 1 and 2)."""
     if doc.get("format") != "repro-instance":
         raise ValueError("not a repro instance document")
-    if doc.get("version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported instance format version {doc.get('version')}")
+    _check_version(doc, "instance")
     return SINRInstance(_decode_array(doc["gains"]), noise=doc["noise"])
 
 

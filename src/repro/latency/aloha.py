@@ -6,13 +6,14 @@ tuned to the inverse of the contention measure (maximum average
 affectance), Kesselheim–Vöcking show the schedule finishes within an
 ``O(log n)`` factor of optimal latency with high probability.
 
-Execution modes:
-
-* ``model="nonfading"`` — service by deterministic SINR.
-* ``model="rayleigh"`` — each protocol step is executed ``repeats=4``
-  times per the Section-4 transformation, with success sampled from the
-  exact per-slot probabilities; per the paper's argument the transformed
-  per-step success dominates the non-fading one whenever ``q ≤ 1/2``.
+Service is evaluated through a :class:`~repro.channel.base.Channel`:
+under a deterministic channel each protocol step is one physical slot;
+under any stochastic channel (Rayleigh, Nakagami, Rician, block fading)
+each protocol step is executed ``repeats=4`` times per the Section-4
+transformation — for exact Rayleigh the transformed per-step success
+dominates the non-fading one whenever ``q ≤ 1/2`` (Lemma 3).  The
+legacy ``model="nonfading"/"rayleigh"`` strings are channel-spec
+aliases.
 
 The transmission probability can be a number, ``"auto"`` (tuned from the
 peeling approximation of the maximum average affectance — documented
@@ -27,9 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.channel.base import Channel
+from repro.channel.spec import make_channel
 from repro.core.affectance import affectance_matrix, max_average_affectance
 from repro.core.sinr import SINRInstance
-from repro.fading.success import success_probability_conditional
 from repro.latency.schedule import Schedule
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
@@ -44,13 +46,13 @@ class AlohaResult:
     Attributes
     ----------
     schedule:
-        Executed slots (each transformed Rayleigh step contributes its
-        ``repeats`` physical slots).
+        Executed slots (under a stochastic channel each transformed
+        protocol step contributes its ``repeats`` physical slots).
     latency:
         Number of physical slots until all links were served.
     protocol_steps:
-        Number of protocol steps (== latency for non-fading; latency /
-        ``repeats`` under the transformation).
+        Number of protocol steps (== latency for deterministic channels;
+        latency / ``repeats`` under the transformation).
     served_at:
         Physical slot at which each link was first served.
     q_used:
@@ -75,10 +77,8 @@ def _auto_probability(instance: SINRInstance, beta: float) -> float:
 
 
 def _run_protocol(
-    instance: SINRInstance,
-    beta: float,
+    channel: Channel,
     q: float,
-    model: str,
     repeats: int,
     gen: np.random.Generator,
     max_steps: int,
@@ -90,7 +90,7 @@ def _run_protocol(
     (they occupied air time and must count toward the total latency of
     multi-phase runs).
     """
-    n = instance.n
+    n = channel.n
     unserved = np.ones(n, dtype=bool)
     served_at = np.full(n, -1, dtype=np.int64)
     slots: list[np.ndarray] = []
@@ -99,23 +99,13 @@ def _run_protocol(
         if steps >= max_steps:
             return False, slots, served_at
         steps += 1
-        executions = repeats if model == "rayleigh" else 1
+        executions = 1 if channel.is_deterministic else repeats
         for _ in range(executions):
             transmit = unserved & (gen.random(n) < q)
             slots.append(np.flatnonzero(transmit))
             if not transmit.any():
                 continue
-            if model == "nonfading":
-                ok = instance.successes(transmit, beta)
-            else:
-                p = np.where(
-                    transmit,
-                    success_probability_conditional(
-                        instance, transmit.astype(np.float64), beta
-                    ),
-                    0.0,
-                )
-                ok = gen.random(n) < p
+            ok = channel.realize(transmit, gen)
             newly = ok & unserved
             served_at[newly] = len(slots) - 1
             unserved &= ~ok
@@ -129,6 +119,7 @@ def aloha_latency(
     *,
     q="auto",
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     repeats: int = 4,
     max_steps_factor: int = 200,
 ) -> AlohaResult:
@@ -144,8 +135,12 @@ def aloha_latency(
         1/2 whenever a phase fails to finish within its step budget —
         the guess-and-double pattern in its latency form).
     model:
-        ``"nonfading"`` or ``"rayleigh"`` (with the ``repeats``-fold
-        Section-4 transformation).
+        Channel spec string (``"nonfading"``, ``"rayleigh"``,
+        ``"nakagami:m=2"``, ...); ignored when ``channel`` is given.
+    channel:
+        Explicit :class:`~repro.channel.base.Channel` built on
+        ``instance`` (takes precedence over ``model``).  Stochastic
+        channels get the ``repeats``-fold Section-4 transformation.
     repeats:
         Executions per protocol step under fading (paper constant 4).
     max_steps_factor:
@@ -157,8 +152,7 @@ def aloha_latency(
     :class:`AlohaResult`
     """
     check_positive(beta, "beta")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     if np.any(instance.signal <= beta * instance.noise):
@@ -178,8 +172,9 @@ def aloha_latency(
     all_slots: list[np.ndarray] = []
     for q_phase in candidates:
         budget = int(max_steps_factor * instance.n / q_phase)
+        ch.reset()
         finished, slots, served_at = _run_protocol(
-            instance, beta, q_phase, model, repeats, gen, budget
+            ch, q_phase, repeats, gen, budget
         )
         offset = len(all_slots)
         all_slots.extend(slots)
@@ -189,7 +184,7 @@ def aloha_latency(
                 schedule=schedule,
                 latency=schedule.length,
                 protocol_steps=(
-                    schedule.length // repeats if model == "rayleigh" else schedule.length
+                    schedule.length if ch.is_deterministic else schedule.length // repeats
                 ),
                 served_at=served_at + offset,
                 q_used=q_phase,

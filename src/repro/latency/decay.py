@@ -11,8 +11,9 @@ rate among the links dominating the contention — no link needs to know
 ``c`` or the affectance structure, unlike the tuned single-probability
 protocol in :mod:`repro.latency.aloha`.
 
-Under Rayleigh fading each slot is executed ``repeats``-fold per the
-Section-4 transformation.
+Service is evaluated through a :class:`~repro.channel.base.Channel`;
+under any stochastic channel each slot is executed ``repeats``-fold per
+the Section-4 transformation.
 """
 
 from __future__ import annotations
@@ -21,8 +22,9 @@ import math
 
 import numpy as np
 
+from repro.channel.base import Channel
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
-from repro.fading.success import success_probability_conditional
 from repro.latency.aloha import AlohaResult
 from repro.latency.schedule import Schedule
 from repro.utils.rng import as_generator
@@ -37,6 +39,7 @@ def decay_latency(
     rng=None,
     *,
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     repeats: int = 4,
     max_sweeps: "int | None" = None,
 ) -> AlohaResult:
@@ -50,10 +53,12 @@ def decay_latency(
     rng:
         Protocol (and, under fading, channel) randomness.
     model:
-        ``"nonfading"`` or ``"rayleigh"`` (with the ``repeats``-fold
-        transformation).
+        Channel spec string; ignored when ``channel`` is given.
+    channel:
+        Explicit :class:`~repro.channel.base.Channel` built on
+        ``instance`` (takes precedence over ``model``).
     repeats:
-        Physical executions per protocol slot under fading.
+        Physical executions per protocol slot under stochastic channels.
     max_sweeps:
         Safety cap (default ``50 · n``).
 
@@ -63,8 +68,7 @@ def decay_latency(
     smallest probability of the sweep.
     """
     check_positive(beta, "beta")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     if np.any(instance.signal <= beta * instance.noise):
@@ -86,23 +90,13 @@ def decay_latency(
         for j in range(sweep_length):
             q = 2.0 ** (-(j + 1))
             protocol_steps += 1
-            executions = repeats if model == "rayleigh" else 1
+            executions = 1 if ch.is_deterministic else repeats
             for _ in range(executions):
                 transmit = unserved & (gen.random(n) < q)
                 slots.append(np.flatnonzero(transmit))
                 if not transmit.any():
                     continue
-                if model == "nonfading":
-                    ok = instance.successes(transmit, beta)
-                else:
-                    p = np.where(
-                        transmit,
-                        success_probability_conditional(
-                            instance, transmit.astype(np.float64), beta
-                        ),
-                        0.0,
-                    )
-                    ok = gen.random(n) < p
+                ok = ch.realize(transmit, gen)
                 newly = ok & unserved
                 served_at[newly] = len(slots) - 1
                 unserved &= ~ok

@@ -22,10 +22,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
+from repro.channel.spec import make_channel
 from repro.core.network import Network
 from repro.core.power import PowerAssignment, UniformPower
 from repro.core.sinr import SINRInstance
-from repro.fading.rayleigh import simulate_slots_bernoulli
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -115,6 +115,7 @@ def multihop_latency(
     noise: float = 0.0,
     power: "PowerAssignment | None" = None,
     model: str = "nonfading",
+    channel: "str | None" = None,
     rng=None,
     max_slots: "int | None" = None,
 ) -> MultiHopResult:
@@ -122,8 +123,9 @@ def multihop_latency(
 
     In each slot the head hops of all unfinished requests form a
     single-hop instance; a capacity-maximizing feasible subset of them
-    transmits.  Under ``model="rayleigh"`` service within the slot is
-    stochastic (exact Theorem-1 probabilities).
+    transmits.  Under a stochastic channel, service within the slot is
+    random (exact Theorem-1 probabilities for ``"rayleigh"``, sampled
+    for other families).
 
     Parameters
     ----------
@@ -133,8 +135,11 @@ def multihop_latency(
         SINR threshold, path-loss exponent, ambient noise.
     power:
         Power assignment for relay transmissions (default uniform 1).
-    model, rng:
-        Like the single-hop schedulers.
+    model, channel, rng:
+        Like the single-hop schedulers — except ``channel`` must be a
+        *spec string*: the frontier instance changes every slot, so a
+        fresh channel is built per slot (block-fading coherence does not
+        carry across frontier changes).
     max_slots:
         Safety cap (default ``50 · total hops``).
 
@@ -144,8 +149,12 @@ def multihop_latency(
     """
     check_positive(beta, "beta")
     check_positive(alpha, "alpha")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    spec = channel if channel is not None else model
+    if not isinstance(spec, str):
+        raise TypeError(
+            "multihop_latency accepts channel *spec strings* only; the "
+            "instance changes every slot so a bound Channel cannot be reused"
+        )
     if not requests:
         raise ValueError("need at least one request")
     gen = as_generator(rng)
@@ -169,10 +178,7 @@ def multihop_latency(
             chosen = np.array([int(np.argmax(inst.signal))], dtype=np.intp)
         mask = np.zeros(inst.n, dtype=bool)
         mask[chosen] = True
-        if model == "nonfading":
-            ok = inst.successes(mask, beta)
-        else:
-            ok = simulate_slots_bernoulli(inst, mask, beta, gen, num_slots=1)[0]
+        ok = make_channel(spec, inst, beta).realize(mask, gen)
         slot += 1
         for local, k in enumerate(active_requests):
             if ok[local]:

@@ -6,16 +6,17 @@ returned set for one slot, remove whoever was served, recurse.  With a
 ``c``-approximate capacity algorithm this is an ``O(c · log n)``
 approximation to the minimum schedule length [8].
 
-Two execution modes:
+Service is evaluated through a :class:`~repro.channel.base.Channel` on
+the *full* instance with global transmit masks (silent links contribute
+no interference, so this matches per-subinstance evaluation exactly):
 
-* ``model="nonfading"`` — service is deterministic, the schedule and its
-  length are deterministic; this is the baseline the paper compares
-  against.
-* ``model="rayleigh"`` — each scheduled slot is realised under fading
-  (links clear ``β`` only with their Theorem-1 probability), so a link
-  may need several slots; exactly the "repeated application" transfer of
-  Section 4 (capacity per slot drops by at most the constant of Lemma 2,
-  hence expected latency grows by a constant factor).
+* deterministic channels — the schedule and its length are
+  deterministic; this is the baseline the paper compares against.
+* stochastic channels (Rayleigh, Nakagami, Rician, block) — each
+  scheduled slot is realised under fading, so a link may need several
+  slots; exactly the "repeated application" transfer of Section 4
+  (capacity per slot drops by at most the constant of Lemma 2, hence
+  expected latency grows by a constant factor).
 """
 
 from __future__ import annotations
@@ -26,8 +27,9 @@ from typing import Callable
 import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
+from repro.channel.base import Channel
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
-from repro.fading.rayleigh import simulate_slots_bernoulli
 from repro.latency.schedule import Schedule
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
@@ -59,6 +61,7 @@ def repeated_max_latency(
     beta: float,
     *,
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     algorithm: "Callable[[SINRInstance, float], np.ndarray] | None" = None,
     rng=None,
     max_slots: "int | None" = None,
@@ -72,24 +75,27 @@ def repeated_max_latency(
         viable (``S̄(i,i) > βν``), otherwise no finite schedule exists and
         a ``ValueError`` is raised.
     model:
-        ``"nonfading"`` (deterministic service) or ``"rayleigh"``
-        (stochastic service with the exact Theorem-1 probabilities).
+        Channel spec string (``"nonfading"``, ``"rayleigh"``,
+        ``"nakagami:m=2"``, ...); ignored when ``channel`` is given.
+    channel:
+        Explicit :class:`~repro.channel.base.Channel` built on
+        ``instance`` (takes precedence over ``model``).
     algorithm:
         Single-slot capacity algorithm ``(sub_instance, beta) -> indices``;
         defaults to the affectance greedy.
     rng:
-        Fading randomness (``model="rayleigh"`` only).
+        Fading randomness (stochastic channels only).
     max_slots:
-        Safety cap; defaults to ``50 n`` for Rayleigh runs, ``2 n`` for
-        non-fading (both far above anything the algorithms need).
+        Safety cap; defaults to ``50 n`` for stochastic channels, ``2 n``
+        for deterministic ones (both far above anything the algorithms
+        need).
 
     Returns
     -------
     :class:`RepeatedMaxResult`
     """
     check_positive(beta, "beta")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     if np.any(instance.signal <= beta * instance.noise):
         raise ValueError(
             "some links cannot reach beta against noise alone; "
@@ -100,7 +106,7 @@ def repeated_max_latency(
     )
     gen = as_generator(rng)
     n = instance.n
-    cap = max_slots if max_slots is not None else (50 * n if model == "rayleigh" else 2 * n)
+    cap = max_slots if max_slots is not None else (2 * n if ch.is_deterministic else 50 * n)
 
     remaining = np.arange(n)
     served_at = np.full(n, -1, dtype=np.int64)
@@ -120,17 +126,12 @@ def repeated_max_latency(
             local = np.array([int(np.argmax(sub.signal))], dtype=np.intp)
         chosen = remaining[local]
         slots.append(np.sort(chosen))
-        if model == "nonfading":
-            mask = np.zeros(sub.n, dtype=bool)
-            mask[local] = True
-            ok_local = sub.successes(mask, beta)[local]
-        else:
-            mask = np.zeros(sub.n, dtype=bool)
-            mask[local] = True
-            ok_local = simulate_slots_bernoulli(sub, mask, beta, gen, num_slots=1)[0][local]
+        mask = np.zeros(n, dtype=bool)
+        mask[chosen] = True
+        ok_local = ch.realize(mask, gen)[chosen]
         served = chosen[ok_local]
         served_at[served] = len(slots) - 1
-        if model == "nonfading" and served.size == 0:
+        if ch.is_deterministic and served.size == 0:
             # A feasible-set algorithm always serves its whole set; an
             # empty service here means the supplied algorithm returned an
             # infeasible set — schedule its strongest link alone next.

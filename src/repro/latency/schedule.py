@@ -67,12 +67,46 @@ class Schedule:
         """Whether every link is scheduled at least once."""
         return bool(self.covered.all())
 
+    def _flattened(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(links, slot_ids)`` concatenation of all slots, cached.
+
+        One vectorized pass replaces per-slot Python membership tests;
+        safe to cache because the dataclass is frozen.
+        """
+        cached = self.meta.get("_flat")
+        if cached is None:
+            if self.slots:
+                links = np.concatenate(self.slots)
+                slot_ids = np.repeat(
+                    np.arange(len(self.slots), dtype=np.intp),
+                    [s.size for s in self.slots],
+                )
+            else:
+                links = np.empty(0, dtype=np.intp)
+                slot_ids = np.empty(0, dtype=np.intp)
+            cached = (links, slot_ids)
+            self.meta["_flat"] = cached
+        return cached
+
     def slot_of(self, link: int) -> "int | None":
         """First slot index containing ``link`` (``None`` if never)."""
-        for t, slot in enumerate(self.slots):
-            if link in slot:
-                return t
-        return None
+        links, slot_ids = self._flattened()
+        hits = slot_ids[links == link]
+        return int(hits.min()) if hits.size else None
+
+    def first_slots(self, links=None) -> np.ndarray:
+        """First slot index per link, ``-1`` for never-scheduled links.
+
+        Vectorized over all requested ``links`` (default: every link) —
+        one ``np.minimum.at`` scatter instead of per-link scans.
+        """
+        flat, slot_ids = self._flattened()
+        first = np.full(self.n, self.length, dtype=np.intp)
+        np.minimum.at(first, flat, slot_ids)
+        first[first == self.length] = -1
+        if links is None:
+            return first
+        return first[np.asarray(links, dtype=np.intp)]
 
 
 def validate_schedule(
@@ -88,11 +122,19 @@ def validate_schedule(
     check_positive(beta, "beta")
     if schedule.n != instance.n:
         raise ValueError("schedule and instance cover different link counts")
-    served = np.zeros(instance.n, dtype=bool)
-    for slot in schedule.slots:
-        if slot.size == 0:
-            continue
-        served |= instance.successes(slot, beta)
+    n = instance.n
+    served = np.zeros(n, dtype=bool)
+    # One batched (chunk, n) @ (n, n) SINR product instead of a Python
+    # loop over slots; chunked to bound the pattern matrix's memory.
+    chunk = 4096
+    slots = schedule.slots
+    for start in range(0, len(slots), chunk):
+        block = slots[start : start + chunk]
+        patterns = np.zeros((len(block), n), dtype=bool)
+        for t, slot in enumerate(block):
+            patterns[t, slot] = True
+        sinr = instance.sinr_batch(patterns)
+        served |= ((sinr >= beta) & patterns).any(axis=0)
     if require_all:
         return bool(served.all())
     scheduled = schedule.covered

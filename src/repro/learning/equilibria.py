@@ -5,14 +5,21 @@ result transfers the respective game-theoretic studies" of
 Andrews–Dinitz [5].  This module makes the equilibrium side concrete for
 the two-action capacity game (send / idle, rewards +1 / −1 / 0):
 
-* In the **non-fading** model a pure profile is a Nash equilibrium iff
-  every sender would be received (deviating to idle would forfeit +1)
-  and every idle player would *not* be received if it joined (deviating
-  to send would earn −1).
-* In the **Rayleigh** model rewards are stochastic; the natural solution
-  concept is equilibrium in *expected* reward: player ``i`` prefers
-  sending iff its conditional Theorem-1 success probability exceeds 1/2
-  (``E[h_i | send] = 2Q̃_i − 1 > 0``).
+* Under a **deterministic** channel a pure profile is a Nash
+  equilibrium iff every sender would be received (deviating to idle
+  would forfeit +1) and every idle player would *not* be received if it
+  joined (deviating to send would earn −1).
+* Under a **stochastic** channel rewards are random; the natural
+  solution concept is equilibrium in *expected* reward: player ``i``
+  prefers sending iff its conditional success probability exceeds 1/2
+  (``E[h_i | send] = 2Q̃_i − 1 > 0``).  For Rayleigh this probability is
+  the exact Theorem-1 form; Monte-Carlo channels (Nakagami, Rician)
+  estimate it, making the dynamics ε-better-response in expectation.
+
+All entry points accept either the legacy ``model`` string (a channel
+spec alias) or an explicit ``channel``; payoff evaluation is delegated
+to :meth:`~repro.channel.base.Channel.counterfactual` /
+:meth:`~repro.channel.base.Channel.conditional_success_probability`.
 
 :func:`best_response_dynamics` runs asynchronous better-response updates
 (round-robin over players, switch when the deviation strictly gains);
@@ -31,8 +38,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.capacity.optimum import local_search_capacity
+from repro.channel.base import Channel
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
-from repro.fading.success import success_probability_conditional
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -45,24 +53,17 @@ __all__ = [
 ]
 
 
-def _send_payoff(instance: SINRInstance, actions: np.ndarray, beta: float, model: str) -> np.ndarray:
+def _send_payoff(channel: Channel, actions: np.ndarray, rng=None) -> np.ndarray:
     """Expected reward of SEND for every player, given the others' actions.
 
-    Non-fading: ±1 by the deterministic reception test.  Rayleigh:
-    ``2Q̃_i − 1`` with the exact conditional probability.
+    Deterministic channels: ±1 by the reception test (the channel's
+    counterfactual *is* the expectation).  Stochastic channels:
+    ``2Q̃_i − 1`` with the conditional success probability — exact for
+    Rayleigh, a Monte-Carlo estimate (consuming ``rng``) otherwise.
     """
-    if model == "nonfading":
-        diag = instance.signal
-        interference = actions.astype(np.float64) @ instance.gains - actions * diag
-        denom = interference + instance.noise
-        with np.errstate(divide="ignore"):
-            sinr_if_sent = np.where(
-                denom > 0.0, diag / np.maximum(denom, 1e-300), np.inf
-            )
-        return np.where(sinr_if_sent >= beta, 1.0, -1.0)
-    probs = success_probability_conditional(
-        instance, actions.astype(np.float64), beta
-    )
+    if channel.is_deterministic:
+        return np.where(channel.counterfactual(actions), 1.0, -1.0)
+    probs = channel.conditional_success_probability(actions.astype(np.float64), rng)
     return 2.0 * probs - 1.0
 
 
@@ -72,21 +73,23 @@ def is_equilibrium(
     beta: float,
     *,
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     tolerance: float = 0.0,
+    rng=None,
 ) -> bool:
     """Whether the pure profile ``actions`` is a Nash equilibrium.
 
     A player may gain at most ``tolerance`` by unilateral deviation
     (``tolerance = 0`` is exact Nash; positive values give ε-equilibria,
-    the right notion for the stochastic Rayleigh payoffs).
+    the right notion for stochastic payoffs).  ``rng`` is consumed only
+    when the channel estimates probabilities by Monte Carlo.
     """
     check_positive(beta, "beta")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     a = np.asarray(actions, dtype=bool)
     if a.shape != (instance.n,):
         raise ValueError(f"actions must have shape ({instance.n},)")
-    payoff = _send_payoff(instance, a, beta, model)
+    payoff = _send_payoff(ch, a, rng)
     # Senders earn payoff, idlers earn 0; deviation swaps the two.
     senders_fine = payoff[a] >= 0.0 - tolerance
     idlers_fine = payoff[~a] <= 0.0 + tolerance
@@ -109,7 +112,7 @@ class EquilibriumResult:
     welfare:
         Expected number of successful transmissions of the profile
         (deterministic count for non-fading, Σ Q̃ over senders for
-        Rayleigh).
+        stochastic channels).
     """
 
     actions: np.ndarray
@@ -119,13 +122,20 @@ class EquilibriumResult:
 
 
 def equilibrium_welfare(
-    instance: SINRInstance, actions, beta: float, *, model: str = "nonfading"
+    instance: SINRInstance,
+    actions,
+    beta: float,
+    *,
+    model: str = "nonfading",
+    channel: "Channel | str | None" = None,
+    rng=None,
 ) -> float:
     """(Expected) successful transmissions of a pure profile."""
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     a = np.asarray(actions, dtype=bool)
-    if model == "nonfading":
-        return float(instance.successes(a, beta).sum())
-    probs = success_probability_conditional(instance, a.astype(np.float64), beta)
+    if ch.is_deterministic:
+        return float(ch.realize(a).sum())
+    probs = ch.conditional_success_probability(a.astype(np.float64), rng)
     return float(probs[a].sum())
 
 
@@ -135,6 +145,7 @@ def best_response_dynamics(
     rng=None,
     *,
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     initial=None,
     max_rounds: int = 200,
 ) -> EquilibriumResult:
@@ -142,11 +153,12 @@ def best_response_dynamics(
 
     Parameters
     ----------
-    instance, beta, model:
-        The game.
+    instance, beta, model, channel:
+        The game; ``channel`` (spec string or built channel) takes
+        precedence over the legacy ``model`` alias.
     rng:
-        Randomness for the initial profile (when ``initial`` is None) and
-        the player order.
+        Randomness for the initial profile (when ``initial`` is None),
+        the player order, and any Monte-Carlo payoff estimates.
     initial:
         Starting profile (boolean mask); default random.
     max_rounds:
@@ -158,8 +170,7 @@ def best_response_dynamics(
     :class:`EquilibriumResult`
     """
     check_positive(beta, "beta")
-    if model not in ("nonfading", "rayleigh"):
-        raise ValueError(f"unknown model {model!r}")
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     if max_rounds <= 0:
         raise ValueError(f"max_rounds must be positive, got {max_rounds}")
     gen = as_generator(rng)
@@ -176,7 +187,7 @@ def best_response_dynamics(
         changed = False
         for i in gen.permutation(n):
             i = int(i)
-            payoff = _send_payoff(instance, a, beta, model)[i]
+            payoff = _send_payoff(ch, a, gen)[i]
             want_send = payoff > 0.0
             if want_send != a[i]:
                 a[i] = want_send
@@ -189,7 +200,7 @@ def best_response_dynamics(
         actions=a,
         converged=converged,
         steps=steps,
-        welfare=equilibrium_welfare(instance, a, beta, model=model),
+        welfare=equilibrium_welfare(instance, a, beta, channel=ch, rng=gen),
     )
 
 
@@ -199,6 +210,7 @@ def price_of_anarchy_sample(
     rng=None,
     *,
     model: str = "nonfading",
+    channel: "Channel | str | None" = None,
     num_starts: int = 8,
     opt_restarts: int = 6,
 ) -> dict:
@@ -214,12 +226,13 @@ def price_of_anarchy_sample(
     (opt/worst), ``pos`` (opt/best), ``num_converged``.
     """
     gen = as_generator(rng)
+    ch = make_channel(channel if channel is not None else model, instance, beta)
     opt = float(
         local_search_capacity(instance, beta, gen, restarts=opt_restarts).size
     )
     welfare_values = []
     for _ in range(num_starts):
-        result = best_response_dynamics(instance, beta, gen, model=model)
+        result = best_response_dynamics(instance, beta, gen, channel=ch)
         if result.converged:
             welfare_values.append(result.welfare)
     if not welfare_values or opt == 0.0:

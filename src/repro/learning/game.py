@@ -3,13 +3,13 @@
 Every round, each link's learner picks send/idle; the engine evaluates
 who would be received — for *every* link, including idle ones, since the
 counterfactual "had I sent" outcome depends only on the other players'
-actions — and feeds the learners their losses.  Both interference models
-are supported:
-
-* ``"nonfading"`` — reception is the deterministic SINR test;
-* ``"rayleigh"`` — reception is sampled with the exact conditional
-  probability of Theorem 1 (the Bernoulli fast path; see
-  :mod:`repro.fading.rayleigh` for why this is distribution-exact).
+actions — and feeds the learners their losses.  Reception is delegated
+entirely to a :class:`~repro.channel.base.Channel`
+(:meth:`~repro.channel.base.Channel.counterfactual`), so the game runs
+under *any* interference model: the deterministic SINR test, the exact
+Theorem-1 Rayleigh law, a Monte-Carlo fading family, or block fading.
+The legacy ``model="nonfading"/"rayleigh"`` strings are channel-spec
+aliases.
 
 The engine records everything the analysis of Section 6 refers to, so
 regret (Definition 2), the Lemma-4 comparison, and the Lemma-5 invariant
@@ -23,8 +23,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.channel.base import Channel
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
-from repro.fading.success import success_probability_conditional
 from repro.learning.regret import (
     expected_send_rewards,
     external_regret,
@@ -56,7 +57,8 @@ class GameResult:
         ``(T, n)`` — each learner's send probability entering the round
         (diagnostics; shows convergence).
     model:
-        ``"nonfading"`` or ``"rayleigh"``.
+        The channel's display name (``"nonfading"``, ``"rayleigh"``,
+        ``"nakagami(m=2)"``, ...).
     beta:
         The SINR threshold played.
     weights:
@@ -123,7 +125,12 @@ class CapacityGame:
     beta:
         Global SINR threshold (binary utilities, as in Section 6).
     model:
-        ``"nonfading"`` or ``"rayleigh"``.
+        Channel spec string (``"nonfading"``, ``"rayleigh"``,
+        ``"nakagami:m=2"``, ...); ignored when ``channel`` is given.
+    channel:
+        An explicit :class:`~repro.channel.base.Channel` built on
+        ``instance`` (takes precedence over ``model``).  The channel's
+        threshold must match ``beta``.
     rng:
         Seed or generator; child streams are spawned per learner and for
         the channel, so runs are reproducible.
@@ -142,15 +149,19 @@ class CapacityGame:
         beta: float,
         *,
         model: str = "nonfading",
+        channel: "Channel | str | None" = None,
         rng=None,
         weights=None,
     ):
         check_positive(beta, "beta")
-        if model not in ("nonfading", "rayleigh"):
-            raise ValueError(f"unknown model {model!r}")
         self.instance = instance
         self.beta = float(beta)
-        self.model = model
+        self.channel = make_channel(channel if channel is not None else model, instance, beta)
+        if self.channel.beta != self.beta:
+            raise ValueError(
+                f"channel threshold {self.channel.beta:g} differs from game beta {beta:g}"
+            )
+        self.model = self.channel.name
         self._rng = as_generator(rng)
         if weights is not None:
             w = np.asarray(weights, dtype=np.float64).copy()
@@ -208,7 +219,6 @@ class CapacityGame:
             np.ones(n) if self.weights is None else self.weights / self.weights.max()
         )
 
-        diag = inst.signal
         for t in range(num_rounds):
             if bank is not None:
                 probs_log[t] = bank.send_probabilities
@@ -221,19 +231,10 @@ class CapacityGame:
                     (pl.choose() for pl in players), dtype=np.int64, count=n
                 ).astype(bool)
             actions[t] = a
-            if self.model == "nonfading":
-                # Counterfactual reception of i depends only on the others:
-                # interference at r_i from the realized senders j ≠ i.
-                interference = a.astype(np.float64) @ inst.gains - a * diag
-                denom = interference + inst.noise
-                with np.errstate(divide="ignore"):
-                    sinr_if_sent = np.where(denom > 0.0, diag / np.maximum(denom, 1e-300), np.inf)
-                ok = sinr_if_sent >= self.beta
-            else:
-                p_ok = success_probability_conditional(
-                    inst, a.astype(np.float64), self.beta
-                )
-                ok = channel.random(n) < p_ok
+            # Counterfactual reception of i depends only on the others —
+            # the channel answers "would i have been received" for every
+            # link at once, drawing any fading from the game's stream.
+            ok = self.channel.counterfactual(a, channel)
             send_success[t] = ok
             success_counts[t] = int((a & ok).sum())
             if bank is not None:

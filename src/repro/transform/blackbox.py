@@ -26,6 +26,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.channel.rayleigh import RayleighChannel
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
 from repro.fading.montecarlo import estimate_expected_utility
 from repro.fading.success import success_probability
@@ -56,13 +58,11 @@ def rayleigh_expected_binary(instance: SINRInstance, subset, beta: float) -> flo
     Rayleigh fading (binary utilities at threshold ``β``).
 
     Pure Theorem 1 + linearity: ``Σ_{i∈S} Q_i(1_S, β)`` — no sampling.
+    Equivalent to ``RayleighChannel(instance, beta).expected_successes``,
+    which is how it is computed.
     """
-    check_positive(beta, "beta")
     mask = _subset_mask(instance, subset)
-    if not mask.any():
-        return 0.0
-    q = mask.astype(np.float64)
-    return float(success_probability(instance, q, beta)[mask].sum())
+    return RayleighChannel(instance, beta).expected_successes(mask)
 
 
 def lemma2_lower_bound(
@@ -111,8 +111,10 @@ class TransferReport:
     nonfading_value:
         ``Σ_{i∈S} u_i(γ_i^nf)`` — deterministic.
     rayleigh_value:
-        Expected Rayleigh utility of replaying the set (exact for binary
-        profiles, Monte-Carlo otherwise).
+        Expected utility of replaying the set under the evaluation
+        channel — Rayleigh unless ``transfer_capacity_algorithm`` was
+        given another ``channel`` (exact where the channel admits a
+        closed form, Monte-Carlo otherwise).
     certified_bound:
         The Lemma-2 certified lower bound on ``rayleigh_value``.
     ratio:
@@ -141,6 +143,7 @@ def transfer_capacity_algorithm(
     rng=None,
     num_samples: int = 2000,
     beta: "float | None" = None,
+    channel: "str | None" = None,
 ) -> TransferReport:
     """Run a non-fading capacity algorithm and evaluate it in both models.
 
@@ -152,11 +155,20 @@ def transfer_capacity_algorithm(
         Callable producing the transmitting subset from the instance —
         e.g. ``lambda inst: greedy_capacity(inst, beta)``.
     rng, num_samples:
-        Monte-Carlo settings for non-binary profiles (binary profiles are
-        evaluated exactly and ignore these).
+        Monte-Carlo settings where no closed form exists (exact paths
+        ignore them).
     beta:
         Threshold for the exact binary path; inferred from
         ``profile.beta`` when present.
+    channel:
+        Channel spec string for the faded side of the comparison
+        (default Rayleigh — the Lemma-2 setting).  With e.g.
+        ``"nakagami:m=2"`` the report measures how the same non-fading
+        solution replays under another family; the Lemma-2 certificate
+        still refers to Rayleigh.  Threshold-type profiles use the
+        channel's (exact or estimated) success probabilities; general
+        profiles need a channel that exposes sampled SINRs
+        (``sinr_batch``).
 
     Returns
     -------
@@ -174,21 +186,42 @@ def transfer_capacity_algorithm(
         profile, (BinaryUtility, WeightedUtility)
     )
     mask = _subset_mask(instance, subset)
+    ch = (
+        None
+        if channel is None
+        else make_channel(
+            channel, instance, float(threshold) if threshold is not None else 1.0
+        )
+    )
     if is_binary_like:
         q = mask.astype(np.float64)
-        probs = success_probability(instance, q, float(threshold))
+        if ch is None:
+            probs = success_probability(instance, q, float(threshold))
+        else:
+            probs = ch.success_probability(q, rng)
         weights = getattr(profile, "weights", None)
         if weights is None:
             rayleigh_value = float(probs[mask].sum())
         else:
             rayleigh_value = float((probs * weights)[mask].sum())
-    else:
+    elif ch is None:
         rayleigh_value, _ = estimate_expected_utility(
             instance,
             profile.evaluate,
             mask.astype(np.float64),
             rng,
             num_samples=num_samples,
+        )
+    else:
+        patterns = np.broadcast_to(mask, (num_samples, instance.n))
+        sinr = ch.sinr_batch(np.ascontiguousarray(patterns), rng)
+        if sinr is None:
+            raise NotImplementedError(
+                f"channel {ch.name!r} exposes no sampled SINRs; general "
+                "utility profiles need sinr_batch support"
+            )
+        rayleigh_value = float(
+            np.where(mask, profile.evaluate(sinr), 0.0).sum(axis=1).mean()
         )
     return TransferReport(
         subset=subset,

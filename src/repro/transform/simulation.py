@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
 from repro.utils.logstar import b_sequence
 from repro.utils.rng import as_generator
@@ -94,8 +95,9 @@ class SimulationOutcome:
     success:
         Per-link indicator of clearing ``β`` in at least one slot.
     best_sinr:
-        Per-link maximum non-fading SINR over all slots
-        (``max_t γ_i^{nf,t}``; 0 if the link never transmitted).
+        Per-link maximum SINR over all slots (``max_t γ_i^t``; 0 if the
+        link never transmitted, and identically 0 under channels that do
+        not expose sampled SINRs, e.g. the Bernoulli Rayleigh path).
     num_slots:
         Total slots executed (``stages × repeats``).
     num_stages:
@@ -119,21 +121,26 @@ def simulate_rayleigh_optimum(
     *,
     repeats: int = PAPER_REPEATS_PER_STAGE,
     damping: float = PAPER_DAMPING,
+    channel: "str | None" = None,
 ) -> SimulationOutcome:
-    """Execute Algorithm 1 on the non-fading engine.
+    """Execute Algorithm 1, by default on the non-fading engine.
 
     Each slot draws an independent transmit pattern with the stage's
-    damped probabilities and evaluates deterministic SINRs; a link
-    "succeeds" when it clears ``β`` in at least one slot (the coupling
-    Lemma 3 analyses).
+    damped probabilities and evaluates SINRs; a link "succeeds" when it
+    clears ``β`` in at least one slot (the coupling Lemma 3 analyses).
 
     All slots of a stage are evaluated as one batched SINR product.
     ``repeats`` and ``damping`` default to the paper's constants (19, 4)
-    and exist for the E12 ablation.
+    and exist for the E12 ablation.  ``channel`` (a spec string) replays
+    the same staged schedule under another interference model — e.g.
+    ``"nakagami:m=2"`` asks how Algorithm 1's coupling fares when the
+    real channel is not the one Lemma 3 assumes; the default ``None``
+    is the paper's deterministic engine.
     """
     check_positive(beta, "beta")
     qv = check_probability_vector(q, instance.n)
     gen = as_generator(rng)
+    ch = None if channel is None else make_channel(channel, instance, beta)
     plan = simulation_schedule(qv, instance.n, repeats=repeats, damping=damping)
     n = instance.n
     success = np.zeros(n, dtype=bool)
@@ -141,10 +148,13 @@ def simulate_rayleigh_optimum(
     slot_counts: list[int] = []
     for _b_k, stage_q, reps in plan:
         patterns = gen.random((reps, n)) < stage_q
-        sinr = instance.sinr_batch(patterns)
-        finite_best = np.where(np.isinf(sinr), np.finfo(np.float64).max, sinr)
-        best_sinr = np.maximum(best_sinr, finite_best.max(axis=0))
-        hits = sinr >= beta
+        sinr = instance.sinr_batch(patterns) if ch is None else ch.sinr_batch(patterns, gen)
+        if sinr is not None:
+            finite_best = np.where(np.isinf(sinr), np.finfo(np.float64).max, sinr)
+            best_sinr = np.maximum(best_sinr, finite_best.max(axis=0))
+            hits = sinr >= beta
+        else:
+            hits = ch.realize_batch(patterns, gen)
         success |= hits.any(axis=0)
         slot_counts.extend(hits.sum(axis=1).tolist())
     return SimulationOutcome(

@@ -1,0 +1,82 @@
+"""The stateful block-fading channel: coherence, reset, degenerate L=1."""
+
+import numpy as np
+import pytest
+
+from repro.channel import BlockFadingChannel, RayleighChannel
+from repro.fading.models import NakagamiFading
+
+BETA = 1.0
+
+
+class TestCoherence:
+    def test_same_block_same_draws(self, paper_instance):
+        """Within one coherence block, identical patterns give identical
+        outcomes — the channel draw is frozen."""
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=8)
+        gen = np.random.default_rng(1)
+        mask = np.ones(paper_instance.n, dtype=bool)
+        first = ch.realize(mask, gen)
+        for _ in range(7):
+            np.testing.assert_array_equal(ch.realize(mask, gen), first)
+
+    def test_blocks_refresh(self, paper_instance):
+        """Across many block boundaries the outcome does change."""
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=2)
+        gen = np.random.default_rng(2)
+        mask = np.ones(paper_instance.n, dtype=bool)
+        outcomes = {ch.realize(mask, gen).tobytes() for _ in range(40)}
+        assert len(outcomes) > 1
+
+    def test_reset_restarts_time(self, paper_instance):
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=4)
+        gen = np.random.default_rng(3)
+        ch.realize(np.ones(paper_instance.n, dtype=bool), gen)
+        assert ch.time == 1
+        ch.reset()
+        assert ch.time == 0
+
+    def test_subchannel_refuses(self, paper_instance):
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=4)
+        with pytest.raises(NotImplementedError):
+            ch.subchannel([0, 1])
+
+
+class TestDegenerateL1:
+    SLOTS = 4000
+
+    def test_l1_matches_exact_rayleigh_marginals(self, paper_instance):
+        """``L = 1`` with the Rayleigh family is the paper's i.i.d. model."""
+        n = paper_instance.n
+        mask = np.zeros(n, dtype=bool)
+        mask[:: max(1, n // 10)] = True
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=1)
+        gen = np.random.default_rng(7)
+        hits = np.zeros(n)
+        for _ in range(self.SLOTS):
+            hits += ch.realize(mask, gen)
+        freq = hits / self.SLOTS
+        p_exact = np.where(
+            mask,
+            RayleighChannel(paper_instance, BETA).conditional_success_probability(
+                mask.astype(float)
+            ),
+            0.0,
+        )
+        sigma = np.sqrt(np.maximum(p_exact * (1 - p_exact), 1e-12) / self.SLOTS)
+        assert np.all(np.abs(freq - p_exact) <= 4.0 * sigma + 1e-9)
+
+    def test_other_families_accepted(self, paper_instance):
+        ch = BlockFadingChannel(
+            paper_instance, BETA, block_length=3, model=NakagamiFading(2.0)
+        )
+        gen = np.random.default_rng(11)
+        out = ch.transformed_step(np.full(paper_instance.n, 0.3), gen)
+        assert out.shape == (paper_instance.n,)
+        assert ch.name == "block(L=3, nakagami(m=2))"
+
+    def test_expected_successes_stateless(self, paper_instance):
+        ch = BlockFadingChannel(paper_instance, BETA, block_length=5)
+        value = ch.expected_successes(np.arange(0, paper_instance.n, 4), rng=13)
+        assert value >= 0.0
+        assert ch.time == 0

@@ -46,6 +46,26 @@ class TestScheduleType:
         with pytest.raises(ValueError):
             Schedule.from_lists([[1, 1]], n=3)
 
+    def test_first_slots_all_links(self):
+        s = Schedule.from_lists([[0], [1, 2], [1]], n=4)
+        assert s.first_slots().tolist() == [0, 1, 1, -1]
+
+    def test_first_slots_subset(self):
+        s = Schedule.from_lists([[0], [1, 2], [1]], n=4)
+        assert s.first_slots([2, 3]).tolist() == [1, -1]
+
+    def test_first_slots_agrees_with_slot_of(self):
+        s = Schedule.from_lists([[3], [1, 2], [0, 1], []], n=5)
+        first = s.first_slots()
+        for link in range(5):
+            expected = s.slot_of(link)
+            assert first[link] == (-1 if expected is None else expected)
+
+    def test_slot_of_empty_schedule(self):
+        s = Schedule.from_lists([], n=3)
+        assert s.slot_of(0) is None
+        assert s.first_slots().tolist() == [-1, -1, -1]
+
 
 class TestValidateSchedule:
     def test_valid_split(self, instance):

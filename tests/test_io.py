@@ -92,6 +92,69 @@ class TestInstanceRoundTrip:
         assert back.noise == inst.noise
 
 
+class TestVersion1Compatibility:
+    """Version-1 files (one hex-float string per value) must keep loading."""
+
+    @staticmethod
+    def _v1_array(arr):
+        a = np.asarray(arr, dtype=np.float64)
+        return {"shape": list(a.shape), "hex": [float(v).hex() for v in a.ravel()]}
+
+    def test_v1_instance_document_loads(self):
+        gains = np.array([[4.0, 1.0], [2.0, 8.0]])
+        doc = {
+            "format": "repro-instance",
+            "version": 1,
+            "gains": self._v1_array(gains),
+            "noise": 0.5,
+        }
+        back = instance_from_dict(doc)
+        np.testing.assert_array_equal(back.gains, gains)
+        assert back.noise == 0.5
+
+    def test_v1_geometric_network_document_loads(self):
+        s, r = paper_random_network(4, rng=6)
+        doc = {
+            "format": "repro-network",
+            "version": 1,
+            "kind": "geometric",
+            "senders": self._v1_array(s),
+            "receivers": self._v1_array(r),
+            "metric_p": 2.0,
+        }
+        back = network_from_dict(doc)
+        np.testing.assert_array_equal(back.senders, s)
+        np.testing.assert_array_equal(back.receivers, r)
+
+    def test_v1_preserves_extreme_values(self):
+        gains = np.array([[1e-300, 1e300], [5e-324, 1.0]])
+        doc = {
+            "format": "repro-instance",
+            "version": 1,
+            "gains": self._v1_array(gains),
+            "noise": 1e-308,
+        }
+        np.testing.assert_array_equal(instance_from_dict(doc).gains, gains)
+
+    def test_writer_emits_v2(self):
+        inst = SINRInstance(np.eye(2) + 0.5, noise=0.0)
+        doc = instance_to_dict(inst)
+        assert doc["version"] == 2
+        assert "b64" in doc["gains"] and "hex" not in doc["gains"]
+
+    def test_payload_size_mismatch_rejected(self):
+        doc = instance_to_dict(SINRInstance(np.eye(2) + 0.5, noise=0.0))
+        doc["gains"]["shape"] = [3, 3]
+        with pytest.raises(ValueError, match="shape"):
+            instance_from_dict(doc)
+
+    def test_missing_payload_rejected(self):
+        doc = instance_to_dict(SINRInstance(np.eye(2) + 0.5, noise=0.0))
+        del doc["gains"]["b64"]
+        with pytest.raises(ValueError, match="neither"):
+            instance_from_dict(doc)
+
+
 class TestFormatErrors:
     def test_wrong_format_tag(self):
         with pytest.raises(ValueError):

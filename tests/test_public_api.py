@@ -20,6 +20,7 @@ class TestExports:
     def test_subpackages_importable(self):
         import repro.analysis
         import repro.capacity
+        import repro.channel
         import repro.core
         import repro.experiments
         import repro.fading
