@@ -81,6 +81,14 @@ def test_counterfactual_per_round(benchmark, inst100, kind):
     benchmark(ch.counterfactual, mask, gen)
 
 
+@pytest.mark.parametrize("kind", ["nonfading", "rayleigh", "nakagami_m2"])
+def test_counterfactual_batch_256(benchmark, inst100, kind):
+    ch = _channels(inst100)[kind]
+    gen = np.random.default_rng(6)
+    patterns = gen.random((BATCH, N)) < 0.4
+    benchmark(ch.counterfactual_batch, patterns, gen)
+
+
 @pytest.mark.parametrize("kind", ["rayleigh", "nakagami_m2"])
 def test_success_probability(benchmark, inst100, kind):
     ch = _channels(inst100)[kind]
@@ -111,6 +119,9 @@ def record_baseline(path=_BASELINE) -> dict:
             "realize": _time_call(ch.realize, mask, gen),
             "realize_batch_256": _time_call(ch.realize_batch, patterns, gen),
             "counterfactual": _time_call(ch.counterfactual, mask, gen),
+            "counterfactual_batch_256": _time_call(
+                ch.counterfactual_batch, patterns, gen
+            ),
         }
         if kind != "nonfading":
             entry["success_probability"] = _time_call(ch.success_probability, q, gen)

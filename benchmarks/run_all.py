@@ -1,0 +1,304 @@
+"""Perf-regression harness for the hot-path kernels.
+
+Times every cached/batched fast path against a retained *naive
+reference* — the per-call / per-slot loop form the code used before the
+kernel-caching work — and records per-kernel before/after seconds and
+speedups in ``benchmarks/BENCH_summary.json``::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full run: micro-kernels
+                                                           # + every bench_*.py, rewrite baseline
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # micro-kernels only, fewer repeats
+    PYTHONPATH=src python benchmarks/run_all.py --quick --check
+                                                           # CI perf smoke: compare the fast-path
+                                                           # timings against the recorded baseline
+                                                           # and exit non-zero on a >5x regression
+
+The naive references are kept *here*, not in the library: they pin the
+cost model the optimisations were measured against, so the speedup
+column stays meaningful after the original code is gone.  ``--check``
+compares only the fast-path ("after") timings — reference timings drift
+with the machine, but a fast path that lands within the regression
+budget of its own recorded baseline is healthy regardless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel import NonFadingChannel, RayleighChannel
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.geometry.placement import paper_random_network
+from repro.learning.regret import expected_send_rewards, lemma5_quantities
+
+BENCH_DIR = Path(__file__).resolve().parent
+SUMMARY_PATH = BENCH_DIR / "BENCH_summary.json"
+
+N = 100
+T = 2000
+BATCH = 256
+BETA = 2.5
+BLOCK_L = 16
+BLOCK_SLOTS = 512
+
+#: ``--check`` fails when a fast path runs slower than this multiple of
+#: its recorded baseline.
+REGRESSION_FACTOR = 5.0
+
+
+def _instance() -> SINRInstance:
+    s, r = paper_random_network(N, rng=0)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+# ---------------------------------------------------------------------------
+# Naive references — the pre-caching per-call/per-slot forms.
+# ---------------------------------------------------------------------------
+
+
+def _naive_conditional(instance: SINRInstance, q: np.ndarray, beta: float) -> np.ndarray:
+    """Theorem-1 conditional probabilities, rebuilt from scratch per call
+    (the original scalar-kernel form: one (n, n) factor matrix + product)."""
+    signal = instance.signal
+    t = beta * instance.gains
+    factors = 1.0 - q[:, None] * (t / (t + signal[None, :]))
+    np.fill_diagonal(factors, 1.0)
+    prod = np.prod(factors, axis=0)
+    noise_term = np.exp(-beta * instance.noise / signal)
+    return noise_term * prod
+
+
+def _naive_expected_send_rewards(
+    instance: SINRInstance, actions: np.ndarray, beta: float
+) -> np.ndarray:
+    """Per-round loop of scalar Theorem-1 kernels (the pre-batching form)."""
+    out = np.empty(actions.shape, dtype=np.float64)
+    for t in range(actions.shape[0]):
+        q = actions[t].astype(np.float64)
+        out[t] = 2.0 * _naive_conditional(instance, q, beta) - 1.0
+    return out
+
+
+def _naive_lemma5(
+    instance: SINRInstance, actions: np.ndarray, beta: float
+) -> tuple[float, float]:
+    rounds = actions.shape[0]
+    f = actions.mean(axis=0)
+    x = np.zeros(instance.n, dtype=np.float64)
+    for t in range(rounds):
+        q = actions[t].astype(np.float64)
+        probs = _naive_conditional(instance, q, beta)
+        x += np.where(actions[t], probs, 0.0)
+    x /= rounds
+    return float(x.sum()), float(f.sum())
+
+
+def _naive_rayleigh_counterfactual(
+    instance: SINRInstance, mask: np.ndarray, beta: float, gen: np.random.Generator
+) -> np.ndarray:
+    p = _naive_conditional(instance, mask.astype(np.float64), beta)
+    return gen.random(instance.n) < p
+
+
+def _naive_nonfading_counterfactual(
+    instance: SINRInstance, mask: np.ndarray, beta: float
+) -> np.ndarray:
+    """The division-based had-I-sent test recomputed per call."""
+    diag = instance.signal
+    interference = mask.astype(np.float64) @ instance.gains - mask * diag
+    denom = interference + instance.noise
+    with np.errstate(divide="ignore"):
+        sinr = np.where(denom > 0.0, diag / np.maximum(denom, 1e-300), np.inf)
+    return sinr >= beta
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers.
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_kernels(repeats: int) -> dict:
+    """Time every (naive, fast) kernel pair; returns the summary mapping."""
+    inst = _instance()
+    gen = np.random.default_rng(0)
+    actions = gen.random((T, N)) < 0.4
+    mask = np.zeros(N, dtype=bool)
+    mask[:40] = True
+    patterns = gen.random((BATCH, N)) < 0.4
+
+    ray = RayleighChannel(inst, BETA)
+    nf = NonFadingChannel(inst, BETA)
+    # Warm the cached tensors so "after" measures the steady state the
+    # game/scheduler loops actually run in.
+    ray.counterfactual(mask, np.random.default_rng(1))
+    nf.counterfactual(mask)
+
+    kernels: dict[str, dict] = {}
+
+    def record(name, naive_fn, fast_fn, *, calls=1, naive_repeats=None):
+        before = _best_of(naive_fn, naive_repeats or repeats) / calls
+        after = _best_of(fast_fn, repeats) / calls
+        kernels[name] = {
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / max(after, 1e-12),
+        }
+        print(
+            f"  {name:35s} {before:10.3e}s -> {after:10.3e}s   "
+            f"({kernels[name]['speedup']:6.1f}x)"
+        )
+
+    record(
+        "expected_send_rewards_T2000_n100",
+        lambda: _naive_expected_send_rewards(inst, actions, BETA),
+        lambda: expected_send_rewards(inst, actions, BETA),
+        naive_repeats=max(1, repeats // 2),
+    )
+    record(
+        "lemma5_quantities_T2000_n100",
+        lambda: _naive_lemma5(inst, actions, BETA),
+        lambda: lemma5_quantities(inst, actions, BETA),
+        naive_repeats=max(1, repeats // 2),
+    )
+
+    cf_calls = 200
+    g1, g2 = np.random.default_rng(3), np.random.default_rng(3)
+    record(
+        "rayleigh_counterfactual_per_call",
+        lambda: [
+            _naive_rayleigh_counterfactual(inst, mask, BETA, g1)
+            for _ in range(cf_calls)
+        ],
+        lambda: [ray.counterfactual(mask, g2) for _ in range(cf_calls)],
+        calls=cf_calls,
+    )
+    record(
+        "nonfading_counterfactual_per_call",
+        lambda: [
+            _naive_nonfading_counterfactual(inst, mask, BETA) for _ in range(cf_calls)
+        ],
+        lambda: [nf.counterfactual(mask) for _ in range(cf_calls)],
+        calls=cf_calls,
+    )
+
+    g3, g4 = np.random.default_rng(4), np.random.default_rng(4)
+    record(
+        "rayleigh_counterfactual_batch_256",
+        lambda: [
+            _naive_rayleigh_counterfactual(inst, patterns[b], BETA, g3)
+            for b in range(BATCH)
+        ],
+        lambda: ray.counterfactual_batch(patterns, g4),
+    )
+
+    from repro.fading.block import BlockFadingChannel
+
+    def naive_block():
+        ch = BlockFadingChannel(inst, BLOCK_L, rng=7)
+        return [ch.step(mask, BETA) for _ in range(BLOCK_SLOTS)]
+
+    def fast_block():
+        ch = BlockFadingChannel(inst, BLOCK_L, rng=7)
+        return ch.run(mask, BETA, BLOCK_SLOTS)
+
+    record("block_fading_run_L16_512slots", naive_block, fast_block)
+    return kernels
+
+
+def run_pytest_benches() -> dict:
+    """Run every ``bench_*.py`` under pytest; record outcome and duration."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider", str(BENCH_DIR)],
+        cwd=BENCH_DIR.parent,
+    )
+    return {
+        "passed": proc.returncode == 0,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+def check_against_baseline(kernels: dict) -> list[str]:
+    """Compare fast-path timings to the recorded summary; list failures."""
+    if not SUMMARY_PATH.exists():
+        return [f"no recorded baseline at {SUMMARY_PATH}; run without --check first"]
+    recorded = json.loads(SUMMARY_PATH.read_text(encoding="utf-8"))["kernels"]
+    failures = []
+    for name, entry in kernels.items():
+        base = recorded.get(name)
+        if base is None:
+            continue
+        if entry["after_s"] > REGRESSION_FACTOR * base["after_s"]:
+            failures.append(
+                f"{name}: {entry['after_s']:.3e}s vs recorded "
+                f"{base['after_s']:.3e}s (>{REGRESSION_FACTOR:.0f}x regression)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer timing repeats and skip the pytest experiment benches",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the recorded BENCH_summary.json instead of "
+        "rewriting it; exit 1 on a >5x fast-path regression",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else 7
+    print(f"timing hot-path kernels (n={N}, T={T}, batch={BATCH}) ...")
+    kernels = measure_kernels(repeats)
+
+    summary = {
+        "config": {"n": N, "T": T, "batch": BATCH, "beta": BETA,
+                   "block_length": BLOCK_L, "block_slots": BLOCK_SLOTS},
+        "kernels": kernels,
+    }
+
+    if not args.quick:
+        print("running pytest benches (bench_*.py) ...")
+        summary["pytest_benches"] = run_pytest_benches()
+        if not summary["pytest_benches"]["passed"]:
+            print("pytest benches FAILED", file=sys.stderr)
+            return 1
+
+    if args.check:
+        failures = check_against_baseline(kernels)
+        if failures:
+            for line in failures:
+                print("PERF REGRESSION:", line, file=sys.stderr)
+            return 1
+        print("perf check passed: every fast path within "
+              f"{REGRESSION_FACTOR:.0f}x of its recorded baseline")
+        return 0
+
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {SUMMARY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,9 @@ the library needs:
 * **Counterfactual evaluation** — :meth:`Channel.counterfactual`
   answers "had link ``i`` sent, would it have been received?" for every
   link simultaneously, the quantity the Section-6 capacity game feeds
-  its learners.
+  its learners; :meth:`Channel.counterfactual_batch` answers it for a
+  ``(B, n)`` batch of patterns in one vectorized kernel (the post-hoc
+  regret analysis evaluates whole recorded games this way).
 * **Probabilities** — :meth:`Channel.success_probability` and
   :meth:`Channel.conditional_success_probability` return the exact
   per-link success probabilities where a closed form exists (Theorem 1
@@ -107,14 +109,26 @@ class Channel(abc.ABC):
     def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         """Success masks for a ``(B, n)`` batch of independent slots.
 
-        The default loops over :meth:`realize`; vectorized channels
-        override this with a single batched kernel.
+        The default prefers the channel's vectorized SINR kernel: when
+        :meth:`sinr_batch` exposes sampled (or deterministic) SINRs, the
+        whole batch is one thresholded kernel call.  Channels without a
+        batched SINR path fall back to looping :meth:`realize` over a
+        **single child stream spawned from the caller's generator** —
+        one ``spawn`` up front, then the slots consume it in row order
+        (slot 0 first).  The spawn keeps the caller's generator advanced
+        by exactly one spawn regardless of the batch size, so loop and
+        vector consumers of the same parent stream stay seed-reproducible
+        against each other.  Vectorized channels override this with a
+        fused batched kernel.
         """
         pats = self._patterns(patterns)
-        gen = as_generator(rng)
+        sinr = self.sinr_batch(pats, rng)
+        if sinr is not None:
+            return (sinr >= self.beta) & pats
+        stream = as_generator(rng).spawn(1)[0]
         out = np.zeros(pats.shape, dtype=bool)
         for t in range(pats.shape[0]):
-            out[t] = self.realize(pats[t], gen)
+            out[t] = self.realize(pats[t], stream)
         return out
 
     @abc.abstractmethod
@@ -127,6 +141,22 @@ class Channel(abc.ABC):
         the realized outcome; for silent links it is the counterfactual
         the capacity game's full-information losses require.
         """
+
+    def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Success-if-sent masks for a ``(B, n)`` batch of patterns.
+
+        Row ``t`` answers :meth:`counterfactual` for ``patterns[t]`` — the
+        quantity the Section-6 regret analysis needs for a whole recorded
+        game at once.  The default loops over :meth:`counterfactual` with
+        the caller's generator consumed in row order; every library
+        member overrides it with a single batched kernel.
+        """
+        pats = self._patterns(patterns)
+        gen = as_generator(rng)
+        out = np.zeros(pats.shape, dtype=bool)
+        for t in range(pats.shape[0]):
+            out[t] = self.counterfactual(pats[t], gen)
+        return out
 
     def sinr_batch(self, patterns: np.ndarray, rng=None) -> "np.ndarray | None":
         """Sampled (or deterministic) SINR values per pattern, if the

@@ -77,6 +77,25 @@ class BlockFadingChannel(Channel):
         self._t += 1
         return self._draws
 
+    def _advance_chunks(self, num_slots: int, rng):
+        """Yield ``(start, stop, draws)`` coherence-block chunks covering
+        ``num_slots`` consecutive slots, advancing the channel clock.
+
+        Redraws happen exactly where the slot-by-slot loop would redraw
+        (at clock multiples of ``block_length``), from the same generator,
+        so chunked and looped execution consume identical randomness.
+        """
+        gen = as_generator(rng)
+        done = 0
+        while done < num_slots:
+            if self._draws is None or self._t % self.block_length == 0:
+                self._draws = self.model.sample(self.instance.gains, gen)
+            left_in_block = self.block_length - (self._t % self.block_length)
+            take = min(left_in_block, num_slots - done)
+            self._t += take
+            yield done, done + take, self._draws
+            done += take
+
     def realize(self, active, rng=None) -> np.ndarray:
         mask = self._mask(active)
         draws = self._step_draws(rng)
@@ -85,12 +104,40 @@ class BlockFadingChannel(Channel):
         sinr = _sinr_from_draws(draws[None, :, :], mask, self.instance.noise)[0]
         return sinr >= self.beta
 
+    def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Coherence-block-chunked batch: slots sharing a block are
+        evaluated against their common draw matrix in one vectorized
+        pass, with redraws (and hence randomness consumption) exactly
+        where the slot-by-slot loop would place them."""
+        pats = self._patterns(patterns)
+        out = np.zeros(pats.shape, dtype=bool)
+        for start, stop, draws in self._advance_chunks(pats.shape[0], rng):
+            chunk = pats[start:stop]
+            sinr = _sinr_from_draws(draws, chunk, self.instance.noise)
+            out[start:stop] = sinr >= self.beta
+        return out
+
     def counterfactual(self, active, rng=None) -> np.ndarray:
         mask = self._mask(active)
         draws = self._step_draws(rng)
+        return self._counterfactual_against(draws, mask[None, :])[0]
+
+    def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Coherence-block-chunked had-I-sent masks for ``(B, n)``
+        patterns; the clock advances by ``B`` slots."""
+        pats = self._patterns(patterns)
+        out = np.zeros(pats.shape, dtype=bool)
+        for start, stop, draws in self._advance_chunks(pats.shape[0], rng):
+            out[start:stop] = self._counterfactual_against(draws, pats[start:stop])
+        return out
+
+    def _counterfactual_against(
+        self, draws: np.ndarray, patterns: np.ndarray
+    ) -> np.ndarray:
+        """Had-I-sent masks for a chunk of patterns sharing one draw."""
         signal = np.diagonal(draws)
-        total = mask.astype(np.float64) @ draws
-        denom = total - mask * signal + self.instance.noise
+        total = patterns.astype(np.float64) @ draws
+        denom = total - patterns * signal + self.instance.noise
         with np.errstate(divide="ignore", invalid="ignore"):
             sinr = np.where(denom > 0.0, signal / np.maximum(denom, 1e-300), np.inf)
         return sinr >= self.beta

@@ -92,6 +92,24 @@ class MonteCarloChannel(Channel):
             sinr = np.where(denom > 0.0, signal / np.maximum(denom, 1e-300), np.inf)
         return sinr >= self.beta
 
+    def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Batched had-I-sent sampling via the common-random-numbers
+        kernel: one unit-mean fading multiplier per (slot, sender) and one
+        ``(B, n) @ (n, n)`` product per memory-bounded chunk.
+
+        Per-(slot, link) marginals are exactly the family's
+        counterfactual law (see
+        :func:`repro.fading.models.simulate_sinr_patterns_with_model`);
+        only the within-slot dependence across links differs from the
+        explicit per-slot gain-matrix draw of :meth:`counterfactual`,
+        which leaves every per-link frequency estimator unbiased.
+        """
+        pats = self._patterns(patterns)
+        sinr = simulate_sinr_patterns_with_model(
+            self.instance, pats, self.model, rng, counterfactual=True
+        )
+        return sinr >= self.beta
+
     def sinr_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         return simulate_sinr_patterns_with_model(
             self.instance, self._patterns(patterns), self.model, rng

@@ -17,6 +17,13 @@ class NonFadingChannel(Channel):
     The degenerate member of the channel family: :meth:`realize`
     consumes no randomness, probabilities are 0/1 indicators, and the
     batched path is PR 1's single ``(B, n) @ (n, n)`` product.
+
+    The counterfactual paths run against a cached ``β·S̄`` tensor
+    (instances are frozen, so it never invalidates): "had ``i`` sent"
+    reduces to the interference-margin test
+    ``Σ_{j active, j≠i} β S̄(j,i) ≤ S̄(i,i) − βν``, algebraically the
+    SINR threshold test without the per-call division — one matvec
+    (or one matmul for a batch) and one comparison per evaluation.
     """
 
     is_deterministic = True
@@ -25,6 +32,28 @@ class NonFadingChannel(Channel):
     @property
     def name(self) -> str:
         return "nonfading"
+
+    @property
+    def _beta_gains(self) -> np.ndarray:
+        """Cached ``β·S̄(j,i)`` with a zeroed diagonal (own signal never
+        interferes with its own reception)."""
+        bg = getattr(self, "_beta_gains_cache", None)
+        if bg is None:
+            bg = self.beta * self.instance.gains
+            np.fill_diagonal(bg, 0.0)
+            bg.setflags(write=False)
+            self._beta_gains_cache = bg
+        return bg
+
+    @property
+    def _margin(self) -> np.ndarray:
+        """Cached interference budget ``S̄(i,i) − βν`` per link."""
+        m = getattr(self, "_margin_cache", None)
+        if m is None:
+            m = np.ascontiguousarray(self.instance.signal) - self.beta * self.instance.noise
+            m.setflags(write=False)
+            self._margin_cache = m
+        return m
 
     def realize(self, active, rng=None) -> np.ndarray:
         return self.instance.successes(self._mask(active), self.beta)
@@ -40,14 +69,14 @@ class NonFadingChannel(Channel):
         ``r_i`` from the active senders ``j ≠ i`` (whether ``i`` itself
         sent is irrelevant to its own counterfactual).
         """
-        inst = self.instance
         a = self._mask(active)
-        diag = inst.signal
-        interference = a.astype(np.float64) @ inst.gains - a * diag
-        denom = interference + inst.noise
-        with np.errstate(divide="ignore"):
-            sinr_if_sent = np.where(denom > 0.0, diag / np.maximum(denom, 1e-300), np.inf)
-        return sinr_if_sent >= self.beta
+        return a.astype(np.float64) @ self._beta_gains <= self._margin
+
+    def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Batched had-I-sent test: one ``(B, n) @ (n, n)`` product
+        against the cached ``β·S̄`` tensor, no randomness consumed."""
+        pats = self._patterns(patterns)
+        return pats.astype(np.float64) @ self._beta_gains <= self._margin
 
     def sinr_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         return self.instance.sinr_batch(self._patterns(patterns))

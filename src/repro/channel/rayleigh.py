@@ -8,6 +8,13 @@ with exactly the Theorem-1 probabilities (see
 pinning it).  Sampling those Bernoullis is therefore
 *distribution-identical* to explicit exponential sampling at a fraction
 of the cost, and the closed form makes every probability query exact.
+
+Since PR 3 the channel owns one lazily built
+:class:`~repro.fading.success.Theorem1Kernel`: instances are frozen and
+``β`` is fixed at construction, so the ``O(n²)`` log-factor and weight
+tensors are derived once and every subsequent round-level call
+(``realize``/``counterfactual``) is a single matvec against the cache
+instead of a fresh factor-matrix build.
 """
 
 from __future__ import annotations
@@ -15,11 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.channel.base import Channel
-from repro.fading.success import (
-    success_probability,
-    success_probability_conditional,
-    success_probability_conditional_batch,
-)
+from repro.fading.success import Theorem1Kernel
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector
 
@@ -35,22 +38,25 @@ class RayleighChannel(Channel):
     def name(self) -> str:
         return "rayleigh"
 
+    @property
+    def kernel(self) -> Theorem1Kernel:
+        """The cached Theorem-1 tensors for this ``(instance, β)`` pair."""
+        kern = getattr(self, "_kernel", None)
+        if kern is None:
+            kern = Theorem1Kernel(self.instance, self.beta)
+            self._kernel = kern
+        return kern
+
     def realize(self, active, rng=None) -> np.ndarray:
         mask = self._mask(active)
         gen = as_generator(rng)
-        p = np.where(
-            mask,
-            success_probability_conditional(
-                self.instance, mask.astype(np.float64), self.beta
-            ),
-            0.0,
-        )
+        p = np.where(mask, self.kernel.conditional_binary(mask), 0.0)
         return gen.random(self.n) < p
 
     def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         pats = self._patterns(patterns)
         gen = as_generator(rng)
-        p = success_probability_conditional_batch(self.instance, pats, self.beta)
+        p = self.kernel.conditional_batch(pats)
         return pats & (gen.random(pats.shape) < p)
 
     def counterfactual(self, active, rng=None) -> np.ndarray:
@@ -62,14 +68,24 @@ class RayleighChannel(Channel):
         """
         mask = self._mask(active)
         gen = as_generator(rng)
-        p = success_probability_conditional(
-            self.instance, mask.astype(np.float64), self.beta
-        )
-        return gen.random(self.n) < p
+        return gen.random(self.n) < self.kernel.conditional_binary(mask)
+
+    def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
+        """Batched success-if-sent draws: one ``(B, n) @ (n, n)`` product
+        against the cached log factors plus one uniform block.
+
+        Row ``t`` has the same law as ``counterfactual(patterns[t])``, and
+        the uniforms are consumed in row order, so a batch draws exactly
+        the variates the per-round loop would.
+        """
+        pats = self._patterns(patterns)
+        gen = as_generator(rng)
+        return gen.random(pats.shape) < self.kernel.conditional_batch(pats)
 
     def success_probability(self, q, rng=None) -> np.ndarray:
-        return success_probability(self.instance, q, self.beta)
+        qv = check_probability_vector(q, self.n)
+        return qv * self.kernel.conditional(qv)
 
     def conditional_success_probability(self, q, rng=None) -> np.ndarray:
         qv = check_probability_vector(q, self.n)
-        return success_probability_conditional(self.instance, qv, self.beta)
+        return self.kernel.conditional(qv)

@@ -15,6 +15,13 @@ seed) or streams re-derived inside the worker from seeds in the payload
 task order regardless of completion order, and aggregation happens in
 that fixed order, so ``jobs=1`` and ``jobs=8`` produce bit-identical
 results.
+
+Shared read-only state (a config, a generated network list, a channel
+spec) can be passed once per worker through ``map_tasks(..., context=...)``
+instead of being pickled into every task payload: the process backend
+ships it via the pool's ``initializer`` and task functions read it back
+with :func:`get_worker_context`.  Context must never carry randomness —
+seeds stay on the tasks, so the ``jobs`` invariance is unaffected.
 """
 
 from __future__ import annotations
@@ -30,7 +37,34 @@ import numpy as np
 
 from repro.utils.rng import RngFactory
 
-__all__ = ["Task", "StageTimer", "make_tasks", "map_tasks", "resolve_jobs"]
+__all__ = [
+    "Task",
+    "StageTimer",
+    "get_worker_context",
+    "make_tasks",
+    "map_tasks",
+    "resolve_jobs",
+]
+
+#: Per-process shared state installed by :func:`map_tasks`'s ``context``
+#: argument — set once per worker by the pool initializer (or around the
+#: serial loop) and read back with :func:`get_worker_context`.
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    """Pool initializer: install the shared context in this process."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def get_worker_context() -> Any:
+    """The shared object passed as ``map_tasks(..., context=...)``.
+
+    Valid only inside a task function during a :func:`map_tasks` call
+    that supplied a context; returns ``None`` otherwise.
+    """
+    return _WORKER_CONTEXT
 
 
 @dataclass(frozen=True)
@@ -87,18 +121,35 @@ def map_tasks(
     tasks: Sequence[Task],
     *,
     jobs: "int | None" = 1,
+    context: Any = None,
 ) -> list[Any]:
     """Apply ``fn`` to every task, returning results in task order.
 
     ``fn`` must be a module-level function and each task payload
     picklable when ``jobs > 1`` (the process backend).  Exceptions from
     any task propagate to the caller on both backends.
+
+    ``context`` is shared read-only state shipped **once per worker**
+    (via the pool initializer) rather than pickled into every task;
+    task functions retrieve it with :func:`get_worker_context`.  On the
+    serial backend it is installed around the loop, so task functions
+    behave identically on both backends.
     """
     items = list(tasks)
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(items) <= 1:
-        return [fn(task) for task in items]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
+        global _WORKER_CONTEXT
+        previous = _WORKER_CONTEXT
+        _WORKER_CONTEXT = context
+        try:
+            return [fn(task) for task in items]
+        finally:
+            _WORKER_CONTEXT = previous
+    pool_kwargs = {"max_workers": min(n_jobs, len(items))}
+    if context is not None:
+        pool_kwargs["initializer"] = _init_worker
+        pool_kwargs["initargs"] = (context,)
+    with ProcessPoolExecutor(**pool_kwargs) as pool:
         futures = [pool.submit(fn, task) for task in items]
         return [future.result() for future in futures]
 

@@ -23,7 +23,13 @@ from repro.channel.spec import make_channel
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -72,8 +78,13 @@ def _evaluate(
 
 
 def _capacity_task(task: Task) -> "dict[str, tuple[int, float]]":
-    """One network: (non-fading, faded) values of all four algorithms."""
-    cfg, net_idx, opt_restarts, channel = task.payload
+    """One network: (non-fading, faded) values of all four algorithms.
+
+    Shared sweep parameters ride in the worker context; the payload is
+    just the network index.
+    """
+    cfg, opt_restarts, channel = get_worker_context()
+    net_idx = task.payload
     factory = RngFactory(cfg.seed)
     beta, alpha, noise = cfg.params.beta, cfg.params.alpha, cfg.params.noise
     net = figure1_network(cfg, net_idx)
@@ -129,11 +140,13 @@ def run_capacity_compare(
     timer = StageTimer()
     with timer.stage("sweep"):
         tasks = make_tasks(
-            [(cfg, k, opt_restarts, channel) for k in range(cfg.num_networks)],
+            range(cfg.num_networks),
             root_seed=cfg.seed,
             name="capacity-task",
         )
-        per_network = map_tasks(_capacity_task, tasks, jobs=jobs)
+        per_network = map_tasks(
+            _capacity_task, tasks, jobs=jobs, context=(cfg, opt_restarts, channel)
+        )
 
     acc: dict[str, list[tuple[int, float]]] = {}
     for records in per_network:

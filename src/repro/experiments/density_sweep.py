@@ -19,7 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import Figure1Config, PaperParameters
 from repro.experiments.figure1 import _network_curves
@@ -44,7 +50,8 @@ def _crossover(q: np.ndarray, nf: np.ndarray, ray: np.ndarray) -> "float | None"
 
 def _density_task(task: Task) -> "tuple[np.ndarray, np.ndarray]":
     """Curves of one (area, network) cell of the density sweep."""
-    seed, num_links, area, k, num_transmit_seeds, pp = task.payload
+    seed, num_links, num_transmit_seeds, pp = get_worker_context()
+    area, k = task.payload
     factory = RngFactory(seed)
     cfg_proto = Figure1Config(params=pp)
     probs = np.round(np.arange(0.05, 1.0001, 0.05), 3)
@@ -91,13 +98,14 @@ def run_density_sweep(
 
     timer = StageTimer()
     with timer.stage("sweep"):
-        cells = [
-            (seed, num_links, area, k, num_transmit_seeds, pp)
-            for area in areas
-            for k in range(num_networks)
-        ]
+        cells = [(area, k) for area in areas for k in range(num_networks)]
         tasks = make_tasks(cells, root_seed=seed, name="density-task")
-        per_cell = map_tasks(_density_task, tasks, jobs=jobs)
+        per_cell = map_tasks(
+            _density_task,
+            tasks,
+            jobs=jobs,
+            context=(seed, num_links, num_transmit_seeds, pp),
+        )
 
     rows = []
     crossovers: list[float] = []

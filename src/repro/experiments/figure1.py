@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -69,8 +75,11 @@ def _figure1_task(task: Task) -> "dict[str, np.ndarray]":
 
     Randomness is re-derived from the config's seed and the network
     index, so the result is independent of which process runs the task.
+    The config travels in the worker context (shipped once per process),
+    not in the payload.
     """
-    cfg, net_idx = task.payload
+    cfg = get_worker_context()
+    net_idx = task.payload
     factory = RngFactory(cfg.seed)
     probs = np.asarray(cfg.probabilities, dtype=np.float64)
     net = figure1_network(cfg, net_idx)
@@ -108,11 +117,11 @@ def run_figure1(
     timer = StageTimer()
     with timer.stage("sweep"):
         tasks = make_tasks(
-            [(cfg, k) for k in range(cfg.num_networks)],
+            range(cfg.num_networks),
             root_seed=cfg.seed,
             name="figure1-task",
         )
-        per_network = map_tasks(_figure1_task, tasks, jobs=jobs)
+        per_network = map_tasks(_figure1_task, tasks, jobs=jobs, context=cfg)
 
     with timer.stage("aggregate"):
         totals = {name: np.zeros(probs.size) for name in CURVES}

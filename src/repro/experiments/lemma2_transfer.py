@@ -12,7 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -36,7 +42,8 @@ def _lemma2_task(task: Task) -> "list[tuple[str, str, float, bool]]":
     Returns ``(power, utility, ratio, certified_ok)`` tuples for pairs
     with positive non-fading value.
     """
-    cfg, net_idx, mc_samples = task.payload
+    cfg, mc_samples = get_worker_context()
+    net_idx = task.payload
     factory = RngFactory(cfg.seed)
     beta = cfg.params.beta
     net = figure1_network(cfg, net_idx)
@@ -85,11 +92,13 @@ def run_lemma2_transfer(
     timer = StageTimer()
     with timer.stage("sweep"):
         tasks = make_tasks(
-            [(cfg, k, mc_samples) for k in range(cfg.num_networks)],
+            range(cfg.num_networks),
             root_seed=cfg.seed,
             name="lemma2-task",
         )
-        per_network = map_tasks(_lemma2_task, tasks, jobs=jobs)
+        per_network = map_tasks(
+            _lemma2_task, tasks, jobs=jobs, context=(cfg, mc_samples)
+        )
 
     ratios: dict[tuple[str, str], list[float]] = {}
     certified_ok = True

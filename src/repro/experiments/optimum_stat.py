@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
 from repro.capacity.optimum import local_search_capacity, optimal_capacity_bruteforce
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -32,7 +38,8 @@ PAPER_VALUE = 49.75
 def _optimum_task(task: Task) -> tuple[int, int, int, int]:
     """One network: greedy and local-search sizes, plus the exact-vs-LS
     calibration pair on its truncated subinstance."""
-    cfg, net_idx, restarts, exact_subinstance_size = task.payload
+    cfg, restarts, exact_subinstance_size = get_worker_context()
+    net_idx = task.payload
     factory = RngFactory(cfg.seed)
     beta = cfg.params.beta
     net = figure1_network(cfg, net_idx)
@@ -73,14 +80,16 @@ def run_optimum_stat(
     timer = StageTimer()
     with timer.stage("sweep"):
         tasks = make_tasks(
-            [
-                (cfg, k, restarts, exact_subinstance_size)
-                for k in range(cfg.num_networks)
-            ],
+            range(cfg.num_networks),
             root_seed=cfg.seed,
             name="optimum-task",
         )
-        per_network = map_tasks(_optimum_task, tasks, jobs=jobs)
+        per_network = map_tasks(
+            _optimum_task,
+            tasks,
+            jobs=jobs,
+            context=(cfg, restarts, exact_subinstance_size),
+        )
 
     greedy_sizes = [row[0] for row in per_network]
     ls_sizes = [row[1] for row in per_network]

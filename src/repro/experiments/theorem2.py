@@ -22,7 +22,13 @@ import numpy as np
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+)
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
@@ -58,7 +64,8 @@ def _theorem2_sim_task(task: Task):
     """
     from repro.utility.shannon import ShannonUtility
 
-    seed, n, start, stop, q_level, pp = task.payload
+    seed, q_level, pp = get_worker_context()
+    n, start, stop = task.payload
     factory = RngFactory(seed)
     inst = _theorem2_instance(seed, n, pp)
     q = np.full(n, q_level)
@@ -81,7 +88,8 @@ def _theorem2_util_task(task: Task) -> np.ndarray:
     from repro.fading.rayleigh import simulate_sinr_patterns
     from repro.utility.shannon import ShannonUtility
 
-    seed, n, q_level, util_trials, pp = task.payload
+    seed, q_level, pp = get_worker_context()
+    n, util_trials = task.payload
     factory = RngFactory(seed)
     inst = _theorem2_instance(seed, n, pp)
     profile = ShannonUtility(n, cap=1e6)
@@ -123,20 +131,24 @@ def run_theorem2(
     timer = StageTimer()
     with timer.stage("simulate"):
         chunks = [
-            (seed, n, start, min(start + _TRIAL_CHUNK, trials), q_level, pp)
+            (n, start, min(start + _TRIAL_CHUNK, trials))
             for n in sizes
             for start in range(0, trials, _TRIAL_CHUNK)
         ]
         sim_tasks = make_tasks(chunks, root_seed=seed, name="t2-sim-task")
-        sim_parts = map_tasks(_theorem2_sim_task, sim_tasks, jobs=jobs)
+        sim_parts = map_tasks(
+            _theorem2_sim_task, sim_tasks, jobs=jobs, context=(seed, q_level, pp)
+        )
 
     with timer.stage("utility"):
         util_tasks = make_tasks(
-            [(seed, n, q_level, util_trials, pp) for n in sizes],
+            [(n, util_trials) for n in sizes],
             root_seed=seed,
             name="t2-util-task",
         )
-        ray_utilities = map_tasks(_theorem2_util_task, util_tasks, jobs=jobs)
+        ray_utilities = map_tasks(
+            _theorem2_util_task, util_tasks, jobs=jobs, context=(seed, q_level, pp)
+        )
 
     rows = []
     domination_ok = True
@@ -151,7 +163,7 @@ def run_theorem2(
         sim_utility = np.zeros(n, dtype=np.float64)
         num_stages = num_slots = 0
         for chunk, part in zip(chunks, sim_parts):
-            if chunk[1] != n:
+            if chunk[0] != n:
                 continue
             hits += part[0]
             sim_utility += part[1]

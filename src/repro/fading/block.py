@@ -95,13 +95,29 @@ class BlockFadingChannel:
     def run(self, active, beta: float, num_slots: int) -> np.ndarray:
         """Simulate ``num_slots`` consecutive slots with a fixed pattern.
 
+        Chunked by coherence block: within a block the channel (and here
+        also the pattern) is frozen, so each block needs one draw and one
+        SINR evaluation, broadcast over its slots.  Redraws happen exactly
+        where the slot-by-slot :meth:`step` loop would redraw, from the
+        same generator, so the output is bit-identical to stepping.
+
         Returns the ``(num_slots, n)`` success-mask array.
         """
+        check_positive(beta, "beta")
         if num_slots <= 0:
             raise ValueError(f"num_slots must be positive, got {num_slots}")
+        mask = _as_active_bool(active, self.instance.n)
         out = np.zeros((num_slots, self.instance.n), dtype=bool)
-        for t in range(num_slots):
-            out[t] = self.step(active, beta)
+        done = 0
+        while done < num_slots:
+            draws = self._current_draws()
+            left_in_block = self.block_length - (self._t % self.block_length)
+            take = min(left_in_block, num_slots - done)
+            self._t += take
+            if mask.any():
+                sinr = _sinr_from_draws(draws[None, :, :], mask, self.instance.noise)[0]
+                out[done : done + take] = sinr >= beta
+            done += take
         return out
 
     def transformed_step(self, q, beta: float, *, repeats: int = 4) -> np.ndarray:

@@ -31,6 +31,7 @@ from repro.core.sinr import SINRInstance
 from repro.utils.validation import check_probability_vector
 
 __all__ = [
+    "Theorem1Kernel",
     "success_probability",
     "success_probability_conditional",
     "success_probability_conditional_batch",
@@ -46,6 +47,99 @@ def _beta_vector(beta, n: int) -> np.ndarray:
     if np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
         raise ValueError("beta values must be positive and finite")
     return arr
+
+
+class Theorem1Kernel:
+    """Cached Theorem-1 tensors for one ``(instance, β)`` pair.
+
+    Every Theorem-1 evaluation needs the same ``O(n²)`` derived tensors:
+    the interference weights ``w[j, i] = β_i S̄(j,i) / (β_i S̄(j,i) + S̄(i,i))``
+    (fractional-``q`` product form), their logs
+    ``log_factors[j, i] = log(S̄(i,i)) − log(β_i S̄(j,i) + S̄(i,i))``
+    (binary-pattern sum form), and the noise exponent ``β_i ν / S̄(i,i)``.
+    :class:`~repro.core.sinr.SINRInstance` is immutable and ``β`` is fixed
+    at construction, so these are built lazily once and never invalidated —
+    a round-level consumer (the capacity game, the regret analysis) pays
+    one matvec per call instead of rebuilding three ``O(n²)`` temporaries.
+
+    Both evaluation paths are *bit-compatible* with the module-level
+    functions: :meth:`conditional` reproduces
+    :func:`success_probability_conditional` exactly, and
+    :meth:`conditional_batch` reproduces
+    :func:`success_probability_conditional_batch` exactly (those functions
+    delegate here).
+    """
+
+    __slots__ = (
+        "instance",
+        "beta",
+        "_signal",
+        "_noise_exponent",
+        "_noise_term",
+        "_weights",
+        "_log_factors",
+    )
+
+    def __init__(self, instance: SINRInstance, beta):
+        self.instance = instance
+        self.beta = _beta_vector(beta, instance.n)
+        self._signal = np.ascontiguousarray(instance.signal)
+        self._noise_exponent = self.beta * instance.noise / self._signal
+        self._noise_term = np.exp(-self._noise_exponent)
+        self._weights: "np.ndarray | None" = None
+        self._log_factors: "np.ndarray | None" = None
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+    @property
+    def noise_term(self) -> np.ndarray:
+        """``exp(−β_i ν / S̄(i,i))`` — the Theorem-1 noise factor."""
+        return self._noise_term
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``w[j, i] = t / (t + S̄(i,i))`` with ``t = β_i S̄(j,i)``; diag 0."""
+        if self._weights is None:
+            t = self.beta[None, :] * self.instance.gains
+            w = t / (t + self._signal[None, :])
+            np.fill_diagonal(w, 0.0)
+            w.setflags(write=False)
+            self._weights = w
+        return self._weights
+
+    @property
+    def log_factors(self) -> np.ndarray:
+        """``log(S̄(i,i)) − log(β_i S̄(j,i) + S̄(i,i))`` per (j, i); diag 0."""
+        if self._log_factors is None:
+            t = self.beta[None, :] * self.instance.gains
+            lf = np.log(self._signal[None, :]) - np.log(t + self._signal[None, :])
+            np.fill_diagonal(lf, 0.0)
+            lf.setflags(write=False)
+            self._log_factors = lf
+        return self._log_factors
+
+    def conditional(self, q: np.ndarray) -> np.ndarray:
+        """Conditional success probabilities for fractional ``q`` (the
+        product form); ``q`` must be a validated ``(n,)`` float vector."""
+        factors = 1.0 - q[:, None] * self.weights
+        return self._noise_term * np.prod(factors, axis=0)
+
+    def conditional_binary(self, mask: np.ndarray) -> np.ndarray:
+        """Conditional success probabilities for one 0/1 pattern — a single
+        ``(n,) @ (n, n)`` product against the cached log factors."""
+        log_p = mask.astype(np.float64) @ self.log_factors - self._noise_exponent
+        return np.exp(log_p)
+
+    def conditional_batch(self, patterns: np.ndarray) -> np.ndarray:
+        """Conditional success probabilities for a ``(B, n)`` batch of 0/1
+        patterns — one ``(B, n) @ (n, n)`` product."""
+        pats = np.asarray(patterns)
+        if pats.ndim != 2 or pats.shape[1] != self.n:
+            raise ValueError(f"patterns must be (B, {self.n}), got {pats.shape}")
+        log_p = pats.astype(np.float64) @ self.log_factors - self._noise_exponent
+        return np.exp(log_p)
 
 
 def success_probability_conditional(
@@ -72,18 +166,8 @@ def success_probability_conditional(
     -------
     ndarray ``(n,)`` of probabilities in ``[0, 1]``.
     """
-    n = instance.n
-    qv = check_probability_vector(q, n)
-    bv = _beta_vector(beta, n)
-    signal = instance.signal  # S̄(i,i)
-    # t[j, i] = β_i · S̄(j, i)
-    t = bv[None, :] * instance.gains
-    factors = 1.0 - qv[:, None] * (t / (t + signal[None, :]))
-    np.fill_diagonal(factors, 1.0)
-    # Product over senders j for each receiver i; all factors lie in (0, 1].
-    prod = np.prod(factors, axis=0)
-    noise_term = np.exp(-bv * instance.noise / signal)
-    return noise_term * prod
+    qv = check_probability_vector(q, instance.n)
+    return Theorem1Kernel(instance, beta).conditional(qv)
 
 
 def success_probability_conditional_batch(
@@ -102,17 +186,7 @@ def success_probability_conditional_batch(
     transmits* while the pattern's other senders transmit; whether the
     pattern includes ``i`` itself is irrelevant (diagonal factor is 0).
     """
-    n = instance.n
-    pats = np.asarray(patterns)
-    if pats.ndim != 2 or pats.shape[1] != n:
-        raise ValueError(f"patterns must be (B, {n}), got {pats.shape}")
-    bv = _beta_vector(beta, n)
-    signal = instance.signal
-    t = bv[None, :] * instance.gains
-    log_factors = np.log(signal[None, :]) - np.log(t + signal[None, :])
-    np.fill_diagonal(log_factors, 0.0)
-    log_p = pats.astype(np.float64) @ log_factors - bv * instance.noise / signal
-    return np.exp(log_p)
+    return Theorem1Kernel(instance, beta).conditional_batch(patterns)
 
 
 def success_probability(instance: SINRInstance, q, beta) -> np.ndarray:

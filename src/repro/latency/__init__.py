@@ -26,7 +26,7 @@ from repro.latency.multihop import (
     multihop_lower_bound,
 )
 from repro.latency.repeated_max import repeated_max_latency
-from repro.latency.schedule import Schedule, validate_schedule
+from repro.latency.schedule import Schedule, replay_schedule, validate_schedule
 
 __all__ = [
     "MultiHopRequest",
@@ -36,5 +36,6 @@ __all__ = [
     "multihop_latency",
     "multihop_lower_bound",
     "repeated_max_latency",
+    "replay_schedule",
     "validate_schedule",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sinr import SINRInstance
-from repro.fading.success import success_probability_conditional
+from repro.fading.success import success_probability_conditional_batch
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -63,16 +63,18 @@ def expected_send_rewards(
     Shape ``(T, n)``.  In the non-fading model the same formula applies
     with the indicator in place of the probability; use the game engine's
     recorded ``send_success`` there.
+
+    Actions are binary, so the whole ``T``-round sequence reduces to one
+    ``(T, n) @ (n, n)`` product against the Theorem-1 log factors
+    (:func:`~repro.fading.success.success_probability_conditional_batch`)
+    instead of ``T`` scalar-kernel calls.
     """
     check_positive(beta, "beta")
     actions = np.asarray(actions, dtype=bool)
     if actions.ndim != 2 or actions.shape[1] != instance.n:
         raise ValueError(f"actions must be (T, {instance.n})")
-    out = np.empty(actions.shape, dtype=np.float64)
-    for t in range(actions.shape[0]):
-        q = actions[t].astype(np.float64)
-        out[t] = 2.0 * success_probability_conditional(instance, q, beta) - 1.0
-    return out
+    probs = success_probability_conditional_batch(instance, actions, beta)
+    return 2.0 * probs - 1.0
 
 
 def external_regret(
@@ -112,14 +114,14 @@ def lemma5_quantities(
     transmitted; ``X = Σ_i x_i`` with ``x_i`` the average (exact) success
     probability of its transmissions.  Lemma 5: ``X ≤ F ≤ 2X + εn``
     whenever every player's (expected-reward) regret is at most ``εT``.
+
+    Like :func:`expected_send_rewards`, the recorded binary actions make
+    this one batched Theorem-1 product over all ``T`` rounds rather than
+    ``T`` scalar-kernel calls.
     """
     actions = np.asarray(actions, dtype=bool)
     T = actions.shape[0]
     f = actions.mean(axis=0)
-    x = np.zeros(instance.n, dtype=np.float64)
-    for t in range(T):
-        q = actions[t].astype(np.float64)
-        probs = success_probability_conditional(instance, q, beta)
-        x += np.where(actions[t], probs, 0.0)
-    x /= T
+    probs = success_probability_conditional_batch(instance, actions, beta)
+    x = np.where(actions, probs, 0.0).sum(axis=0) / T
     return float(x.sum()), float(f.sum())

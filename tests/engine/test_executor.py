@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs
+from repro.engine.executor import (
+    StageTimer,
+    Task,
+    get_worker_context,
+    make_tasks,
+    map_tasks,
+    resolve_jobs,
+)
 
 
 def _draw(task: Task) -> float:
@@ -13,6 +20,12 @@ def _draw(task: Task) -> float:
 
 def _payload_square(task: Task) -> int:
     return task.payload**2
+
+
+def _context_scaled(task: Task) -> int:
+    """Pickleable task function reading the per-worker shared context."""
+    ctx = get_worker_context()
+    return ctx["factor"] * task.payload
 
 
 class TestMakeTasks:
@@ -58,6 +71,35 @@ class TestMapTasks:
 
     def test_empty_tasks(self):
         assert map_tasks(_payload_square, [], jobs=4) == []
+
+
+class TestWorkerContext:
+    def test_serial_sees_context(self):
+        tasks = make_tasks([1, 2, 3])
+        out = map_tasks(_context_scaled, tasks, jobs=1, context={"factor": 10})
+        assert out == [10, 20, 30]
+
+    def test_pool_ships_context_once_per_worker(self):
+        tasks = make_tasks([1, 2, 3, 4])
+        out = map_tasks(_context_scaled, tasks, jobs=2, context={"factor": 5})
+        assert out == [5, 10, 15, 20]
+
+    def test_serial_and_pool_agree(self):
+        tasks = make_tasks(range(6))
+        ctx = {"factor": 3}
+        serial = map_tasks(_context_scaled, tasks, jobs=1, context=ctx)
+        pooled = map_tasks(_context_scaled, tasks, jobs=3, context=ctx)
+        assert serial == pooled
+
+    def test_context_cleared_after_serial_run(self):
+        map_tasks(_context_scaled, make_tasks([1]), jobs=1, context={"factor": 2})
+        assert get_worker_context() is None
+
+    def test_no_context_reads_none(self):
+        def probe(task: Task):
+            return get_worker_context()
+
+        assert map_tasks(probe, make_tasks([0]), jobs=1) == [None]
 
 
 class TestResolveJobs:

@@ -82,6 +82,23 @@ class TestChannelMechanics:
         for _ in range(3):
             np.testing.assert_array_equal(ch.step(active, BETA), det)
 
+    @pytest.mark.parametrize("L", [1, 3, 7])
+    def test_chunked_run_bit_identical_to_stepping(self, instance, L):
+        """The block-chunked ``run`` must consume randomness and produce
+        outcomes exactly like a slot-by-slot ``step`` loop — including
+        when the run starts mid-block."""
+        active = np.zeros(instance.n, dtype=bool)
+        active[:8] = True
+        chunked = BlockFadingChannel(instance, block_length=L, rng=42)
+        stepped = BlockFadingChannel(instance, block_length=L, rng=42)
+        chunked.step(active, BETA)
+        stepped.step(active, BETA)
+        slots = 50
+        out = chunked.run(active, BETA, slots)
+        rows = np.stack([stepped.step(active, BETA) for _ in range(slots)])
+        np.testing.assert_array_equal(out, rows)
+        assert chunked.time == stepped.time == slots + 1
+
     def test_validation(self, instance):
         with pytest.raises(ValueError):
             BlockFadingChannel(instance, block_length=0)

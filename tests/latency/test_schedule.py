@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.channel import NonFadingChannel, RayleighChannel
 from repro.core.sinr import SINRInstance
-from repro.latency.schedule import Schedule, validate_schedule
+from repro.latency.schedule import Schedule, replay_schedule, validate_schedule
 
 
 @pytest.fixture
@@ -94,3 +95,39 @@ class TestValidateSchedule:
     def test_empty_slots_ignored(self, instance):
         s = Schedule.from_lists([[], [0, 2], [], [1]], n=3)
         assert validate_schedule(instance, s, beta=1.5)
+
+
+class TestReplaySchedule:
+    def test_deterministic_replay(self, instance):
+        s = Schedule.from_lists([[0, 1], [0, 2], [1]], n=3)
+        served, served_at = replay_schedule(NonFadingChannel(instance, 1.5), s)
+        assert served.tolist() == [True, True, True]
+        # Slot 0 is a hard conflict; first successes land in slots 1, 2, 1.
+        assert served_at.tolist() == [1, 2, 1]
+
+    def test_unscheduled_links_unserved(self, instance):
+        s = Schedule.from_lists([[0]], n=3)
+        served, served_at = replay_schedule(NonFadingChannel(instance, 1.5), s)
+        assert served.tolist() == [True, False, False]
+        assert served_at.tolist() == [0, -1, -1]
+
+    def test_matches_per_slot_realize(self, instance):
+        """Batched replay equals the slot-by-slot loop, same generator."""
+        s = Schedule.from_lists([[0, 2], [1], [0, 1, 2], [2]], n=3)
+        ch = RayleighChannel(instance, 1.5)
+        served, served_at = replay_schedule(ch, s, np.random.default_rng(3))
+        gen = np.random.default_rng(3)
+        expect = np.full(3, -1, dtype=np.int64)
+        for t, slot in enumerate(s.slots):
+            mask = np.zeros(3, dtype=bool)
+            mask[slot] = True
+            ok = ch.realize(mask, gen) & mask
+            fresh = ok & (expect < 0)
+            expect[fresh] = t
+        assert served_at.tolist() == expect.tolist()
+        assert served.tolist() == (expect >= 0).tolist()
+
+    def test_size_mismatch(self, instance):
+        s = Schedule.from_lists([[0]], n=2)
+        with pytest.raises(ValueError):
+            replay_schedule(NonFadingChannel(instance, 1.5), s)
