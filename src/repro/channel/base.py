@@ -39,6 +39,7 @@ import abc
 import numpy as np
 
 from repro.core.sinr import SINRInstance, _as_active_bool
+from repro.engine import guards
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -124,6 +125,11 @@ class Channel(abc.ABC):
         pats = self._patterns(patterns)
         sinr = self.sinr_batch(pats, rng)
         if sinr is not None:
+            # +inf SINR is legitimate (no interference, zero noise); NaN
+            # means a poisoned sample and must not be thresholded silently.
+            guards.check_finite(
+                sinr, f"{self.name}.realize_batch.sinr", allow_inf=True, beta=self.beta
+            )
             return (sinr >= self.beta) & pats
         stream = as_generator(rng).spawn(1)[0]
         out = np.zeros(pats.shape, dtype=bool)

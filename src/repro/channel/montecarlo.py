@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.channel.base import Channel
 from repro.core.sinr import SINRInstance
+from repro.engine import guards
 from repro.fading.models import (
     FadingModel,
     simulate_sinr_patterns_with_model,
@@ -122,7 +123,10 @@ class MonteCarloChannel(Channel):
         gen = as_generator(rng)
         patterns = gen.random((self.mc_slots, self.n)) < qv
         hits = self.realize_batch(patterns, gen)
-        return hits.sum(axis=0) / self.mc_slots
+        est = hits.sum(axis=0) / self.mc_slots
+        return guards.check_probabilities(
+            est, f"{self.name}.success_probability", mc_slots=self.mc_slots
+        )
 
     def conditional_success_probability(self, q, rng=None) -> np.ndarray:
         """Estimated success-given-send frequency while the *other*
@@ -133,7 +137,10 @@ class MonteCarloChannel(Channel):
         sinr = simulate_sinr_patterns_with_model(
             self.instance, patterns, self.model, gen, counterfactual=True
         )
-        return (sinr >= self.beta).sum(axis=0) / self.mc_slots
+        est = (sinr >= self.beta).sum(axis=0) / self.mc_slots
+        return guards.check_probabilities(
+            est, f"{self.name}.conditional_success_probability", mc_slots=self.mc_slots
+        )
 
     def subchannel(self, indices) -> "MonteCarloChannel":
         return MonteCarloChannel(

@@ -37,10 +37,19 @@ from repro.fading.models import (
     RicianFading,
 )
 
-__all__ = ["CHANNEL_KINDS", "make_channel", "make_fading_model", "parse_channel_spec"]
+__all__ = [
+    "CHANNEL_KINDS",
+    "FADING_FAMILIES",
+    "make_channel",
+    "make_fading_model",
+    "parse_channel_spec",
+]
 
 #: Recognised spec heads, for error messages and the CLI help text.
 CHANNEL_KINDS = ("nonfading", "rayleigh", "rayleigh-mc", "nakagami", "rician", "block")
+
+#: Fading families a ``block:...,family=...`` parameter may name.
+FADING_FAMILIES = ("rayleigh", "nakagami", "rician", "nonfading")
 
 
 def parse_channel_spec(spec: str) -> "tuple[str, dict[str, str]]":
@@ -64,13 +73,30 @@ def parse_channel_spec(spec: str) -> "tuple[str, dict[str, str]]":
 def _pop_float(params: "dict[str, str]", *names: str) -> "float | None":
     for key in names:
         if key in params:
-            return float(params.pop(key))
+            raw = params.pop(key)
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"channel parameter {key}={raw!r} must be a number"
+                ) from None
     return None
 
 
 def _pop_int(params: "dict[str, str]", *names: str) -> "int | None":
-    value = _pop_float(params, *names)
-    return None if value is None else int(value)
+    for key in names:
+        if key in params:
+            raw = params.pop(key)
+            try:
+                value = float(raw)
+            except ValueError:
+                value = None
+            if value is None or value != int(value):
+                raise ValueError(
+                    f"channel parameter {key}={raw!r} must be an integer"
+                )
+            return int(value)
+    return None
 
 
 def _reject_leftovers(name: str, params: "dict[str, str]") -> None:
@@ -101,7 +127,7 @@ def make_fading_model(name: str, params: "dict[str, str]") -> FadingModel:
     if name == "nonfading":
         return NoFading()
     raise ValueError(
-        f"unknown fading family {name!r}; choose from {CHANNEL_KINDS}"
+        f"unknown fading family {name!r}; choose from {FADING_FAMILIES}"
     )
 
 

@@ -9,6 +9,9 @@
     python -m repro run E6 --seed 7 --timings # re-seeded, with stage times
     python -m repro run E8 --channel nakagami:m=2   # another fading family
     python -m repro run all --out results/    # everything, tables to disk
+    python -m repro run E13 --run-id nightly  # journal results as they land
+    python -m repro run E13 --resume nightly  # replay journal, run the rest
+    python -m repro run E6 --on-error retry --task-timeout 120
     python -m repro report --out EXPERIMENTS.md
 
 Experiments are discovered through :mod:`repro.engine.registry` — each
@@ -18,6 +21,16 @@ experiment's rendered table and its shape-check verdicts and exits
 non-zero if any check fails, so the CLI doubles as a reproduction gate
 in CI.  With ``--out DIR`` it also writes an aggregate ``summary.json``
 covering every experiment of the invocation.
+
+Fault tolerance (see DESIGN.md, "Fault tolerance & determinism"):
+``--on-error`` chooses whether a failing task aborts the run (``raise``,
+default), is recorded and skipped (``skip``), or is retried with
+exponential backoff (``retry``, ``--retries`` attempts); ``--task-timeout``
+bounds each task's wall clock under ``--jobs >= 2``.  ``--run-id`` journals
+every completed task so a killed run can be finished with ``--resume`` —
+bit-identical to an uninterrupted run at any ``--jobs``.  ``--guards``
+sets the numerical-guard strictness (default ``warn``).  Runs that lose
+tasks are marked ``incomplete`` in ``summary.json`` and exit non-zero.
 """
 
 from __future__ import annotations
@@ -27,9 +40,16 @@ import json
 import sys
 from pathlib import Path
 
+from repro.engine import chaos, guards
+from repro.engine.executor import resolve_jobs
+from repro.engine.faults import ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
+from repro.engine.journal import JournalError, RunJournal
 from repro.engine.registry import ExperimentSpec, all_specs, get_spec
+from repro.utils.atomic import atomic_write_text
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_RUNS_ROOT = ".repro-runs"
 
 
 def _cmd_list(_args) -> int:
@@ -52,16 +72,73 @@ def _resolve_specs(spec: str) -> "list[ExperimentSpec]":
         raise SystemExit(str(exc.args[0]) + "; or 'all'") from exc
 
 
-def _run_specs(args, on_result) -> int:
+def _build_policy(args, journal: "RunJournal | None" = None) -> ExecutionPolicy:
+    """The :class:`ExecutionPolicy` this invocation's flags describe."""
+    try:
+        return ExecutionPolicy(
+            on_error=args.on_error,
+            retry=RetryPolicy(max_attempts=args.retries),
+            timeout=args.task_timeout,
+            journal=journal,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _open_journal(args) -> "RunJournal | None":
+    """Create or re-open the run journal the flags ask for (or ``None``).
+
+    A resumed journal must have been created by a compatible invocation:
+    the experiment selection, scale, seed, and channel all feed the sweep
+    shape and the per-task seeds, so a mismatch would silently mix two
+    different runs.  ``--jobs`` is deliberately *not* checked — results
+    are bit-identical across worker counts by construction.
+    """
+    if args.resume and args.run_id:
+        raise SystemExit(
+            "pass either --run-id (start a new journaled run) or "
+            "--resume (finish an existing one), not both"
+        )
+    if args.resume is None and args.run_id is None:
+        return None
+    meta = {
+        "experiment": args.experiment,
+        "scale": args.scale,
+        "seed": args.seed,
+        "channel": args.channel,
+    }
+    try:
+        if args.resume is not None:
+            journal = RunJournal.open(args.runs_root, args.resume)
+            for key, value in meta.items():
+                recorded = journal.meta.get(key)
+                if recorded != value:
+                    raise SystemExit(
+                        f"--resume {args.resume}: the run was created with "
+                        f"{key}={recorded!r} but this invocation has "
+                        f"{key}={value!r}; re-run with matching flags or "
+                        "start a new --run-id"
+                    )
+            return journal
+        return RunJournal.create(args.runs_root, args.run_id, meta)
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _run_specs(args, on_result, policy: "ExecutionPolicy | None" = None) -> int:
     """Run each requested experiment, feed results to ``on_result``,
     and return the number of experiments with failing checks."""
     failures = 0
     for spec in _resolve_specs(args.experiment):
         try:
             result = spec.run(
-                args.scale, seed=args.seed, jobs=args.jobs, channel=args.channel
+                args.scale,
+                seed=args.seed,
+                jobs=args.jobs,
+                channel=args.channel,
+                policy=policy,
             )
-        except ValueError as exc:
+        except (ValueError, JournalError, RuntimeError) as exc:
             raise SystemExit(str(exc)) from exc
         failures += not result.all_checks_pass
         on_result(spec, result)
@@ -69,19 +146,39 @@ def _run_specs(args, on_result) -> int:
 
 
 def _summary_entry(spec: ExperimentSpec, result) -> "dict[str, object]":
-    return {
+    entry: "dict[str, object]" = {
         "experiment_id": spec.experiment_id,
         "title": spec.title,
         "passed": bool(result.all_checks_pass),
         "checks": {name: bool(ok) for name, ok in result.checks.items()},
         "timings": {k: round(v, 6) for k, v in result.timings.items()},
     }
+    if result.faults:
+        entry["faults"] = result.faults
+        entry["incomplete"] = bool(result.incomplete)
+    return entry
+
+
+def _write_text(path: Path, text: str) -> None:
+    """Atomic write with a one-line CLI error instead of a traceback."""
+    try:
+        atomic_write_text(path, text)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {path}: {exc}") from exc
 
 
 def _cmd_run(args) -> int:
+    guards.set_guard_mode(args.guards)
+    journal = _open_journal(args)
+    policy = _build_policy(args, journal)
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot create --out directory {out_dir}: {exc}"
+            ) from exc
     summary: "list[dict[str, object]]" = []
 
     def on_result(spec: ExperimentSpec, result) -> None:
@@ -90,23 +187,46 @@ def _cmd_run(args) -> int:
         print()
         if out_dir is not None:
             exp_id = spec.experiment_id
-            (out_dir / f"{exp_id}.txt").write_text(rendered + "\n", encoding="utf-8")
-            (out_dir / f"{exp_id}.json").write_text(result.to_json(), encoding="utf-8")
+            _write_text(out_dir / f"{exp_id}.txt", rendered + "\n")
+            _write_text(out_dir / f"{exp_id}.json", result.to_json())
         summary.append(_summary_entry(spec, result))
 
-    failures = _run_specs(args, on_result)
+    failures = _run_specs(args, on_result, policy)
+    incomplete = [
+        str(entry["experiment_id"]) for entry in summary if entry.get("incomplete")
+    ]
     if out_dir is not None:
         doc = {
             "scale": args.scale,
             "seed": args.seed,
             "jobs": args.jobs,
             "channel": args.channel,
+            "run_id": journal.run_id if journal is not None else None,
             "passed": bool(failures == 0),
+            "incomplete": bool(incomplete),
             "experiments": summary,
         }
-        (out_dir / "summary.json").write_text(
-            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        _write_text(out_dir / "summary.json", json.dumps(doc, indent=2) + "\n")
+    if journal is not None:
+        journal.write_status(
+            {
+                "complete": not incomplete,
+                "incomplete_experiments": incomplete,
+                "experiments": summary,
+            }
         )
+    if incomplete:
+        hint = (
+            f"; finish it with --resume {journal.run_id}"
+            if journal is not None
+            else "; re-run with --run-id to make the run resumable"
+        )
+        print(
+            f"INCOMPLETE: {', '.join(incomplete)} lost tasks "
+            f"(see summary faults){hint}",
+            file=sys.stderr,
+        )
+        return 1
     if failures:
         print(f"{failures} experiment(s) FAILED their shape checks", file=sys.stderr)
         return 1
@@ -114,6 +234,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    guards.set_guard_mode(args.guards)
+    policy = _build_policy(args)
     lines = [
         "# Experiment report",
         "",
@@ -134,10 +256,10 @@ def _cmd_report(args) -> int:
             ]
         )
 
-    failures = _run_specs(args, on_result)
+    failures = _run_specs(args, on_result, policy)
     text = "\n".join(lines)
     if args.out:
-        Path(args.out).write_text(text, encoding="utf-8")
+        _write_text(Path(args.out), text)
         print(f"wrote {args.out}")
     else:
         print(text)
@@ -145,10 +267,35 @@ def _cmd_report(args) -> int:
 
 
 def _jobs_arg(value: str) -> int:
-    jobs = int(value)
-    if jobs < 0:
-        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}")
+    try:
+        resolve_jobs(jobs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
     return jobs
+
+
+def _retries_arg(value: str) -> int:
+    try:
+        retries = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"retries must be an integer, got {value!r}")
+    if retries < 1:
+        raise argparse.ArgumentTypeError(f"retries must be >= 1, got {retries}")
+    return retries
+
+
+def _timeout_arg(value: str) -> float:
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"timeout must be a number, got {value!r}")
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(f"timeout must be positive, got {value}")
+    return seconds
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -175,6 +322,24 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--timings", action="store_true",
         help="append per-stage wall-clock timings to each table",
     )
+    parser.add_argument(
+        "--on-error", choices=ON_ERROR_MODES, default="raise",
+        help="failing sweep task: abort (raise, default), record and "
+        "skip, or retry with exponential backoff",
+    )
+    parser.add_argument(
+        "--retries", type=_retries_arg, default=3, metavar="N",
+        help="max attempts per task under --on-error retry (default 3)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=_timeout_arg, default=None, metavar="SECONDS",
+        help="wall-clock budget per sweep task (process backend only)",
+    )
+    parser.add_argument(
+        "--guards", choices=guards.GUARD_MODES, default="warn",
+        help="numerical-guard strictness for kernel outputs "
+        "(default warn; strict turns violations into task failures)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,6 +360,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", help="directory for .txt/.json results plus summary.json"
     )
+    run_p.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="journal completed tasks under this id (makes the run resumable)",
+    )
+    run_p.add_argument(
+        "--resume", default=None, metavar="ID",
+        help="replay a journaled run's completed tasks and execute the rest",
+    )
+    run_p.add_argument(
+        "--runs-root", default=DEFAULT_RUNS_ROOT, metavar="DIR",
+        help=f"directory holding run journals (default {DEFAULT_RUNS_ROOT})",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     rep_p = sub.add_parser("report", help="run experiments into one markdown report")
@@ -210,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    chaos.install_from_env()
     return args.func(args)
 
 

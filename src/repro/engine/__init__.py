@@ -1,4 +1,4 @@
-"""Execution engine: experiment registry, deterministic parallel executor.
+"""Execution engine: registry, deterministic executor, fault tolerance.
 
 The engine is the layer between the experiment drivers and the CLI:
 
@@ -10,9 +10,29 @@ The engine is the layer between the experiment drivers and the CLI:
   and process-pool backends.  Each task carries a child
   :class:`numpy.random.SeedSequence` spawned from the experiment's root
   seed, so ``jobs=1`` and ``jobs=8`` produce bit-identical results.
+* :mod:`repro.engine.faults` — failure records, retry policy with
+  deterministic backoff jitter, and the per-run execution policy.
+* :mod:`repro.engine.journal` — incremental checkpointing of completed
+  task results with atomic, checksummed records (``--resume``).
+* :mod:`repro.engine.guards` — numerical validation of kernel outputs
+  (NaN/Inf/probability-range) at configurable strictness.
+* :mod:`repro.engine.chaos` — deterministic fault injection (crashes,
+  hangs, corrupted records, NaN payloads) for exercising recovery paths.
 """
 
 from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs
+from repro.engine.faults import (
+    ExecutionPolicy,
+    RetryPolicy,
+    RunReport,
+    TaskFailure,
+    completed,
+    current_policy,
+    execution_scope,
+    is_failure,
+    usable_results,
+)
+from repro.engine.journal import JournalError, RunJournal
 from repro.engine.registry import (
     ExperimentSpec,
     all_specs,
@@ -23,15 +43,26 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "ExecutionPolicy",
     "ExperimentSpec",
+    "JournalError",
+    "RetryPolicy",
+    "RunJournal",
+    "RunReport",
     "StageTimer",
     "Task",
+    "TaskFailure",
     "all_specs",
+    "completed",
+    "current_policy",
+    "execution_scope",
     "get_spec",
+    "is_failure",
     "make_tasks",
     "map_tasks",
     "register",
     "resolve_jobs",
     "scaled_config",
     "seed_kwargs",
+    "usable_results",
 ]

@@ -1,0 +1,260 @@
+"""Deterministic fault injection — crashes, hangs, and NaN payloads.
+
+Recovery code that is never executed is broken code; this module makes
+every recovery path of the engine exercisable on demand.  A
+:class:`ChaosPlan` names faults by *where they strike*:
+
+* ``kind="raise"`` — the task function raises :class:`ChaosError`;
+* ``kind="exit"`` — the worker process dies hard (``os._exit``),
+  breaking the process pool (in the main process this downgrades to a
+  :class:`ChaosError` so a serial fallback never kills the run itself);
+* ``kind="hang"`` — the task sleeps past any reasonable wall-clock
+  budget, exercising the executor's timeout path;
+* ``kind="nan"`` — a numerical kernel's output array is corrupted with
+  NaNs at chosen link positions, exercising the
+  :mod:`~repro.engine.guards` layer.
+
+Faults match on the executor stage name and task index (either may be
+``None`` = any), and are **once-only by default**: the first attempt
+that reaches the fault claims a marker file in ``state_dir`` (atomic
+``O_CREAT | O_EXCL``, so the claim is race-free across worker
+processes) and later attempts run clean — exactly the transient-fault
+shape retry/backoff is built for.  Set ``once=False`` for a persistent
+fault.
+
+Plans are plain JSON: the CLI and pool workers load them from the
+``REPRO_CHAOS`` environment variable (a path to a plan file), and the
+executor re-ships the installed plan through its pool initializer, so
+injection behaves identically on fork and spawn start methods.
+
+No fault fires unless a plan is installed; the inactive fast path is a
+single module-level ``None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "Fault",
+    "active",
+    "corrupt",
+    "current_plan",
+    "install",
+    "install_from_env",
+    "install_from_file",
+    "on_task_start",
+    "set_current_task",
+    "uninstall",
+]
+
+#: Environment variable naming a JSON chaos-plan file.
+CHAOS_ENV = "REPRO_CHAOS"
+
+FAULT_KINDS = ("raise", "exit", "hang", "nan")
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``raise`` (or downgraded ``exit``) fault throws."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    ``stage``/``index`` select the executor task (``None`` = any);
+    ``site``/``links`` select the kernel call site for ``nan`` faults.
+    """
+
+    kind: str
+    stage: "str | None" = None
+    index: "int | None" = None
+    site: "str | None" = None
+    links: "tuple[int, ...]" = ()
+    once: bool = True
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.kind == "nan" and not self.site:
+            raise ValueError("nan faults need a site (the kernel call site name)")
+
+    def matches_task(self, stage: str, index: int) -> bool:
+        return (self.stage is None or self.stage == stage) and (
+            self.index is None or self.index == index
+        )
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "kind": self.kind,
+            "stage": self.stage,
+            "index": self.index,
+            "site": self.site,
+            "links": list(self.links),
+            "once": self.once,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: "dict[str, Any]") -> "Fault":
+        return cls(
+            kind=doc["kind"],
+            stage=doc.get("stage"),
+            index=doc.get("index"),
+            site=doc.get("site"),
+            links=tuple(int(x) for x in doc.get("links", ())),
+            once=bool(doc.get("once", True)),
+            hang_seconds=float(doc.get("hang_seconds", 3600.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A set of faults plus the marker directory for once-only claims."""
+
+    state_dir: str
+    faults: "tuple[Fault, ...]" = field(default_factory=tuple)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "state_dir": self.state_dir,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: "dict[str, Any]") -> "ChaosPlan":
+        return cls(
+            state_dir=str(doc["state_dir"]),
+            faults=tuple(Fault.from_dict(f) for f in doc.get("faults", ())),
+        )
+
+
+_PLAN: "ChaosPlan | None" = None
+#: The (stage, index) of the task currently executing in this process.
+_CURRENT_TASK: "tuple[str, int] | None" = None
+
+
+def install(plan: "ChaosPlan | None") -> None:
+    """Install ``plan`` process-wide (``None`` uninstalls)."""
+    global _PLAN
+    if plan is not None:
+        Path(plan.state_dir).mkdir(parents=True, exist_ok=True)
+    _PLAN = plan
+
+
+def uninstall() -> None:
+    install(None)
+
+
+def active() -> bool:
+    return _PLAN is not None
+
+
+def current_plan() -> "ChaosPlan | None":
+    return _PLAN
+
+
+def install_from_file(path) -> ChaosPlan:
+    """Load and install a JSON plan file; returns the plan."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    plan = ChaosPlan.from_dict(doc)
+    install(plan)
+    return plan
+
+
+def install_from_env() -> "ChaosPlan | None":
+    """Install the plan named by ``$REPRO_CHAOS``, if any."""
+    path = os.environ.get(CHAOS_ENV)
+    if not path:
+        return None
+    return install_from_file(path)
+
+
+def _claim(plan: ChaosPlan, marker: str) -> bool:
+    """Atomically claim a once-only marker; True exactly once per marker."""
+    target = Path(plan.state_dir) / marker
+    try:
+        fd = os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _should_fire(plan: ChaosPlan, fault: Fault, fault_pos: int, key: str) -> bool:
+    if not fault.once:
+        return True
+    return _claim(plan, f"fault-{fault_pos}-{key}")
+
+
+def set_current_task(stage: "str | None", index: "int | None") -> None:
+    """Record which executor task this process is running (``None`` clears)."""
+    global _CURRENT_TASK
+    _CURRENT_TASK = None if stage is None else (stage, int(index))
+
+
+def on_task_start(stage: str, index: int) -> None:
+    """Fire any crash/hang fault aimed at this task.
+
+    Called by the executor at the top of every task execution (every
+    attempt), in the process that runs the task.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    for pos, fault in enumerate(plan.faults):
+        if fault.kind == "nan" or not fault.matches_task(stage, index):
+            continue
+        if not _should_fire(plan, fault, pos, f"{fault.kind}-{stage}-{index}"):
+            continue
+        if fault.kind == "raise":
+            raise ChaosError(f"injected crash in task {index} (stage {stage!r})")
+        if fault.kind == "hang":
+            time.sleep(fault.hang_seconds)
+            return
+        if fault.kind == "exit":
+            if multiprocessing.parent_process() is None:
+                # Hard-killing the main process would take the harness
+                # down with the fault; degrade to an ordinary crash.
+                raise ChaosError(
+                    f"injected worker death in task {index} (stage {stage!r}) "
+                    "downgraded to an exception in the main process"
+                )
+            os._exit(43)
+
+
+def corrupt(site: str, arr: np.ndarray) -> np.ndarray:
+    """Apply any matching ``nan`` fault to a kernel output array.
+
+    Returns ``arr`` untouched (same object) when no fault matches; a
+    corrupted copy otherwise.  ``links`` index the array's last axis.
+    """
+    plan = _PLAN
+    if plan is None:
+        return arr
+    for pos, fault in enumerate(plan.faults):
+        if fault.kind != "nan" or fault.site != site:
+            continue
+        if _CURRENT_TASK is not None and not fault.matches_task(*_CURRENT_TASK):
+            continue
+        if fault.stage is not None and _CURRENT_TASK is None:
+            continue
+        key = f"nan-{site}" if _CURRENT_TASK is None else f"nan-{site}-{_CURRENT_TASK[0]}-{_CURRENT_TASK[1]}"
+        if not _should_fire(plan, fault, pos, key):
+            continue
+        out = np.array(arr, dtype=np.float64, copy=True)
+        links = fault.links if fault.links else (0,)
+        out[..., list(links)] = np.nan
+        return out
+    return arr

@@ -1,4 +1,4 @@
-"""Deterministic task executor for experiment sweeps.
+"""Deterministic, fault-tolerant task executor for experiment sweeps.
 
 Every experiment sweep (networks × seeds × trials) is expressed as a
 list of :class:`Task` objects mapped through a pure task function with
@@ -22,20 +22,50 @@ instead of being pickled into every task payload: the process backend
 ships it via the pool's ``initializer`` and task functions read it back
 with :func:`get_worker_context`.  Context must never carry randomness —
 seeds stay on the tasks, so the ``jobs`` invariance is unaffected.
+
+Fault tolerance (see :mod:`repro.engine.faults`): ``map_tasks`` accepts
+an error policy (``on_error="raise" | "skip" | "retry"``), a per-task
+wall-clock ``timeout`` for the process backend, a
+:class:`~repro.engine.faults.RetryPolicy` (exponential backoff with
+deterministic jitter), and a :class:`~repro.engine.journal.RunJournal`
+for checkpoint/resume.  Under ``skip``/``retry`` a task that ultimately
+cannot produce a result occupies its slot with a structured
+:class:`~repro.engine.faults.TaskFailure` instead of raising, a hung
+task is abandoned after its budget (the pool is restarted so the
+remaining tasks keep running), and a broken pool (a worker died hard)
+degrades to re-executing the unfinished remainder on the serial backend
+rather than discarding the sweep.  None of this touches task
+randomness, so a journaled run interrupted at any point resumes to the
+bit-identical aggregate.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.engine import chaos
+from repro.engine import guards
+from repro.engine.faults import (
+    ON_ERROR_MODES,
+    RetryPolicy,
+    RunReport,
+    TaskFailure,
+    current_policy,
+    is_failure,
+)
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.journal import RunJournal
 
 __all__ = [
     "Task",
@@ -46,16 +76,34 @@ __all__ = [
     "resolve_jobs",
 ]
 
+#: Sanity cap for ``--jobs``: far above any real core count, far below
+#: values that would fork-bomb the host.
+JOBS_CAP = max(64, 4 * (os.cpu_count() or 1))
+
+#: How many times a broken pool is rebuilt (under ``on_error="retry"``)
+#: before the run degrades to the serial backend.
+_MAX_POOL_REBUILDS = 2
+
 #: Per-process shared state installed by :func:`map_tasks`'s ``context``
 #: argument — set once per worker by the pool initializer (or around the
 #: serial loop) and read back with :func:`get_worker_context`.
 _WORKER_CONTEXT: Any = None
 
 
-def _init_worker(context: Any) -> None:
-    """Pool initializer: install the shared context in this process."""
+def _worker_bundle(context: Any) -> tuple:
+    """Everything a worker process must install before running tasks:
+    the shared context, the guard strictness, and any chaos plan."""
+    plan = chaos.current_plan()
+    return (context, guards.get_guard_mode(), None if plan is None else plan.to_dict())
+
+
+def _init_worker(bundle: tuple) -> None:
+    """Pool initializer: install shared context, guards, and chaos."""
     global _WORKER_CONTEXT
+    context, guard_mode, chaos_doc = bundle
     _WORKER_CONTEXT = context
+    guards.set_guard_mode(guard_mode)
+    chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
 
 
 def get_worker_context() -> Any:
@@ -74,7 +122,8 @@ class Task:
     Attributes
     ----------
     index:
-        Position in the sweep; results are aggregated in this order.
+        Position in the sweep; results are aggregated in this order and
+        the journal keys checkpointed results by it.
     payload:
         Whatever the task function needs (must be picklable for the
         process backend — configs, indices, arrays are all fine).
@@ -108,12 +157,260 @@ def make_tasks(
 
 
 def resolve_jobs(jobs: "int | None") -> int:
-    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    """Normalise and validate a ``--jobs`` value.
+
+    ``None``/``0`` means all CPUs; negative values and values beyond
+    :data:`JOBS_CAP` (= ``max(64, 4 × CPUs)``) are rejected with a clear
+    error instead of spawning a nonsensical worker fleet.
+    """
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs > JOBS_CAP:
+        raise ValueError(
+            f"jobs={jobs} exceeds the sanity cap {JOBS_CAP} "
+            "(= max(64, 4 x CPU count)); pass 0 to use every core"
+        )
     return int(jobs)
+
+
+def _execute_task(fn: Callable[[Task], Any], task: Task, stage: str) -> Any:
+    """Run one task with chaos instrumentation (executes in the worker)."""
+    chaos.set_current_task(stage, task.index)
+    try:
+        chaos.on_task_start(stage, task.index)
+        return fn(task)
+    finally:
+        chaos.set_current_task(None, None)
+
+
+@dataclass
+class _RunState:
+    """Resolved knobs of one ``map_tasks`` call."""
+
+    fn: Callable[[Task], Any]
+    stage: str
+    context: Any
+    on_error: str
+    retry: RetryPolicy
+    timeout: "float | None"
+    journal: "RunJournal | None"
+    report: "RunReport | None"
+
+
+def _settle_success(state: _RunState, task: Task, value: Any) -> Any:
+    if state.journal is not None:
+        state.journal.record(state.stage, task.index, value)
+    return value
+
+
+def _settle_failure(state: _RunState, failure: TaskFailure) -> TaskFailure:
+    if state.report is not None:
+        state.report.record_failure(failure)
+    if state.journal is not None:
+        state.journal.log_failure(failure)
+    warnings.warn(failure.describe(), stacklevel=3)
+    return failure
+
+
+def _attempt_serial(state: _RunState, task: Task) -> Any:
+    """Run one task in-process with the retry schedule; returns the
+    value or a :class:`TaskFailure` (under ``skip``/``retry``)."""
+    max_attempts = state.retry.max_attempts if state.on_error == "retry" else 1
+    last_exc: "BaseException | None" = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return _execute_task(state.fn, task, state.stage)
+        except Exception as exc:
+            if state.on_error == "raise":
+                raise
+            last_exc = exc
+            if attempt < max_attempts:
+                time.sleep(state.retry.delay(task.index, attempt))
+    return TaskFailure(
+        index=task.index,
+        stage=state.stage,
+        kind="error",
+        error_type=type(last_exc).__name__,
+        message=str(last_exc),
+        attempts=max_attempts,
+    )
+
+
+def _run_serial(state: _RunState, pending: "list[Task]", results: "dict[int, Any]") -> None:
+    global _WORKER_CONTEXT
+    previous = _WORKER_CONTEXT
+    _WORKER_CONTEXT = state.context
+    try:
+        for task in pending:
+            outcome = _attempt_serial(state, task)
+            if is_failure(outcome):
+                results[task.index] = _settle_failure(state, outcome)
+            else:
+                results[task.index] = _settle_success(state, task, outcome)
+    finally:
+        _WORKER_CONTEXT = previous
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # already gone
+            pass
+
+
+def _record_event(state: _RunState, kind: str, detail: str, **extra) -> None:
+    warnings.warn(f"{kind}: {detail}", stacklevel=3)
+    if state.report is not None:
+        state.report.record_event(kind, detail, stage=state.stage, **extra)
+
+
+def _task_error(
+    state: _RunState,
+    queue: "dict[int, Task]",
+    attempts: "dict[int, int]",
+    results: "dict[int, Any]",
+    idx: int,
+    exc: BaseException,
+    kind: str = "error",
+) -> None:
+    """Handle a task-level failure on the pool backend: requeue for a
+    retry when the policy allows, else settle a :class:`TaskFailure`."""
+    if state.on_error == "retry" and attempts[idx] < state.retry.max_attempts:
+        return  # stays in the queue; next pool round re-runs it
+    queue.pop(idx)
+    results[idx] = _settle_failure(
+        state,
+        TaskFailure(
+            index=idx,
+            stage=state.stage,
+            kind=kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts[idx],
+        ),
+    )
+
+
+def _harvest_done(
+    state: _RunState,
+    futures: dict,
+    queue: "dict[int, Task]",
+    results: "dict[int, Any]",
+) -> None:
+    """After an abort, collect results of futures that finished cleanly
+    before the pool went down (their work must not be discarded)."""
+    for idx in list(queue):
+        fut = futures.get(idx)
+        if fut is None or not fut.done():
+            continue
+        try:
+            value = fut.result(timeout=0)
+        except Exception:
+            continue  # broken-pool sentinel or task error: re-run / re-judge later
+        results[idx] = _settle_success(state, queue.pop(idx), value)
+
+
+def _run_pool(
+    state: _RunState,
+    pending: "list[Task]",
+    results: "dict[int, Any]",
+    n_jobs: int,
+) -> None:
+    queue: "dict[int, Task]" = {t.index: t for t in pending}
+    attempts: "dict[int, int]" = {t.index: 0 for t in pending}
+    pool_breaks = 0
+    while queue:
+        submitted = sorted(queue)
+        pool = ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(submitted)),
+            initializer=_init_worker,
+            initargs=(_worker_bundle(state.context),),
+        )
+        futures = {}
+        for idx in submitted:
+            attempts[idx] += 1
+            futures[idx] = pool.submit(_execute_task, state.fn, queue[idx], state.stage)
+        abort = None
+        for idx in submitted:
+            if idx not in queue:
+                continue
+            fut = futures[idx]
+            try:
+                value = fut.result(timeout=state.timeout)
+            except BrokenExecutor:
+                abort = "broken"
+                break
+            except _FuturesTimeout as exc:
+                if fut.done():  # the task itself raised a TimeoutError
+                    if state.on_error == "raise":
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        raise
+                    _task_error(state, queue, attempts, results, idx, exc)
+                    continue
+                budget = state.timeout if state.timeout is not None else 0.0
+                _record_event(
+                    state,
+                    "timeout",
+                    f"task {idx} exceeded its {budget:g}s wall-clock budget; "
+                    "restarting the worker pool",
+                    index=idx,
+                )
+                if state.on_error == "raise":
+                    _kill_pool(pool)
+                    raise TimeoutError(
+                        f"task {idx} (stage {state.stage!r}) exceeded its "
+                        f"{budget:g}s wall-clock budget"
+                    ) from None
+                _task_error(
+                    state, queue, attempts, results, idx,
+                    TimeoutError(f"exceeded {budget:g}s budget"), kind="timeout",
+                )
+                abort = "timeout"
+                break
+            except Exception as exc:
+                if state.on_error == "raise":
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+                _task_error(state, queue, attempts, results, idx, exc)
+            else:
+                results[idx] = _settle_success(state, queue.pop(idx), value)
+
+        if abort is None:
+            pool.shutdown(wait=True)
+        else:
+            _harvest_done(state, futures, queue, results)
+            _kill_pool(pool)
+            if abort == "broken":
+                pool_breaks += 1
+                _record_event(
+                    state,
+                    "pool-broken",
+                    "a worker process died and broke the pool "
+                    f"({len(queue)} task(s) unresolved)",
+                )
+                can_rebuild = (
+                    state.on_error == "retry"
+                    and pool_breaks <= _MAX_POOL_REBUILDS
+                    and all(attempts[i] < state.retry.max_attempts for i in queue)
+                )
+                if not can_rebuild:
+                    if queue:
+                        _record_event(
+                            state,
+                            "degraded-serial",
+                            f"re-executing the unfinished {len(queue)} task(s) "
+                            "on the serial backend",
+                        )
+                        _run_serial(state, [queue[i] for i in sorted(queue)], results)
+                        queue.clear()
+                    return
+        if state.on_error == "retry" and queue:
+            time.sleep(max(state.retry.delay(i, attempts[i]) for i in queue))
 
 
 def map_tasks(
@@ -122,36 +419,76 @@ def map_tasks(
     *,
     jobs: "int | None" = 1,
     context: Any = None,
+    stage: str = "sweep",
+    on_error: "str | None" = None,
+    timeout: "float | None" = None,
+    retry: "RetryPolicy | None" = None,
+    journal: "RunJournal | None" = None,
 ) -> list[Any]:
     """Apply ``fn`` to every task, returning results in task order.
 
     ``fn`` must be a module-level function and each task payload
-    picklable when ``jobs > 1`` (the process backend).  Exceptions from
-    any task propagate to the caller on both backends.
+    picklable when ``jobs > 1`` (the process backend).
 
     ``context`` is shared read-only state shipped **once per worker**
     (via the pool initializer) rather than pickled into every task;
     task functions retrieve it with :func:`get_worker_context`.  On the
     serial backend it is installed around the loop, so task functions
     behave identically on both backends.
+
+    Fault knobs (each defaults to the ambient
+    :class:`~repro.engine.faults.ExecutionPolicy` installed by
+    :func:`~repro.engine.faults.execution_scope`, or to the strict
+    legacy behaviour when no policy is active):
+
+    ``stage``
+        Names this sweep for the journal and failure records; a driver
+        calling ``map_tasks`` more than once must use distinct names.
+    ``on_error``
+        ``"raise"`` propagates the first exception (legacy behaviour);
+        ``"skip"`` captures failures as :class:`TaskFailure` slots;
+        ``"retry"`` re-runs a failed task with exponential backoff and
+        deterministic jitter before giving up to a :class:`TaskFailure`.
+    ``timeout``
+        Per-task wall-clock budget in seconds, enforced on the process
+        backend (the pool is restarted around a hung task; the serial
+        backend cannot preempt and ignores it).
+    ``journal``
+        A :class:`~repro.engine.journal.RunJournal`: completed results
+        are checkpointed as they land, previously recorded results are
+        replayed without re-execution, and only missing tasks run.
     """
+    policy = current_policy()
+    on_error = on_error if on_error is not None else (policy.on_error if policy else "raise")
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+    timeout = timeout if timeout is not None else (policy.timeout if policy else None)
+    retry = retry if retry is not None else (policy.retry if policy else RetryPolicy())
+    journal = journal if journal is not None else (policy.journal if policy else None)
+    state = _RunState(
+        fn=fn,
+        stage=stage,
+        context=context,
+        on_error=on_error,
+        retry=retry,
+        timeout=timeout,
+        journal=journal,
+        report=policy.report if policy else None,
+    )
+
     items = list(tasks)
+    results: "dict[int, Any]" = {}
+    if journal is not None:
+        results.update(journal.load_stage(stage, len(items)))
+    pending = [t for t in items if t.index not in results]
+
     n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(items) <= 1:
-        global _WORKER_CONTEXT
-        previous = _WORKER_CONTEXT
-        _WORKER_CONTEXT = context
-        try:
-            return [fn(task) for task in items]
-        finally:
-            _WORKER_CONTEXT = previous
-    pool_kwargs = {"max_workers": min(n_jobs, len(items))}
-    if context is not None:
-        pool_kwargs["initializer"] = _init_worker
-        pool_kwargs["initargs"] = (context,)
-    with ProcessPoolExecutor(**pool_kwargs) as pool:
-        futures = [pool.submit(fn, task) for task in items]
-        return [future.result() for future in futures]
+    if pending:
+        if n_jobs <= 1 or len(pending) <= 1:
+            _run_serial(state, pending, results)
+        else:
+            _run_pool(state, pending, results, n_jobs)
+    return [results[t.index] for t in items]
 
 
 class StageTimer:

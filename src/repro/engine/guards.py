@@ -1,0 +1,138 @@
+"""Numerical guards — validate kernel outputs before they hit aggregates.
+
+An extreme ``α``/``β`` configuration (or a genuine kernel bug) can push
+the Theorem-1 factors, Monte-Carlo SINR samples, or regret rewards into
+NaN/Inf territory; un-checked, one poisoned link silently contaminates
+every mean downstream and a whole sweep is wasted.  The guard layer
+sits at the kernel boundaries — :class:`~repro.fading.success.Theorem1Kernel`,
+:meth:`~repro.channel.base.Channel.realize_batch`'s SINR path, the
+Monte-Carlo probability estimators, and the regret kernels — and checks
+each output for NaN/Inf, negative probabilities, and ``Q_i > 1``.
+
+Three strictness levels (process-wide, shipped to pool workers by the
+executor's initializer):
+
+* ``"off"``   — checks compile to a single mode comparison (default for
+  library use; the hot kernels stay untouched);
+* ``"warn"``  — violations emit a :class:`GuardWarning` naming the call
+  site, offending link indices, and parameters, then let the value
+  through (the CLI default: visible, never fatal);
+* ``"strict"`` — violations raise :class:`GuardViolation` inside the
+  task, which the executor captures as a structured
+  :class:`~repro.engine.faults.TaskFailure` under ``on_error=skip/retry``.
+
+Guard checks consume no randomness and never modify values, so enabling
+them cannot change any experiment's numbers — only whether bad numbers
+travel.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "GUARD_MODES",
+    "GuardViolation",
+    "GuardWarning",
+    "check_finite",
+    "check_probabilities",
+    "enabled",
+    "get_guard_mode",
+    "guard_scope",
+    "set_guard_mode",
+]
+
+GUARD_MODES = ("off", "warn", "strict")
+
+_MODE = "off"
+
+
+class GuardViolation(ValueError):
+    """A kernel output failed validation under strict guards."""
+
+
+class GuardWarning(UserWarning):
+    """A kernel output failed validation under warn-level guards."""
+
+
+def get_guard_mode() -> str:
+    return _MODE
+
+
+def set_guard_mode(mode: str) -> str:
+    """Set the process-wide guard mode; returns the previous mode."""
+    global _MODE
+    if mode not in GUARD_MODES:
+        raise ValueError(f"guard mode must be one of {GUARD_MODES}, got {mode!r}")
+    previous = _MODE
+    _MODE = mode
+    return previous
+
+
+@contextmanager
+def guard_scope(mode: str):
+    """Temporarily run with the given guard mode."""
+    previous = set_guard_mode(mode)
+    try:
+        yield
+    finally:
+        set_guard_mode(previous)
+
+
+def enabled() -> bool:
+    return _MODE != "off"
+
+
+def _describe(site: str, arr: np.ndarray, bad: np.ndarray, problem: str, info) -> str:
+    """One line naming the site, offending link indices, values, params."""
+    where = np.argwhere(bad)
+    links = sorted({int(pos[-1]) for pos in where[:64]})
+    sample = np.asarray(arr)[bad][:4]
+    values = ", ".join(f"{v!r}" for v in sample.tolist())
+    params = "".join(f", {k}={v}" for k, v in info.items())
+    return (
+        f"numerical guard tripped at {site!r}: {int(bad.sum())} {problem} "
+        f"value(s) at link(s) {links[:16]} (e.g. {values}{params})"
+    )
+
+
+def _violate(message: str) -> None:
+    if _MODE == "strict":
+        raise GuardViolation(message)
+    warnings.warn(message, GuardWarning, stacklevel=3)
+
+
+def check_finite(arr: np.ndarray, site: str, allow_inf: bool = False, **info) -> np.ndarray:
+    """Assert every entry is finite (no NaN/Inf); returns ``arr``.
+
+    ``allow_inf=True`` flags only NaN — for quantities like SINR where
+    ``+inf`` is a legitimate value (no interference, zero noise).
+    """
+    if _MODE == "off":
+        return arr
+    a = np.asarray(arr)
+    bad = np.isnan(a) if allow_inf else ~np.isfinite(a)
+    if bad.any():
+        _violate(_describe(site, a, bad, "NaN" if allow_inf else "non-finite", info))
+    return arr
+
+
+def check_probabilities(arr: np.ndarray, site: str, tol: float = 1e-9, **info) -> np.ndarray:
+    """Assert every entry is a probability: finite and in ``[0, 1]``.
+
+    ``tol`` absorbs float round-off at the interval edges.  Returns
+    ``arr`` unchanged.
+    """
+    if _MODE == "off":
+        return arr
+    a = np.asarray(arr)
+    finite = np.isfinite(a)
+    bad = ~finite | (a < -tol) | (a > 1.0 + tol)
+    if bad.any():
+        nonfinite = int((~finite).sum())
+        problem = "non-finite" if nonfinite else "out-of-[0,1] probability"
+        _violate(_describe(site, a, bad, problem, info))
+    return arr

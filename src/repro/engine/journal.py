@@ -1,0 +1,218 @@
+"""Checkpoint journal — incremental, resumable task-result storage.
+
+A journaled run writes every completed task's result to its run
+directory the moment it finishes, so a crash, kill, or power loss
+forfeits at most the tasks in flight.  ``repro run E13 --resume RUN_ID``
+re-opens the journal, replays the recorded results, and executes only
+the missing tasks — and because every task owns its randomness (seeds
+live on tasks, never on workers), the resumed aggregate is bit-identical
+to an uninterrupted run at any ``--jobs`` value.
+
+Layout of one run directory (``<runs_root>/<run_id>/``)::
+
+    meta.json                       # flags the run was created with
+    status.json                     # completeness marker + fault records
+    stages/<ns>/<stage>/task-00007.json   # one record per completed task
+
+Each record file is written atomically (temp file + ``os.replace``) and
+carries a SHA-256 checksum of its pickled payload; a torn or corrupted
+record fails verification on load and is simply treated as missing —
+the task re-runs, and determinism repairs the damage.  Records are
+keyed by task index within a namespaced stage (namespace = experiment
+id, stage = the driver's ``map_tasks`` stage name), which is what makes
+the journal valid only for the exact sweep shape it was created with;
+:meth:`RunJournal.load_stage` rejects records beyond the current task
+count rather than silently mixing two configurations.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import re
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.atomic import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.faults import TaskFailure
+
+__all__ = ["JournalError", "RunJournal"]
+
+_RECORD_FORMAT = "repro-journal-record"
+_RECORD_VERSION = 1
+_SAFE = re.compile(r"[^-._A-Za-z0-9]")
+
+
+class JournalError(RuntimeError):
+    """A run directory is missing, corrupt, or belongs to another config."""
+
+
+def _sanitize(name: str) -> str:
+    safe = _SAFE.sub("_", name)
+    if not safe:
+        raise JournalError(f"unusable stage/run name {name!r}")
+    return safe
+
+
+class RunJournal:
+    """The journal of one run directory.  Use :meth:`create`/:meth:`open`."""
+
+    def __init__(self, run_dir: Path, meta: "dict[str, Any]"):
+        self.run_dir = Path(run_dir)
+        self.meta = meta
+        self._namespace = ""
+        self._loaded_stages: "set[str]" = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, root, run_id: str, meta: "dict[str, Any]") -> "RunJournal":
+        """Start a fresh journaled run; refuses to reuse an existing id."""
+        run_dir = Path(root) / _sanitize(run_id)
+        if run_dir.exists():
+            raise JournalError(
+                f"run directory {run_dir} already exists; resume it with "
+                f"--resume {run_id} or pick a new --run-id"
+            )
+        run_dir.mkdir(parents=True)
+        doc = {"format": "repro-run", "version": _RECORD_VERSION, "run_id": run_id}
+        doc.update(meta)
+        atomic_write_text(run_dir / "meta.json", json.dumps(doc, indent=2) + "\n")
+        return cls(run_dir, doc)
+
+    @classmethod
+    def open(cls, root, run_id: str) -> "RunJournal":
+        """Re-open an existing run for resumption."""
+        run_dir = Path(root) / _sanitize(run_id)
+        meta_path = run_dir / "meta.json"
+        if not run_dir.is_dir() or not meta_path.is_file():
+            known = cls.list_runs(root)
+            hint = f"; known run ids: {', '.join(known)}" if known else ""
+            raise JournalError(f"no journaled run at {run_dir}{hint}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalError(f"corrupt run metadata at {meta_path}: {exc}") from exc
+        if meta.get("format") != "repro-run":
+            raise JournalError(f"{meta_path} is not a repro run journal")
+        return cls(run_dir, meta)
+
+    @staticmethod
+    def list_runs(root) -> "list[str]":
+        """Run ids present under a runs root (for error messages)."""
+        base = Path(root)
+        if not base.is_dir():
+            return []
+        return sorted(p.name for p in base.iterdir() if (p / "meta.json").is_file())
+
+    @property
+    def run_id(self) -> str:
+        return str(self.meta.get("run_id", self.run_dir.name))
+
+    # -- namespacing -------------------------------------------------------
+
+    @contextmanager
+    def namespace(self, prefix: str):
+        """Scope stage names under ``prefix`` (the experiment id)."""
+        previous = self._namespace
+        self._namespace = _sanitize(prefix)
+        try:
+            yield self
+        finally:
+            self._namespace = previous
+
+    def _stage_dir(self, stage: str) -> Path:
+        parts = ["stages"]
+        if self._namespace:
+            parts.append(self._namespace)
+        parts.append(_sanitize(stage))
+        return self.run_dir.joinpath(*parts)
+
+    def _full_stage(self, stage: str) -> str:
+        return f"{self._namespace}/{stage}" if self._namespace else stage
+
+    # -- records -----------------------------------------------------------
+
+    def record(self, stage: str, index: int, result: Any) -> None:
+        """Journal one completed task result (atomic, checksummed)."""
+        payload = pickle.dumps(result, protocol=4)
+        doc = {
+            "format": _RECORD_FORMAT,
+            "version": _RECORD_VERSION,
+            "stage": self._full_stage(stage),
+            "index": int(index),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "pickle_b64": base64.b64encode(payload).decode("ascii"),
+        }
+        stage_dir = self._stage_dir(stage)
+        stage_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(stage_dir / f"task-{index:06d}.json", json.dumps(doc))
+
+    def load_stage(self, stage: str, expected_count: int) -> "dict[int, Any]":
+        """Valid recorded results of a stage, keyed by task index.
+
+        Records that fail to parse or checksum are skipped with a warning
+        (the task simply re-runs); a record index beyond
+        ``expected_count`` means the journal belongs to a different
+        configuration and is an error.
+        """
+        full = self._full_stage(stage)
+        if full in self._loaded_stages:
+            raise JournalError(
+                f"stage {full!r} opened twice in one run — give each "
+                "map_tasks call a distinct stage name"
+            )
+        self._loaded_stages.add(full)
+        stage_dir = self._stage_dir(stage)
+        results: "dict[int, Any]" = {}
+        if not stage_dir.is_dir():
+            return results
+        for path in sorted(stage_dir.glob("task-*.json")):
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                if doc.get("format") != _RECORD_FORMAT:
+                    raise ValueError("not a journal record")
+                index = int(doc["index"])
+                payload = base64.b64decode(doc["pickle_b64"])
+                if hashlib.sha256(payload).hexdigest() != doc["sha256"]:
+                    raise ValueError("checksum mismatch")
+                value = pickle.loads(payload)
+            except (OSError, ValueError, KeyError, pickle.UnpicklingError) as exc:
+                warnings.warn(
+                    f"journal record {path} is corrupt ({exc}); the task "
+                    "will re-run",
+                    stacklevel=2,
+                )
+                continue
+            if index >= expected_count or index < 0:
+                raise JournalError(
+                    f"journal stage {full!r} holds task index {index} but the "
+                    f"current sweep has only {expected_count} task(s) — the "
+                    "run was created with a different config/scale/seed"
+                )
+            results[index] = value
+        return results
+
+    # -- run status --------------------------------------------------------
+
+    def log_failure(self, failure: "TaskFailure") -> None:
+        """Append a failure record to ``failures.jsonl`` (best effort)."""
+        doc = dict(failure.to_dict())
+        doc["stage"] = self._full_stage(failure.stage)
+        try:
+            with open(self.run_dir / "failures.jsonl", "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc) + "\n")
+        except OSError:  # diagnostics must never take the run down
+            pass
+
+    def write_status(self, doc: "dict[str, Any]") -> None:
+        """Atomically (re)write the run's ``status.json``."""
+        atomic_write_text(
+            self.run_dir / "status.json", json.dumps(doc, indent=2) + "\n"
+        )

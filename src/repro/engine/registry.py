@@ -28,9 +28,12 @@ parameter receive the CLI's ``--channel`` spec (e.g. ``rayleigh``,
 from __future__ import annotations
 
 import inspect
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
+
+from repro.engine.faults import ExecutionPolicy, RunReport, execution_scope
 
 if TYPE_CHECKING:  # circular at runtime: driver modules import this one
     from repro.experiments.runner import ExperimentResult
@@ -96,12 +99,20 @@ class ExperimentSpec:
         seed: "int | None" = None,
         jobs: "int | None" = 1,
         channel: "str | None" = None,
+        policy: "ExecutionPolicy | None" = None,
     ) -> ExperimentResult:
         """Run the experiment, recording total wall-clock in ``timings``.
 
         ``channel`` (a spec string) overrides the experiment's channel
         when the driver supports it; passing one to a driver that does
         not is an error rather than a silent default run.
+
+        ``policy`` installs fault-tolerance knobs for the duration of the
+        run: the driver's ``map_tasks`` calls inherit ``on_error``/retry/
+        timeout/journal from the ambient scope, the journal is namespaced
+        under this experiment's id, and a fresh :class:`RunReport`
+        collects whatever failures and degradation events the executor
+        records — its contents land on ``result.faults``.
         """
         kwargs = self.make_kwargs(scale, seed)
         if self.supports_jobs:
@@ -113,11 +124,24 @@ class ExperimentSpec:
                     "--channel override"
                 )
             kwargs["channel"] = channel
+        report: "RunReport | None" = None
         start = perf_counter()
-        result = self.runner(**kwargs)
+        with ExitStack() as stack:
+            if policy is not None:
+                report = RunReport()
+                run_policy = replace(policy, report=report)
+                stack.enter_context(execution_scope(run_policy))
+                if run_policy.journal is not None:
+                    stack.enter_context(
+                        run_policy.journal.namespace(self.experiment_id)
+                    )
+            result = self.runner(**kwargs)
         timings = dict(result.timings)
         timings["total"] = perf_counter() - start
-        return replace(result, timings=timings)
+        updates: "dict[str, Any]" = {"timings": timings}
+        if report is not None and (report.failures or report.events):
+            updates["faults"] = report.to_dict()
+        return replace(result, **updates)
 
 
 _REGISTRY: "dict[str, ExperimentSpec]" = {}

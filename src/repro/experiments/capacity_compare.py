@@ -30,6 +30,7 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -145,11 +146,15 @@ def run_capacity_compare(
             name="capacity-task",
         )
         per_network = map_tasks(
-            _capacity_task, tasks, jobs=jobs, context=(cfg, opt_restarts, channel)
+            _capacity_task,
+            tasks,
+            jobs=jobs,
+            context=(cfg, opt_restarts, channel),
+            stage="networks",
         )
 
     acc: dict[str, list[tuple[int, float]]] = {}
-    for records in per_network:
+    for records in usable_results(per_network, "the E7 capacity sweep"):
         for name, value in records.items():
             acc.setdefault(name, []).append(value)
 

@@ -26,6 +26,7 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import usable_results
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import Figure1Config, PaperParameters
 from repro.experiments.figure1 import _network_curves
@@ -105,20 +106,24 @@ def run_density_sweep(
             tasks,
             jobs=jobs,
             context=(seed, num_links, num_transmit_seeds, pp),
+            stage="cells",
         )
 
     rows = []
     crossovers: list[float] = []
     peaks: list[float] = []
     for area_idx, area in enumerate(areas):
+        area_cells = usable_results(
+            per_cell[area_idx * num_networks : (area_idx + 1) * num_networks],
+            f"the E13 density sweep at area={area:g}",
+        )
         nf_total = np.zeros(probs.size)
         ray_total = np.zeros(probs.size)
-        for k in range(num_networks):
-            nf, ray = per_cell[area_idx * num_networks + k]
+        for nf, ray in area_cells:
             nf_total += nf
             ray_total += ray
-        nf_mean = nf_total / num_networks
-        ray_mean = ray_total / num_networks
+        nf_mean = nf_total / len(area_cells)
+        ray_mean = ray_total / len(area_cells)
         cross = _crossover(probs, nf_mean, ray_mean)
         density = num_links / area**2 * 1e6  # links per 1000x1000
         peak_q = float(probs[int(np.argmax(nf_mean))])

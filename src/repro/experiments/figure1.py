@@ -24,6 +24,7 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -121,14 +122,17 @@ def run_figure1(
             root_seed=cfg.seed,
             name="figure1-task",
         )
-        per_network = map_tasks(_figure1_task, tasks, jobs=jobs, context=cfg)
+        per_network = map_tasks(
+            _figure1_task, tasks, jobs=jobs, context=cfg, stage="networks"
+        )
 
     with timer.stage("aggregate"):
+        good = usable_results(per_network, "the E1 network sweep")
         totals = {name: np.zeros(probs.size) for name in CURVES}
-        for net_curves in per_network:
+        for net_curves in good:
             for name in CURVES:
                 totals[name] += net_curves[name]
-        curves = {name: vals / cfg.num_networks for name, vals in totals.items()}
+        curves = {name: vals / len(good) for name, vals in totals.items()}
 
     # Shape checks from Section 7's discussion.
     checks = {}

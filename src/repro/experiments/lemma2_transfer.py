@@ -19,6 +19,7 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -97,12 +98,12 @@ def run_lemma2_transfer(
             name="lemma2-task",
         )
         per_network = map_tasks(
-            _lemma2_task, tasks, jobs=jobs, context=(cfg, mc_samples)
+            _lemma2_task, tasks, jobs=jobs, context=(cfg, mc_samples), stage="networks"
         )
 
     ratios: dict[tuple[str, str], list[float]] = {}
     certified_ok = True
-    for entries in per_network:
+    for entries in usable_results(per_network, "the E5 transfer sweep"):
         for pw_name, u_name, ratio, certified in entries:
             ratios.setdefault((pw_name, u_name), []).append(ratio)
             certified_ok &= certified

@@ -22,6 +22,7 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
@@ -89,12 +90,14 @@ def run_optimum_stat(
             tasks,
             jobs=jobs,
             context=(cfg, restarts, exact_subinstance_size),
+            stage="networks",
         )
 
-    greedy_sizes = [row[0] for row in per_network]
-    ls_sizes = [row[1] for row in per_network]
-    exact_small = [row[2] for row in per_network]
-    ls_small = [row[3] for row in per_network]
+    good = usable_results(per_network, "the E3 optimum sweep")
+    greedy_sizes = [row[0] for row in good]
+    ls_sizes = [row[1] for row in good]
+    exact_small = [row[2] for row in good]
+    ls_small = [row[3] for row in good]
 
     ls = summarize(ls_sizes)
     greedy = summarize(greedy_sizes)

@@ -39,6 +39,13 @@ class ExperimentResult:
         ``"total"`` entry added by the registry).  Deliberately excluded
         from :meth:`to_json` so result files are byte-identical across
         re-runs and worker counts.
+    faults:
+        Failure records and degradation events collected by the engine's
+        :class:`~repro.engine.faults.RunReport` when the run was executed
+        under a fault-tolerant policy (``--on-error skip/retry``).  Empty
+        for clean runs.  Like ``timings``, excluded from :meth:`to_json` —
+        whether a run needed retries must not change its result bytes;
+        the CLI surfaces it in ``summary.json`` instead.
     """
 
     experiment_id: str
@@ -48,11 +55,17 @@ class ExperimentResult:
     config: str = ""
     checks: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
 
     @property
     def all_checks_pass(self) -> bool:
         """Whether every recorded shape check holds."""
         return all(bool(v) for v in self.checks.values())
+
+    @property
+    def incomplete(self) -> bool:
+        """Whether any task slot produced no result (skipped failures)."""
+        return bool(self.faults.get("failures"))
 
     def to_json(self) -> str:
         """Serialise data + checks (not the rendered text) as JSON."""
@@ -88,6 +101,19 @@ class ExperimentResult:
             lines.append("shape checks:")
             for name, ok in self.checks.items():
                 lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        if self.faults:
+            lines.append("")
+            lines.append("faults:")
+            for event in self.faults.get("events", []):
+                lines.append(f"  [event] {event['kind']}: {event['detail']}")
+            for failure in self.faults.get("failures", []):
+                lines.append(
+                    f"  [lost]  task {failure['index']} (stage "
+                    f"{failure['stage']!r}) {failure['kind']} after "
+                    f"{failure['attempts']} attempt(s): {failure['message']}"
+                )
+            if self.incomplete:
+                lines.append("  result is INCOMPLETE — aggregates exclude lost tasks")
         if timings and self.timings:
             lines.append("")
             lines.append("timings (wall-clock seconds):")

@@ -29,13 +29,14 @@ from repro.engine.executor import (
     make_tasks,
     map_tasks,
 )
+from repro.engine.faults import is_failure
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters
 from repro.experiments.runner import ExperimentResult
 from repro.fading.success import success_probability
 from repro.geometry.placement import paper_random_network
 from repro.transform.simulation import simulate_rayleigh_optimum
-from repro.utils.logstar import log_star, num_simulation_stages
+from repro.utils.logstar import log_star
 from repro.utils.rng import RngFactory
 from repro.utils.tables import format_table
 
@@ -137,7 +138,11 @@ def run_theorem2(
         ]
         sim_tasks = make_tasks(chunks, root_seed=seed, name="t2-sim-task")
         sim_parts = map_tasks(
-            _theorem2_sim_task, sim_tasks, jobs=jobs, context=(seed, q_level, pp)
+            _theorem2_sim_task,
+            sim_tasks,
+            jobs=jobs,
+            context=(seed, q_level, pp),
+            stage="simulate",
         )
 
     with timer.stage("utility"):
@@ -147,7 +152,11 @@ def run_theorem2(
             name="t2-util-task",
         )
         ray_utilities = map_tasks(
-            _theorem2_util_task, util_tasks, jobs=jobs, context=(seed, q_level, pp)
+            _theorem2_util_task,
+            util_tasks,
+            jobs=jobs,
+            context=(seed, q_level, pp),
+            stage="utility",
         )
 
     rows = []
@@ -162,21 +171,33 @@ def run_theorem2(
         hits = np.zeros(n, dtype=np.int64)
         sim_utility = np.zeros(n, dtype=np.float64)
         num_stages = num_slots = 0
+        done_trials = 0  # trials whose chunk actually completed
         for chunk, part in zip(chunks, sim_parts):
-            if chunk[0] != n:
+            if chunk[0] != n or is_failure(part):
                 continue
             hits += part[0]
             sim_utility += part[1]
             num_stages, num_slots = part[2], part[3]
-        sim_prob = hits / trials
-        sim_utility /= trials  # E[u(max_t γ^{nf,t})] per link
+            done_trials += chunk[2] - chunk[1]
+        if done_trials == 0:
+            raise RuntimeError(
+                f"all E6 simulation chunks for n={n} failed; see the fault report"
+            )
+        sim_prob = hits / done_trials
+        sim_utility /= done_trials  # E[u(max_t γ^{nf,t})] per link
         # E[u(γ^R)] per link under one Rayleigh slot with pattern ~ q.
         ray_utility = ray_utilities[size_idx]
+        if is_failure(ray_utility):
+            raise RuntimeError(
+                f"the E6 utility task for n={n} failed: {ray_utility.describe()}"
+            )
         factor = float(ray_utility.sum() / max(sim_utility.sum(), 1e-12))
         utility_factors.append(factor)
         utility_factor_ok &= factor <= 8.0
         # Per-link domination with a 4-sigma Bernoulli band on the estimate.
-        band = 4.0 * np.sqrt(np.maximum(sim_prob * (1 - sim_prob), 1e-6) / trials)
+        band = 4.0 * np.sqrt(
+            np.maximum(sim_prob * (1 - sim_prob), 1e-6) / done_trials
+        )
         domination_ok &= bool(np.all(sim_prob + band >= rayleigh))
         stage_growth_ok &= num_stages >= log_star(n) - 2  # same growth order
         rows.append(

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sinr import SINRInstance
+from repro.engine import chaos, guards
 from repro.utils.validation import check_probability_vector
 
 __all__ = [
@@ -120,17 +121,36 @@ class Theorem1Kernel:
             self._log_factors = lf
         return self._log_factors
 
+    def _guard(self, out: np.ndarray, site: str) -> np.ndarray:
+        """Chaos hook + numerical guard on a probability output.
+
+        The chaos call is a no-op unless a fault plan targets the site;
+        the guard is a no-op at strictness ``"off"``.  Violations report
+        the offending link indices and the kernel's ``(β, ν)`` so a
+        poisoned configuration is diagnosable instead of silently
+        contaminating downstream aggregates.
+        """
+        out = chaos.corrupt(site, out)
+        return guards.check_probabilities(
+            out,
+            site,
+            beta_min=float(self.beta.min()),
+            beta_max=float(self.beta.max()),
+            noise=float(self.instance.noise),
+        )
+
     def conditional(self, q: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for fractional ``q`` (the
         product form); ``q`` must be a validated ``(n,)`` float vector."""
         factors = 1.0 - q[:, None] * self.weights
-        return self._noise_term * np.prod(factors, axis=0)
+        out = self._noise_term * np.prod(factors, axis=0)
+        return self._guard(out, "theorem1.conditional")
 
     def conditional_binary(self, mask: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for one 0/1 pattern — a single
         ``(n,) @ (n, n)`` product against the cached log factors."""
         log_p = mask.astype(np.float64) @ self.log_factors - self._noise_exponent
-        return np.exp(log_p)
+        return self._guard(np.exp(log_p), "theorem1.conditional_binary")
 
     def conditional_batch(self, patterns: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for a ``(B, n)`` batch of 0/1
@@ -139,7 +159,7 @@ class Theorem1Kernel:
         if pats.ndim != 2 or pats.shape[1] != self.n:
             raise ValueError(f"patterns must be (B, {self.n}), got {pats.shape}")
         log_p = pats.astype(np.float64) @ self.log_factors - self._noise_exponent
-        return np.exp(log_p)
+        return self._guard(np.exp(log_p), "theorem1.conditional_batch")
 
 
 def success_probability_conditional(

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.network import Network
 from repro.core.sinr import SINRInstance
+from repro.utils.atomic import atomic_write_text
 
 __all__ = [
     "save_network",
@@ -139,8 +140,9 @@ def instance_from_dict(doc: dict) -> SINRInstance:
 
 
 def save_network(network: Network, path) -> None:
-    """Write a network to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(network_to_dict(network)), encoding="utf-8")
+    """Write a network to ``path`` as JSON (atomic: temp + rename, so a
+    crash mid-write never leaves a truncated instance file)."""
+    atomic_write_text(Path(path), json.dumps(network_to_dict(network)))
 
 
 def load_network(path) -> Network:
@@ -149,8 +151,9 @@ def load_network(path) -> Network:
 
 
 def save_instance(instance: SINRInstance, path) -> None:
-    """Write an instance to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance)), encoding="utf-8")
+    """Write an instance to ``path`` as JSON (atomic, like
+    :func:`save_network`)."""
+    atomic_write_text(Path(path), json.dumps(instance_to_dict(instance)))
 
 
 def load_instance(path) -> SINRInstance:

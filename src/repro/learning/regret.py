@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sinr import SINRInstance
+from repro.engine import guards
 from repro.fading.success import success_probability_conditional_batch
 from repro.utils.validation import check_positive
 
@@ -74,7 +75,10 @@ def expected_send_rewards(
     if actions.ndim != 2 or actions.shape[1] != instance.n:
         raise ValueError(f"actions must be (T, {instance.n})")
     probs = success_probability_conditional_batch(instance, actions, beta)
-    return 2.0 * probs - 1.0
+    rewards = 2.0 * probs - 1.0
+    return guards.check_finite(
+        rewards, "regret.expected_send_rewards", beta=float(beta), rounds=actions.shape[0]
+    )
 
 
 def external_regret(
@@ -123,5 +127,6 @@ def lemma5_quantities(
     T = actions.shape[0]
     f = actions.mean(axis=0)
     probs = success_probability_conditional_batch(instance, actions, beta)
+    guards.check_probabilities(probs, "regret.lemma5_quantities", beta=float(beta))
     x = np.where(actions, probs, 0.0).sum(axis=0) / T
     return float(x.sum()), float(f.sum())

@@ -1,0 +1,43 @@
+"""Atomic file writes — temp file in the target directory + ``os.replace``.
+
+Every on-disk artifact of a run (instance files, journal records,
+``summary.json``) is written through these helpers so an interrupted
+process never leaves a truncated or half-written file behind: readers
+see either the previous complete content or the new complete content,
+never a prefix.  ``os.replace`` is atomic on POSIX and Windows provided
+source and destination live on the same filesystem, which writing the
+temporary alongside the target guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (write-then-rename)."""
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (write-then-rename)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.executor import (
+    JOBS_CAP,
     StageTimer,
     Task,
     get_worker_context,
@@ -114,6 +115,15 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-1)
+
+    def test_absurd_values_hit_the_sanity_cap(self):
+        # Regression: a fat-fingered --jobs 10000 must be a clear error,
+        # not a fork bomb.
+        assert resolve_jobs(JOBS_CAP) == JOBS_CAP
+        with pytest.raises(ValueError, match="sanity cap"):
+            resolve_jobs(JOBS_CAP + 1)
+        with pytest.raises(ValueError, match="sanity cap"):
+            resolve_jobs(10_000_000)
 
 
 class TestStageTimer:

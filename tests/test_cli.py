@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.engine import chaos
+from repro.engine.chaos import ChaosPlan, Fault
 from repro.engine.registry import all_specs
 
 
@@ -94,6 +96,155 @@ class TestRun:
         assert (tmp_path / "j1" / "E13.json").read_bytes() == (
             tmp_path / "j2" / "E13.json"
         ).read_bytes()
+
+
+class TestFailurePaths:
+    """Every operational failure must exit non-zero with a one-line,
+    actionable message — never a traceback."""
+
+    def test_nonexistent_experiment_names_known_ids(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E99"])
+        assert "unknown experiment" in str(err.value)
+        assert "E1" in str(err.value)  # the message lists what *is* valid
+
+    def test_unwritable_out_directory(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("plain file")
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--out", str(blocker / "results")])
+        assert "cannot create --out directory" in str(err.value)
+
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--jobs", "-3"])
+        assert err.value.code == 2  # argparse usage error
+
+    def test_absurd_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--jobs", "999999"])
+        assert err.value.code == 2
+        assert "sanity cap" in capsys.readouterr().err
+
+    def test_zero_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--on-error", "retry", "--retries", "0"])
+        assert err.value.code == 2
+
+    def test_negative_task_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--task-timeout", "-5"])
+        assert err.value.code == 2
+
+    def test_resume_missing_run_lists_known_ids(self, tmp_path, capsys):
+        main(["run", "E11", "--run-id", "existing", "--runs-root", str(tmp_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--resume", "ghost", "--runs-root", str(tmp_path)])
+        assert "no journaled run" in str(err.value)
+        assert "existing" in str(err.value)
+
+    def test_resume_corrupt_run_dir(self, tmp_path):
+        run_dir = tmp_path / "broken"
+        run_dir.mkdir()
+        (run_dir / "meta.json").write_text("{ not json")
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--resume", "broken", "--runs-root", str(tmp_path)])
+        assert "corrupt run metadata" in str(err.value)
+
+    def test_resume_flag_mismatch(self, tmp_path, capsys):
+        main(["run", "E11", "--run-id", "mine", "--runs-root", str(tmp_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "run", "E11", "--resume", "mine",
+                    "--runs-root", str(tmp_path), "--seed", "42",
+                ]
+            )
+        assert "seed" in str(err.value) and "--run-id" in str(err.value)
+
+    def test_run_id_refuses_reuse(self, tmp_path, capsys):
+        main(["run", "E11", "--run-id", "once", "--runs-root", str(tmp_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(["run", "E11", "--run-id", "once", "--runs-root", str(tmp_path)])
+        assert "--resume once" in str(err.value)
+
+    def test_run_id_and_resume_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "run", "E11", "--run-id", "a", "--resume", "b",
+                    "--runs-root", str(tmp_path),
+                ]
+            )
+        assert "not both" in str(err.value)
+
+
+class TestKillAndResume:
+    """The headline robustness contract: a run that loses tasks exits
+    non-zero with an incomplete marker, and resuming it reproduces the
+    uninterrupted result byte for byte."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_chaos(self):
+        yield
+        chaos.uninstall()
+
+    def test_faulted_run_resumes_to_identical_bytes(self, tmp_path, monkeypatch, capsys):
+        clean_dir = tmp_path / "clean"
+        main(["run", "E13", "--out", str(clean_dir)])
+        capsys.readouterr()
+
+        # A persistent injected crash takes out one sweep cell; the run
+        # survives under --on-error skip but is marked incomplete.
+        plan = ChaosPlan(
+            state_dir=str(tmp_path / "chaos"),
+            faults=(Fault(kind="raise", stage="cells", index=5, once=False),),
+        )
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps(plan.to_dict()))
+        monkeypatch.setenv(chaos.CHAOS_ENV, str(plan_file))
+        faulted_dir = tmp_path / "faulted"
+        with pytest.warns(UserWarning):
+            code = main(
+                [
+                    "run", "E13", "--on-error", "skip",
+                    "--run-id", "rt", "--runs-root", str(tmp_path / "runs"),
+                    "--out", str(faulted_dir),
+                ]
+            )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "INCOMPLETE" in err and "--resume rt" in err
+        summary = json.loads((faulted_dir / "summary.json").read_text())
+        assert summary["incomplete"] is True and summary["run_id"] == "rt"
+        entry = summary["experiments"][0]
+        assert entry["incomplete"] is True
+        assert entry["faults"]["failures"][0]["index"] == 5
+
+        # Resume without the fault: only the lost cell re-runs and the
+        # aggregate matches the uninterrupted run exactly.
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+        chaos.uninstall()
+        resumed_dir = tmp_path / "resumed"
+        code = main(
+            [
+                "run", "E13", "--resume", "rt",
+                "--runs-root", str(tmp_path / "runs"),
+                "--out", str(resumed_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert (resumed_dir / "E13.json").read_bytes() == (
+            clean_dir / "E13.json"
+        ).read_bytes()
+        status = json.loads(
+            (tmp_path / "runs" / "rt" / "status.json").read_text()
+        )
+        assert status["complete"] is True
 
 
 class TestReport:
