@@ -1,0 +1,172 @@
+"""Telemetry-overhead benchmark: instrumented kernels, sink on vs off.
+
+The observability layer promises that its instrumentation is near-free:
+every hot-path report is a module-level call whose inactive fast path is
+two ``None`` checks (:mod:`repro.obs.metrics`).  This bench measures the
+*active* cost — the same kernel workloads timed with no sink installed
+and then inside an ``obs_scope`` with a metrics registry collecting —
+and records both timings plus the relative overhead::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py           # measure, rewrite BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --check   # fail (exit 1) when overhead > 5%
+
+``benchmarks/run_all.py`` runs the same measurement: a full run rewrites
+the ``BENCH_obs.json`` baseline, and ``run_all.py --check`` fails on an
+overhead budget violation exactly like ``--check`` here.
+
+Workloads cover the two kernel families the acceptance bar names: the
+Theorem-1 batched conditional kernel (counter per call + per pattern
+row) and the Monte-Carlo SINR sampler (counter per slot batch).  Timings
+are best-of-``repeats``; the overhead check also requires the absolute
+slowdown to exceed a small floor so sub-millisecond timer noise cannot
+fail CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.power import UniformPower
+from repro.core.sinr import SINRInstance
+from repro.fading.rayleigh import simulate_sinr_patterns
+from repro.fading.success import Theorem1Kernel
+from repro.geometry.placement import paper_random_network
+from repro.obs import MetricsRegistry, Telemetry, obs_scope
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_PATH = BENCH_DIR / "BENCH_obs.json"
+
+N = 100
+BATCH = 256
+MC_SLOTS = 512
+BETA = 2.5
+#: Kernel invocations per timed call — keeps one measurement at several
+#: milliseconds so the relative overhead is resolvable above timer noise.
+INNER_CALLS = {"theorem1": 32, "mc": 4}
+
+#: ``--check`` fails when telemetry makes a kernel more than 5% slower ...
+OVERHEAD_BUDGET = 0.05
+#: ... provided the absolute slowdown also exceeds this floor (seconds);
+#: below it the "overhead" is indistinguishable from timer noise.
+ABSOLUTE_FLOOR_S = 2e-4
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workloads():
+    """Named thunks over the instrumented kernels, pre-warmed."""
+    s, r = paper_random_network(N, rng=0)
+    inst = SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+    patterns = np.random.default_rng(1).random((BATCH, N)) < 0.4
+    mc_patterns = np.random.default_rng(2).random((MC_SLOTS, N)) < 0.4
+
+    kernel = Theorem1Kernel(inst, BETA)
+    kernel.conditional_batch(patterns)  # build the cached tensors once
+
+    def theorem1():
+        for _ in range(INNER_CALLS["theorem1"]):
+            kernel.conditional_batch(patterns)
+
+    def monte_carlo():
+        for _ in range(INNER_CALLS["mc"]):
+            simulate_sinr_patterns(inst, mc_patterns, rng=np.random.default_rng(3))
+
+    return {
+        f"theorem1_conditional_batch_{BATCH}x{N}": theorem1,
+        f"mc_simulate_sinr_patterns_{MC_SLOTS}x{N}": monte_carlo,
+    }
+
+
+def measure_overhead(repeats: int = 7) -> dict:
+    """Time each workload with telemetry off and on; return the mapping."""
+    results: dict[str, dict] = {}
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    for name, fn in _workloads().items():
+        off = _best_of(fn, repeats)
+        with obs_scope(telemetry):
+            on = _best_of(fn, repeats)
+        overhead = on / off - 1.0
+        results[name] = {
+            "off_s": off,
+            "on_s": on,
+            "overhead": overhead,
+        }
+        print(f"  {name:42s} off {off:9.3e}s  on {on:9.3e}s  ({overhead:+7.2%})")
+    return results
+
+
+def check_overhead(results: dict) -> "list[str]":
+    """Budget violations in ``results`` (empty list = within budget)."""
+    failures = []
+    for name, entry in results.items():
+        slow = entry["on_s"] - entry["off_s"]
+        if entry["overhead"] > OVERHEAD_BUDGET and slow > ABSOLUTE_FLOOR_S:
+            failures.append(
+                f"{name}: telemetry overhead {entry['overhead']:+.2%} "
+                f"(+{slow:.3e}s) exceeds the {OVERHEAD_BUDGET:.0%} budget"
+            )
+    return failures
+
+
+def write_baseline(results: dict) -> None:
+    """Record the measured overheads as ``BENCH_obs.json``."""
+    doc = {
+        "config": {
+            "n": N,
+            "batch": BATCH,
+            "mc_slots": MC_SLOTS,
+            "beta": BETA,
+            "overhead_budget": OVERHEAD_BUDGET,
+        },
+        "kernels": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {BASELINE_PATH}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer timing repeats"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when telemetry overhead exceeds the budget instead of "
+        "rewriting BENCH_obs.json",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else 7
+    print(f"timing telemetry overhead (n={N}, batch={BATCH}, mc_slots={MC_SLOTS}) ...")
+    results = measure_overhead(repeats)
+
+    if args.check:
+        failures = check_overhead(results)
+        if failures:
+            for line in failures:
+                print("TELEMETRY OVERHEAD:", line, file=sys.stderr)
+            return 1
+        print(f"telemetry overhead check passed (budget {OVERHEAD_BUDGET:.0%})")
+        return 0
+
+    write_baseline(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

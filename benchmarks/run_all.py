@@ -272,6 +272,11 @@ def main(argv=None) -> int:
     print(f"timing hot-path kernels (n={N}, T={T}, batch={BATCH}) ...")
     kernels = measure_kernels(repeats)
 
+    import bench_obs
+
+    print("timing telemetry overhead (bench_obs) ...")
+    obs_results = bench_obs.measure_overhead(repeats)
+
     summary = {
         "config": {"n": N, "T": T, "batch": BATCH, "beta": BETA,
                    "block_length": BLOCK_L, "block_slots": BLOCK_SLOTS},
@@ -287,16 +292,19 @@ def main(argv=None) -> int:
 
     if args.check:
         failures = check_against_baseline(kernels)
+        failures += bench_obs.check_overhead(obs_results)
         if failures:
             for line in failures:
                 print("PERF REGRESSION:", line, file=sys.stderr)
             return 1
         print("perf check passed: every fast path within "
-              f"{REGRESSION_FACTOR:.0f}x of its recorded baseline")
+              f"{REGRESSION_FACTOR:.0f}x of its recorded baseline and "
+              f"telemetry overhead within {bench_obs.OVERHEAD_BUDGET:.0%}")
         return 0
 
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {SUMMARY_PATH}")
+    bench_obs.write_baseline(obs_results)
     return 0
 
 

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.sinr import SINRInstance, _as_active_bool
 from repro.engine import guards
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -123,10 +124,12 @@ class Channel(abc.ABC):
         fused batched kernel.
         """
         pats = self._patterns(patterns)
+        _metrics.add("channel.realize_slots", pats.shape[0])
         sinr = self.sinr_batch(pats, rng)
         if sinr is not None:
             # +inf SINR is legitimate (no interference, zero noise); NaN
             # means a poisoned sample and must not be thresholded silently.
+            _metrics.add("channel.sinr_evaluations", sinr.size)
             guards.check_finite(
                 sinr, f"{self.name}.realize_batch.sinr", allow_inf=True, beta=self.beta
             )
@@ -158,6 +161,7 @@ class Channel(abc.ABC):
         member overrides it with a single batched kernel.
         """
         pats = self._patterns(patterns)
+        _metrics.add("channel.counterfactual_slots", pats.shape[0])
         gen = as_generator(rng)
         out = np.zeros(pats.shape, dtype=bool)
         for t in range(pats.shape[0]):

@@ -23,6 +23,7 @@ from repro.channel.base import Channel
 from repro.core.sinr import SINRInstance
 from repro.fading.models import FadingModel, RayleighFading
 from repro.fading.rayleigh import _sinr_from_draws
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 
 __all__ = ["BlockFadingChannel"]
@@ -73,6 +74,7 @@ class BlockFadingChannel(Channel):
     def _step_draws(self, rng) -> np.ndarray:
         """Advance one slot, redrawing at block boundaries only."""
         if self._draws is None or self._t % self.block_length == 0:
+            _metrics.add("channel.block_redraws")
             self._draws = self.model.sample(self.instance.gains, as_generator(rng))
         self._t += 1
         return self._draws
@@ -89,6 +91,7 @@ class BlockFadingChannel(Channel):
         done = 0
         while done < num_slots:
             if self._draws is None or self._t % self.block_length == 0:
+                _metrics.add("channel.block_redraws")
                 self._draws = self.model.sample(self.instance.gains, gen)
             left_in_block = self.block_length - (self._t % self.block_length)
             take = min(left_in_block, num_slots - done)
@@ -110,6 +113,7 @@ class BlockFadingChannel(Channel):
         pass, with redraws (and hence randomness consumption) exactly
         where the slot-by-slot loop would place them."""
         pats = self._patterns(patterns)
+        _metrics.add("channel.realize_slots", pats.shape[0])
         out = np.zeros(pats.shape, dtype=bool)
         for start, stop, draws in self._advance_chunks(pats.shape[0], rng):
             chunk = pats[start:stop]
@@ -126,6 +130,7 @@ class BlockFadingChannel(Channel):
         """Coherence-block-chunked had-I-sent masks for ``(B, n)``
         patterns; the clock advances by ``B`` slots."""
         pats = self._patterns(patterns)
+        _metrics.add("channel.counterfactual_slots", pats.shape[0])
         out = np.zeros(pats.shape, dtype=bool)
         for start, stop, draws in self._advance_chunks(pats.shape[0], rng):
             out[start:stop] = self._counterfactual_against(draws, pats[start:stop])

@@ -28,6 +28,7 @@ from repro.fading.models import (
     simulate_sinr_patterns_with_model,
     simulate_slots_with_model,
 )
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector
 
@@ -76,6 +77,8 @@ class MonteCarloChannel(Channel):
 
     def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         pats = self._patterns(patterns)
+        _metrics.add("channel.realize_slots", pats.shape[0])
+        _metrics.add("channel.sinr_evaluations", pats.size)
         sinr = simulate_sinr_patterns_with_model(self.instance, pats, self.model, rng)
         return (sinr >= self.beta) & pats
 
@@ -106,6 +109,7 @@ class MonteCarloChannel(Channel):
         which leaves every per-link frequency estimator unbiased.
         """
         pats = self._patterns(patterns)
+        _metrics.add("channel.counterfactual_slots", pats.shape[0])
         sinr = simulate_sinr_patterns_with_model(
             self.instance, pats, self.model, rng, counterfactual=True
         )
@@ -120,6 +124,7 @@ class MonteCarloChannel(Channel):
         """Monte-Carlo estimate over ``mc_slots`` independent
         (pattern, fading) samples; ``rng`` is required."""
         qv = check_probability_vector(q, self.n)
+        _metrics.add("mc.samples", self.mc_slots)
         gen = as_generator(rng)
         patterns = gen.random((self.mc_slots, self.n)) < qv
         hits = self.realize_batch(patterns, gen)
@@ -132,6 +137,7 @@ class MonteCarloChannel(Channel):
         """Estimated success-given-send frequency while the *other*
         senders transmit with probabilities ``q``."""
         qv = check_probability_vector(q, self.n)
+        _metrics.add("mc.samples", self.mc_slots)
         gen = as_generator(rng)
         patterns = gen.random((self.mc_slots, self.n)) < qv
         sinr = simulate_sinr_patterns_with_model(

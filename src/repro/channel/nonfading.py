@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.channel.base import Channel
 from repro.core.sinr import SINRInstance
+from repro.obs import metrics as _metrics
 from repro.utils.validation import check_probability_vector
 
 __all__ = ["NonFadingChannel"]
@@ -60,6 +61,8 @@ class NonFadingChannel(Channel):
 
     def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         pats = self._patterns(patterns)
+        _metrics.add("channel.realize_slots", pats.shape[0])
+        _metrics.add("channel.sinr_evaluations", pats.size)
         return (self.instance.sinr_batch(pats) >= self.beta) & pats
 
     def counterfactual(self, active, rng=None) -> np.ndarray:
@@ -76,6 +79,7 @@ class NonFadingChannel(Channel):
         """Batched had-I-sent test: one ``(B, n) @ (n, n)`` product
         against the cached ``β·S̄`` tensor, no randomness consumed."""
         pats = self._patterns(patterns)
+        _metrics.add("channel.counterfactual_slots", pats.shape[0])
         return pats.astype(np.float64) @ self._beta_gains <= self._margin
 
     def sinr_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:

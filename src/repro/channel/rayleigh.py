@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.channel.base import Channel
 from repro.fading.success import Theorem1Kernel
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector
 
@@ -55,6 +56,7 @@ class RayleighChannel(Channel):
 
     def realize_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         pats = self._patterns(patterns)
+        _metrics.add("channel.realize_slots", pats.shape[0])
         gen = as_generator(rng)
         p = self.kernel.conditional_batch(pats)
         return pats & (gen.random(pats.shape) < p)
@@ -79,6 +81,7 @@ class RayleighChannel(Channel):
         the variates the per-round loop would.
         """
         pats = self._patterns(patterns)
+        _metrics.add("channel.counterfactual_slots", pats.shape[0])
         gen = as_generator(rng)
         return gen.random(pats.shape) < self.kernel.conditional_batch(pats)
 

@@ -12,6 +12,8 @@
     python -m repro run E13 --run-id nightly  # journal results as they land
     python -m repro run E13 --resume nightly  # replay journal, run the rest
     python -m repro run E6 --on-error retry --task-timeout 120
+    python -m repro run E1 --out r/ --trace --metrics   # telemetry, same bytes
+    python -m repro stats r/                  # render a past run's telemetry
     python -m repro report --out EXPERIMENTS.md
 
 Experiments are discovered through :mod:`repro.engine.registry` — each
@@ -31,6 +33,14 @@ every completed task so a killed run can be finished with ``--resume`` —
 bit-identical to an uninterrupted run at any ``--jobs``.  ``--guards``
 sets the numerical-guard strictness (default ``warn``).  Runs that lose
 tasks are marked ``incomplete`` in ``summary.json`` and exit non-zero.
+
+Observability (see DESIGN.md, "Observability"): ``--trace`` streams
+hierarchical spans (run → experiment → stage → task) to
+``trace.jsonl``, ``--metrics`` aggregates kernel/executor counters into
+``metrics.json``, and ``--profile`` dumps per-stage cProfile files —
+all inside the ``--out`` directory, which these flags therefore
+require.  Telemetry never changes result bytes, at any ``--jobs``.
+``repro stats <run-dir>`` renders what a past run left behind.
 """
 
 from __future__ import annotations
@@ -45,6 +55,9 @@ from repro.engine.executor import resolve_jobs
 from repro.engine.faults import ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
 from repro.engine.journal import JournalError, RunJournal
 from repro.engine.registry import ExperimentSpec, all_specs, get_spec
+from repro.obs import METRICS_FILENAME, TRACE_FILENAME, Telemetry, obs_scope, span
+from repro.obs import profile as obs_profile
+from repro.obs.stats import RunDirError, render_run_dir
 from repro.utils.atomic import atomic_write_text
 
 __all__ = ["main", "build_parser"]
@@ -172,6 +185,11 @@ def _cmd_run(args) -> int:
     journal = _open_journal(args)
     policy = _build_policy(args, journal)
     out_dir = Path(args.out) if args.out else None
+    if (args.trace or args.metrics or args.profile) and out_dir is None:
+        raise SystemExit(
+            "--trace/--metrics/--profile write their files into the run "
+            "directory; pass --out DIR alongside them"
+        )
     if out_dir is not None:
         try:
             out_dir.mkdir(parents=True, exist_ok=True)
@@ -179,6 +197,13 @@ def _cmd_run(args) -> int:
             raise SystemExit(
                 f"cannot create --out directory {out_dir}: {exc}"
             ) from exc
+    telemetry = (
+        Telemetry.for_run_dir(
+            out_dir, trace=args.trace, metrics=args.metrics, profile=args.profile
+        )
+        if out_dir is not None
+        else None
+    )
     summary: "list[dict[str, object]]" = []
 
     def on_result(spec: ExperimentSpec, result) -> None:
@@ -191,7 +216,10 @@ def _cmd_run(args) -> int:
             _write_text(out_dir / f"{exp_id}.json", result.to_json())
         summary.append(_summary_entry(spec, result))
 
-    failures = _run_specs(args, on_result, policy)
+    with obs_scope(telemetry):
+        with span("run", kind="run", experiments=args.experiment):
+            failures = _run_specs(args, on_result, policy)
+        profile_files = obs_profile.profile_dumps()
     incomplete = [
         str(entry["experiment_id"]) for entry in summary if entry.get("incomplete")
     ]
@@ -206,7 +234,18 @@ def _cmd_run(args) -> int:
             "incomplete": bool(incomplete),
             "experiments": summary,
         }
+        if telemetry is not None:
+            doc["telemetry"] = {
+                "trace": TRACE_FILENAME if args.trace else None,
+                "metrics": METRICS_FILENAME if args.metrics else None,
+                "profile": profile_files,
+            }
         _write_text(out_dir / "summary.json", json.dumps(doc, indent=2) + "\n")
+        if telemetry is not None and telemetry.metrics is not None:
+            _write_text(
+                out_dir / METRICS_FILENAME,
+                json.dumps(telemetry.metrics.to_dict(), indent=2) + "\n",
+            )
     if journal is not None:
         journal.write_status(
             {
@@ -230,6 +269,14 @@ def _cmd_run(args) -> int:
     if failures:
         print(f"{failures} experiment(s) FAILED their shape checks", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    try:
+        print(render_run_dir(args.run_dir))
+    except RunDirError as exc:
+        raise SystemExit(str(exc)) from exc
     return 0
 
 
@@ -361,6 +408,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="directory for .txt/.json results plus summary.json"
     )
     run_p.add_argument(
+        "--trace", action="store_true",
+        help="stream hierarchical spans (run/experiment/stage/task) to "
+        "trace.jsonl in the --out directory",
+    )
+    run_p.add_argument(
+        "--metrics", action="store_true",
+        help="aggregate kernel and executor counters into metrics.json "
+        "in the --out directory",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="dump a cProfile .pstats file per driver stage into the "
+        "--out directory",
+    )
+    run_p.add_argument(
         "--run-id", default=None, metavar="ID",
         help="journal completed tasks under this id (makes the run resumable)",
     )
@@ -373,6 +435,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"directory holding run journals (default {DEFAULT_RUNS_ROOT})",
     )
     run_p.set_defaults(func=_cmd_run)
+
+    stats_p = sub.add_parser(
+        "stats", help="render a past run directory's telemetry and faults"
+    )
+    stats_p.add_argument(
+        "run_dir", help="a --out directory written by a previous repro run"
+    )
+    stats_p.set_defaults(func=_cmd_stats)
 
     rep_p = sub.add_parser("report", help="run experiments into one markdown report")
     rep_p.add_argument(

@@ -18,6 +18,12 @@ The engine is the layer between the experiment drivers and the CLI:
   (NaN/Inf/probability-range) at configurable strictness.
 * :mod:`repro.engine.chaos` — deterministic fault injection (crashes,
   hangs, corrupted records, NaN payloads) for exercising recovery paths.
+
+Observability lives in its own layer (:mod:`repro.obs`): the executor
+ships worker-side metric buffers back on task results and emits task
+spans, the registry opens one experiment span per run, and
+``StageTimer`` (re-exported here for compatibility) is the span-backed
+stage timer from :mod:`repro.obs.trace`.
 """
 
 from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs

@@ -43,6 +43,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
 __all__ = [
     "ChaosError",
     "ChaosPlan",
@@ -218,6 +220,7 @@ def on_task_start(stage: str, index: int) -> None:
             continue
         if not _should_fire(plan, fault, pos, f"{fault.kind}-{stage}-{index}"):
             continue
+        _metrics.add("chaos.faults_fired")
         if fault.kind == "raise":
             raise ChaosError(f"injected crash in task {index} (stage {stage!r})")
         if fault.kind == "hang":
@@ -253,6 +256,7 @@ def corrupt(site: str, arr: np.ndarray) -> np.ndarray:
         key = f"nan-{site}" if _CURRENT_TASK is None else f"nan-{site}-{_CURRENT_TASK[0]}-{_CURRENT_TASK[1]}"
         if not _should_fire(plan, fault, pos, key):
             continue
+        _metrics.add("chaos.faults_fired")
         out = np.array(arr, dtype=np.float64, copy=True)
         links = fault.links if fault.links else (0,)
         out[..., list(links)] = np.nan

@@ -46,7 +46,6 @@ import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
-from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
@@ -62,6 +61,9 @@ from repro.engine.faults import (
     current_policy,
     is_failure,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import StageTimer  # re-export: spans subsume stage timing
 from repro.utils.rng import RngFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -92,18 +94,31 @@ _WORKER_CONTEXT: Any = None
 
 def _worker_bundle(context: Any) -> tuple:
     """Everything a worker process must install before running tasks:
-    the shared context, the guard strictness, and any chaos plan."""
+    the shared context, the guard strictness, any chaos plan, and
+    whether to buffer telemetry metrics for shipping back."""
     plan = chaos.current_plan()
-    return (context, guards.get_guard_mode(), None if plan is None else plan.to_dict())
+    return (
+        context,
+        guards.get_guard_mode(),
+        None if plan is None else plan.to_dict(),
+        _observing(),
+    )
+
+
+def _observing() -> bool:
+    """Whether task executions should ship telemetry envelopes: metrics
+    are being collected, or a tracer wants per-task spans."""
+    return obs_metrics.collecting() or obs_trace.current_tracer() is not None
 
 
 def _init_worker(bundle: tuple) -> None:
-    """Pool initializer: install shared context, guards, and chaos."""
+    """Pool initializer: install shared context, guards, chaos, metrics."""
     global _WORKER_CONTEXT
-    context, guard_mode, chaos_doc = bundle
+    context, guard_mode, chaos_doc, metrics_on = bundle
     _WORKER_CONTEXT = context
     guards.set_guard_mode(guard_mode)
     chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
+    obs_metrics.set_collection(metrics_on)
 
 
 def get_worker_context() -> Any:
@@ -175,14 +190,41 @@ def resolve_jobs(jobs: "int | None") -> int:
     return int(jobs)
 
 
+@dataclass
+class _TaskEnvelope:
+    """A task result plus the telemetry measured where it executed.
+
+    When metrics collection is on, workers ship their buffered counter
+    deltas (and the task's wall-clock) back to the main process on this
+    envelope; :func:`_settle_success` unwraps it, so journals, failure
+    handling, and driver aggregation only ever see the raw value — the
+    envelope can never leak into result bytes.
+    """
+
+    value: Any
+    metrics: "obs_metrics.MetricsRegistry | None"
+    seconds: float
+
+
 def _execute_task(fn: Callable[[Task], Any], task: Task, stage: str) -> Any:
-    """Run one task with chaos instrumentation (executes in the worker)."""
+    """Run one task with chaos + telemetry instrumentation (executes in
+    the worker).  Successful executions return a :class:`_TaskEnvelope`
+    when metrics are being collected; failed attempts drop their buffer
+    (only metrics of executions that produced a result are aggregated,
+    which keeps the merged totals identical across ``--jobs``)."""
     chaos.set_current_task(stage, task.index)
+    collect = _observing()
+    previous = obs_metrics.begin_task() if collect else None
+    start = time.perf_counter()
     try:
         chaos.on_task_start(stage, task.index)
-        return fn(task)
+        value = fn(task)
     finally:
         chaos.set_current_task(None, None)
+        delta = obs_metrics.end_task(previous) if collect else None
+    if not collect:
+        return value
+    return _TaskEnvelope(value, delta, time.perf_counter() - start)
 
 
 @dataclass
@@ -199,13 +241,31 @@ class _RunState:
     report: "RunReport | None"
 
 
-def _settle_success(state: _RunState, task: Task, value: Any) -> Any:
+def _settle_success(state: _RunState, task: Task, outcome: Any) -> Any:
+    """Unwrap a telemetry envelope (merge metrics, emit the task span),
+    journal the raw value, and return it.  The journal always stores the
+    unwrapped value, so a checkpointed run resumes identically whether
+    telemetry was on or off when it recorded."""
+    if isinstance(outcome, _TaskEnvelope):
+        value = outcome.value
+        obs_metrics.merge_task_metrics(outcome.metrics)
+        obs_metrics.observe("executor.task_seconds", outcome.seconds)
+        obs_trace.record_complete(
+            "task-" + str(task.index),
+            "task",
+            outcome.seconds,
+            index=task.index,
+            stage=state.stage,
+        )
+    else:
+        value = outcome
     if state.journal is not None:
         state.journal.record(state.stage, task.index, value)
     return value
 
 
 def _settle_failure(state: _RunState, failure: TaskFailure) -> TaskFailure:
+    obs_metrics.add("executor.task_failures")
     if state.report is not None:
         state.report.record_failure(failure)
     if state.journal is not None:
@@ -227,6 +287,7 @@ def _attempt_serial(state: _RunState, task: Task) -> Any:
                 raise
             last_exc = exc
             if attempt < max_attempts:
+                obs_metrics.add("executor.retries")
                 time.sleep(state.retry.delay(task.index, attempt))
     return TaskFailure(
         index=task.index,
@@ -264,6 +325,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _record_event(state: _RunState, kind: str, detail: str, **extra) -> None:
+    obs_metrics.add("executor.events." + kind)
     warnings.warn(f"{kind}: {detail}", stacklevel=3)
     if state.report is not None:
         state.report.record_event(kind, detail, stage=state.stage, **extra)
@@ -281,6 +343,7 @@ def _task_error(
     """Handle a task-level failure on the pool backend: requeue for a
     retry when the policy allows, else settle a :class:`TaskFailure`."""
     if state.on_error == "retry" and attempts[idx] < state.retry.max_attempts:
+        obs_metrics.add("executor.retries")
         return  # stays in the queue; next pool round re-runs it
     queue.pop(idx)
     results[idx] = _settle_failure(
@@ -409,6 +472,7 @@ def _run_pool(
                         _run_serial(state, [queue[i] for i in sorted(queue)], results)
                         queue.clear()
                     return
+                obs_metrics.add("executor.pool_rebuilds")
         if state.on_error == "retry" and queue:
             time.sleep(max(state.retry.delay(i, attempts[i]) for i in queue))
 
@@ -479,36 +543,18 @@ def map_tasks(
     items = list(tasks)
     results: "dict[int, Any]" = {}
     if journal is not None:
-        results.update(journal.load_stage(stage, len(items)))
+        replayed = journal.load_stage(stage, len(items))
+        if replayed:
+            obs_metrics.add("journal.tasks_replayed", len(replayed))
+        results.update(replayed)
     pending = [t for t in items if t.index not in results]
 
     n_jobs = resolve_jobs(jobs)
+    obs_metrics.add("executor.tasks", len(items))
     if pending:
+        obs_metrics.add("executor.tasks_executed", len(pending))
         if n_jobs <= 1 or len(pending) <= 1:
             _run_serial(state, pending, results)
         else:
             _run_pool(state, pending, results, n_jobs)
     return [results[t.index] for t in items]
-
-
-class StageTimer:
-    """Accumulates per-stage wall-clock timings for an experiment run.
-
-    >>> timer = StageTimer()
-    >>> with timer.stage("sweep"):
-    ...     pass
-    >>> sorted(timer.timings) == ["sweep"]
-    True
-    """
-
-    def __init__(self) -> None:
-        self.timings: dict[str, float] = {}
-
-    @contextmanager
-    def stage(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.timings[name] = self.timings.get(name, 0.0) + elapsed

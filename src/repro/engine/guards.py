@@ -33,6 +33,8 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
 __all__ = [
     "GUARD_MODES",
     "GuardViolation",
@@ -99,7 +101,8 @@ def _describe(site: str, arr: np.ndarray, bad: np.ndarray, problem: str, info) -
     )
 
 
-def _violate(message: str) -> None:
+def _violate(site: str, message: str) -> None:
+    _metrics.add("guards.violations." + site)
     if _MODE == "strict":
         raise GuardViolation(message)
     warnings.warn(message, GuardWarning, stacklevel=3)
@@ -116,7 +119,7 @@ def check_finite(arr: np.ndarray, site: str, allow_inf: bool = False, **info) ->
     a = np.asarray(arr)
     bad = np.isnan(a) if allow_inf else ~np.isfinite(a)
     if bad.any():
-        _violate(_describe(site, a, bad, "NaN" if allow_inf else "non-finite", info))
+        _violate(site, _describe(site, a, bad, "NaN" if allow_inf else "non-finite", info))
     return arr
 
 
@@ -134,5 +137,5 @@ def check_probabilities(arr: np.ndarray, site: str, tol: float = 1e-9, **info) -
     if bad.any():
         nonfinite = int((~finite).sum())
         problem = "non-finite" if nonfinite else "out-of-[0,1] probability"
-        _violate(_describe(site, a, bad, problem, info))
+        _violate(site, _describe(site, a, bad, problem, info))
     return arr

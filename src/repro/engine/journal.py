@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.obs import metrics as _metrics
 from repro.utils.atomic import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -153,6 +154,7 @@ class RunJournal:
         stage_dir = self._stage_dir(stage)
         stage_dir.mkdir(parents=True, exist_ok=True)
         atomic_write_text(stage_dir / f"task-{index:06d}.json", json.dumps(doc))
+        _metrics.add("journal.records")
 
     def load_stage(self, stage: str, expected_count: int) -> "dict[int, Any]":
         """Valid recorded results of a stage, keyed by task index.
@@ -184,6 +186,7 @@ class RunJournal:
                     raise ValueError("checksum mismatch")
                 value = pickle.loads(payload)
             except (OSError, ValueError, KeyError, pickle.UnpicklingError) as exc:
+                _metrics.add("journal.corrupt_records")
                 warnings.warn(
                     f"journal record {path} is corrupt ({exc}); the task "
                     "will re-run",

@@ -30,10 +30,10 @@ from __future__ import annotations
 import inspect
 from contextlib import ExitStack
 from dataclasses import dataclass, replace
-from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.faults import ExecutionPolicy, RunReport, execution_scope
+from repro.obs import experiment_scope
 
 if TYPE_CHECKING:  # circular at runtime: driver modules import this one
     from repro.experiments.runner import ExperimentResult
@@ -125,8 +125,11 @@ class ExperimentSpec:
                 )
             kwargs["channel"] = channel
         report: "RunReport | None" = None
-        start = perf_counter()
         with ExitStack() as stack:
+            # The experiment span both namespaces the run's telemetry
+            # (metrics prefix, trace subtree) and is the sole timing
+            # source for ``timings["total"]``.
+            sp = stack.enter_context(experiment_scope(self.experiment_id))
             if policy is not None:
                 report = RunReport()
                 run_policy = replace(policy, report=report)
@@ -137,7 +140,7 @@ class ExperimentSpec:
                     )
             result = self.runner(**kwargs)
         timings = dict(result.timings)
-        timings["total"] = perf_counter() - start
+        timings["total"] = sp.duration
         updates: "dict[str, Any]" = {"timings": timings}
         if report is not None and (report.failures or report.events):
             updates["faults"] = report.to_dict()

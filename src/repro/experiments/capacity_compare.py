@@ -19,17 +19,18 @@ import numpy as np
 from repro.capacity.greedy import greedy_capacity
 from repro.capacity.optimum import local_search_capacity
 from repro.capacity.power_control import power_control_capacity
+from repro.channel.rayleigh import RayleighChannel
 from repro.channel.spec import make_channel
 from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
 from repro.engine.executor import (
-    StageTimer,
     Task,
     get_worker_context,
     make_tasks,
     map_tasks,
 )
+from repro.obs import StageTimer
 from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
@@ -59,19 +60,24 @@ def _evaluate(
     beta: float,
     channel: "str | None" = None,
     rng=None,
+    fad_channel: "RayleighChannel | None" = None,
 ) -> tuple[int, float]:
     """(non-fading successes, expected faded successes) of a set.
 
     The faded value is the exact Theorem-1 expectation by default; with a
     ``channel`` spec it is that channel's (exact or Monte-Carlo)
-    ``expected_successes``.
+    ``expected_successes``.  ``fad_channel`` is an optional pre-built
+    Rayleigh channel on ``inst`` whose cached Theorem-1 tensors are
+    reused across evaluations (identical numbers either way).
     """
     if subset.size == 0:
         return 0, 0.0
     mask = np.zeros(inst.n, dtype=bool)
     mask[subset] = True
     nf = int(inst.successes(mask, beta).sum())
-    if channel is None:
+    if fad_channel is not None:
+        fad = fad_channel.expected_successes(mask)
+    elif channel is None:
         fad = rayleigh_expected_binary(inst, subset, beta)
     else:
         fad = make_channel(channel, inst, beta).expected_successes(mask, rng)
@@ -91,9 +97,17 @@ def _capacity_task(task: Task) -> "dict[str, tuple[int, float]]":
     net = figure1_network(cfg, net_idx)
     uniform, sqrt_inst = instance_pair(net, cfg.params, with_sqrt=True)
 
+    fad_channels: "dict[int, RayleighChannel]" = {}
+
     def ev(inst, subset):
-        rng = None if channel is None else factory.stream("cc-channel", net_idx)
-        return _evaluate(inst, subset, beta, channel, rng)
+        if channel is not None:
+            rng = factory.stream("cc-channel", net_idx)
+            return _evaluate(inst, subset, beta, channel, rng)
+        # One RayleighChannel per instance: evaluations that share an
+        # instance (greedy and the OPT estimate on uniform powers) hit
+        # the same cached Theorem-1 tensors.
+        fad = fad_channels.setdefault(id(inst), RayleighChannel(inst, beta))
+        return _evaluate(inst, subset, beta, fad_channel=fad)
 
     out: dict[str, tuple[int, float]] = {}
     out["greedy uniform"] = ev(uniform, greedy_capacity(uniform, beta))

@@ -20,12 +20,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.executor import (
-    StageTimer,
     Task,
     get_worker_context,
     make_tasks,
     map_tasks,
 )
+from repro.obs import StageTimer
 from repro.engine.faults import usable_results
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import Figure1Config, PaperParameters

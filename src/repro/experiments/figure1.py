@@ -18,18 +18,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.executor import (
-    StageTimer,
     Task,
     get_worker_context,
     make_tasks,
     map_tasks,
 )
+from repro.obs import StageTimer
 from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.workloads import figure1_network, instance_pair
-from repro.fading.success import success_probability_conditional_batch
+from repro.fading.success import Theorem1Kernel
 from repro.utils.rng import RngFactory
 from repro.utils.tables import format_series
 
@@ -56,11 +56,15 @@ def _network_curves(
     n = instance.n
     nonfading = np.empty(probabilities.size, dtype=np.float64)
     rayleigh = np.empty(probabilities.size, dtype=np.float64)
+    # One kernel for the whole q sweep: instance and beta are fixed, so
+    # the O(n^2) log-factor tensor is built once (bit-compatible with a
+    # per-call success_probability_conditional_batch).
+    kernel = Theorem1Kernel(instance, beta)
     for k, q in enumerate(probabilities):
         patterns = rng.random((num_transmit_seeds, n)) < q
         sinr = instance.sinr_batch(patterns)
         nonfading[k] = float((sinr >= beta).sum(axis=1).mean())
-        cond = success_probability_conditional_batch(instance, patterns, beta)
+        cond = kernel.conditional_batch(patterns)
         cond = np.where(patterns, cond, 0.0)
         if fading_mode == "exact":
             # Exact expectation over fading given each pattern.

@@ -13,12 +13,12 @@ import numpy as np
 
 from repro.capacity.greedy import greedy_capacity
 from repro.engine.executor import (
-    StageTimer,
     Task,
     get_worker_context,
     make_tasks,
     map_tasks,
 )
+from repro.obs import StageTimer
 from repro.engine.faults import usable_results
 from repro.engine.registry import register, scaled_config
 from repro.experiments.config import Figure1Config

@@ -34,11 +34,12 @@ class ExperimentResult:
         Named boolean shape checks ("who wins", monotonicity, bound
         satisfaction, ...) — the machine-readable reproduction verdicts.
     timings:
-        Per-stage wall-clock seconds, populated by the engine (the
-        executor's :class:`~repro.engine.executor.StageTimer` plus a
-        ``"total"`` entry added by the registry).  Deliberately excluded
-        from :meth:`to_json` so result files are byte-identical across
-        re-runs and worker counts.
+        Per-stage wall-clock seconds — renderings of the telemetry
+        layer's span data (:class:`~repro.obs.trace.StageTimer` per
+        driver stage, plus a ``"total"`` entry the registry reads off
+        the experiment span).  Deliberately excluded from
+        :meth:`to_json` so result files are byte-identical across
+        re-runs, worker counts, and telemetry settings.
     faults:
         Failure records and degradation events collected by the engine's
         :class:`~repro.engine.faults.RunReport` when the run was executed

@@ -23,12 +23,12 @@ from repro.core.network import Network
 from repro.core.power import UniformPower
 from repro.core.sinr import SINRInstance
 from repro.engine.executor import (
-    StageTimer,
     Task,
     get_worker_context,
     make_tasks,
     map_tasks,
 )
+from repro.obs import StageTimer
 from repro.engine.faults import is_failure
 from repro.engine.registry import register, seed_kwargs
 from repro.experiments.config import PaperParameters

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.sinr import SINRInstance
 from repro.fading.rayleigh import _BLOCK_ELEMENTS, simulate_sinr_patterns
 from repro.fading.success import success_probability
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector
 
@@ -67,6 +68,7 @@ def estimate_success_probability(
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
+    _metrics.add("mc.samples", num_samples)
     gen = as_generator(rng)
     qv = check_probability_vector(q, instance.n)
     counts = np.zeros(instance.n, dtype=np.int64)
@@ -114,6 +116,7 @@ def estimate_expected_utility(
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
+    _metrics.add("mc.samples", num_samples)
     gen = as_generator(rng)
     qv = check_probability_vector(q, instance.n)
     per_link = np.zeros(instance.n, dtype=np.float64)

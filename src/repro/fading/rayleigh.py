@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.sinr import SINRInstance
 from repro.fading.success import success_probability_conditional
+from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -170,6 +171,7 @@ def simulate_sinr_patterns(
     out = np.zeros((num_slots, n), dtype=np.float64)
     if num_slots == 0:
         return out
+    _metrics.add("mc.draw_slots", num_slots)
     gen = as_generator(rng)
     gains = instance.gains
     own = instance.signal  # S̄(i,i), shape (n,)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.sinr import SINRInstance
 from repro.engine import chaos, guards
+from repro.obs import metrics as _metrics
 from repro.utils.validation import check_probability_vector
 
 __all__ = [
@@ -103,22 +104,28 @@ class Theorem1Kernel:
     def weights(self) -> np.ndarray:
         """``w[j, i] = t / (t + S̄(i,i))`` with ``t = β_i S̄(j,i)``; diag 0."""
         if self._weights is None:
+            _metrics.add("theorem1.cache_misses")
             t = self.beta[None, :] * self.instance.gains
             w = t / (t + self._signal[None, :])
             np.fill_diagonal(w, 0.0)
             w.setflags(write=False)
             self._weights = w
+        else:
+            _metrics.add("theorem1.cache_hits")
         return self._weights
 
     @property
     def log_factors(self) -> np.ndarray:
         """``log(S̄(i,i)) − log(β_i S̄(j,i) + S̄(i,i))`` per (j, i); diag 0."""
         if self._log_factors is None:
+            _metrics.add("theorem1.cache_misses")
             t = self.beta[None, :] * self.instance.gains
             lf = np.log(self._signal[None, :]) - np.log(t + self._signal[None, :])
             np.fill_diagonal(lf, 0.0)
             lf.setflags(write=False)
             self._log_factors = lf
+        else:
+            _metrics.add("theorem1.cache_hits")
         return self._log_factors
 
     def _guard(self, out: np.ndarray, site: str) -> np.ndarray:
@@ -142,6 +149,7 @@ class Theorem1Kernel:
     def conditional(self, q: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for fractional ``q`` (the
         product form); ``q`` must be a validated ``(n,)`` float vector."""
+        _metrics.add("theorem1.conditional_calls")
         factors = 1.0 - q[:, None] * self.weights
         out = self._noise_term * np.prod(factors, axis=0)
         return self._guard(out, "theorem1.conditional")
@@ -149,6 +157,7 @@ class Theorem1Kernel:
     def conditional_binary(self, mask: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for one 0/1 pattern — a single
         ``(n,) @ (n, n)`` product against the cached log factors."""
+        _metrics.add("theorem1.binary_calls")
         log_p = mask.astype(np.float64) @ self.log_factors - self._noise_exponent
         return self._guard(np.exp(log_p), "theorem1.conditional_binary")
 
@@ -158,6 +167,8 @@ class Theorem1Kernel:
         pats = np.asarray(patterns)
         if pats.ndim != 2 or pats.shape[1] != self.n:
             raise ValueError(f"patterns must be (B, {self.n}), got {pats.shape}")
+        _metrics.add("theorem1.batch_calls")
+        _metrics.add("theorem1.batch_patterns", pats.shape[0])
         log_p = pats.astype(np.float64) @ self.log_factors - self._noise_exponent
         return self._guard(np.exp(log_p), "theorem1.conditional_batch")
 

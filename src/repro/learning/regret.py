@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.sinr import SINRInstance
 from repro.engine import guards
 from repro.fading.success import success_probability_conditional_batch
+from repro.obs import metrics as _metrics
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -74,6 +75,7 @@ def expected_send_rewards(
     actions = np.asarray(actions, dtype=bool)
     if actions.ndim != 2 or actions.shape[1] != instance.n:
         raise ValueError(f"actions must be (T, {instance.n})")
+    _metrics.add("regret.reward_rounds", actions.shape[0])
     probs = success_probability_conditional_batch(instance, actions, beta)
     rewards = 2.0 * probs - 1.0
     return guards.check_finite(
@@ -125,6 +127,7 @@ def lemma5_quantities(
     """
     actions = np.asarray(actions, dtype=bool)
     T = actions.shape[0]
+    _metrics.add("regret.lemma5_rounds", T)
     f = actions.mean(axis=0)
     probs = success_probability_conditional_batch(instance, actions, beta)
     guards.check_probabilities(probs, "regret.lemma5_quantities", beta=float(beta))

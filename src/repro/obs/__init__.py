@@ -1,0 +1,125 @@
+"""Telemetry layer: tracing spans, metrics, and profiling hooks.
+
+Zero-dependency observability for the reproduction engine, in four
+pieces:
+
+* :mod:`repro.obs.trace` — hierarchical spans (run → experiment →
+  stage → task) emitted as JSONL; :class:`~repro.obs.trace.StageTimer`
+  and every ``timings`` entry are renderings of span data.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry the
+  hot kernels report into; worker-side increments are buffered per task
+  and shipped back piggybacked on task results, merged deterministically
+  regardless of ``--jobs``.
+* :mod:`repro.obs.profile` — optional per-stage cProfile dumps.
+* :mod:`repro.obs.stats` — the ``repro stats <run-dir>`` renderer.
+
+Everything is wired up by :func:`obs_scope`, which installs a
+:class:`Telemetry` bundle as ambient state for the duration of a run —
+the same pattern as :func:`~repro.engine.faults.execution_scope`, and
+composable with it (the CLI nests one inside the other).
+
+The layer's hard invariant: telemetry on or off, any sink, any
+``--jobs`` value, the result bytes of every experiment are identical.
+Spans and counters consume no randomness, never mutate kernel outputs,
+and are excluded from result JSON; CI's ``obs-smoke`` job ``cmp``-s the
+bytes to keep it that way.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import StageTimer, TraceWriter, span
+
+__all__ = [
+    "MetricsRegistry",
+    "StageTimer",
+    "Telemetry",
+    "TraceWriter",
+    "experiment_scope",
+    "obs_scope",
+    "span",
+]
+
+#: File names a telemetry-enabled run writes into its run directory.
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.json"
+
+
+@dataclass
+class Telemetry:
+    """The sinks of one observed run (any subset may be ``None``)."""
+
+    tracer: "TraceWriter | None" = None
+    metrics: "MetricsRegistry | None" = None
+    profile_dir: "Path | None" = None
+
+    @classmethod
+    def for_run_dir(
+        cls, out_dir, *, trace: bool, metrics: bool, profile: bool
+    ) -> "Telemetry | None":
+        """The bundle a ``repro run --trace/--metrics/--profile``
+        invocation asks for, with all sinks inside ``out_dir``."""
+        if not (trace or metrics or profile):
+            return None
+        out = Path(out_dir)
+        return cls(
+            tracer=TraceWriter(out / TRACE_FILENAME) if trace else None,
+            metrics=MetricsRegistry() if metrics else None,
+            profile_dir=out if profile else None,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.profile_dir is not None
+        )
+
+
+@contextmanager
+def obs_scope(telemetry: "Telemetry | None"):
+    """Install ``telemetry``'s sinks as the ambient observability state.
+
+    Composes with :func:`~repro.engine.faults.execution_scope`: the CLI
+    enters both, drivers and kernels consult whichever ambient state
+    they need.  On exit the previous sinks are restored and the trace
+    writer is closed (metrics stay on the bundle for the caller to
+    serialise).
+    """
+    if telemetry is None:
+        yield None
+        return
+    prev_tracer = _trace.install_tracer(telemetry.tracer)
+    prev_metrics = _metrics.install(telemetry.metrics)
+    _profile.install_profile_dir(telemetry.profile_dir)
+    try:
+        yield telemetry
+    finally:
+        _trace.install_tracer(prev_tracer)
+        _metrics.install(prev_metrics)
+        _profile.install_profile_dir(None)
+        if telemetry.tracer is not None:
+            telemetry.tracer.close()
+
+
+@contextmanager
+def experiment_scope(experiment_id: str):
+    """One experiment's observability frame: an ``experiment`` span plus
+    a metrics namespace, both keyed by the experiment id.
+
+    Entered by :meth:`~repro.engine.registry.ExperimentSpec.run` around
+    every driver call; yields the span so the registry can reuse its
+    measured duration as ``timings["total"]`` (span data is the only
+    timing source).
+    """
+    with span(experiment_id, kind="experiment") as sp:
+        with _metrics.prefix_scope(experiment_id):
+            yield sp

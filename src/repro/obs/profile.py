@@ -1,0 +1,71 @@
+"""Per-stage cProfile hooks (``repro run --profile``).
+
+When a profile directory is installed, every driver stage (each
+:meth:`~repro.obs.trace.StageTimer.stage` block, which runs in the main
+process) is wrapped in a :class:`cProfile.Profile` and dumped to
+``profile-<experiment>-<stage>.pstats`` in that directory — loadable
+with :mod:`pstats` or any flamegraph tool that reads pstats files.
+
+With ``--jobs >= 2`` the dump shows the main process's share of the
+stage (task dispatch, unpickling, aggregation); the worker-side cost is
+what the metrics counters and task spans account for.  cProfile cannot
+nest, so an inner stage opened while an outer one is being profiled is
+timed (its span is unaffected) but not separately profiled.
+
+Profiling observes the interpreter only — it draws no randomness and
+never touches results, so ``--profile`` preserves result bytes like the
+rest of the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import re
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["install_profile_dir", "maybe_profile", "profile_dumps"]
+
+_PROFILE_DIR: "Path | None" = None
+_ACTIVE = False
+_DUMPED: "list[str]" = []
+
+_UNSAFE = re.compile(r"[^-._A-Za-z0-9]")
+
+
+def install_profile_dir(path) -> None:
+    """Enable per-stage profiling, dumping into ``path`` (``None`` off)."""
+    global _PROFILE_DIR, _ACTIVE
+    _PROFILE_DIR = None if path is None else Path(path)
+    _ACTIVE = False
+    _DUMPED.clear()
+
+
+def profile_dumps() -> "list[str]":
+    """File names dumped so far (for ``summary.json``'s telemetry entry)."""
+    return list(_DUMPED)
+
+
+@contextmanager
+def maybe_profile(stage: str):
+    """Profile the block when ``--profile`` is active and no outer stage
+    is already being profiled; otherwise a no-op."""
+    global _ACTIVE
+    directory = _PROFILE_DIR
+    if directory is None or _ACTIVE:
+        yield
+        return
+    from repro.obs.trace import current_experiment
+
+    scope = current_experiment() or "run"
+    name = _UNSAFE.sub("_", f"profile-{scope}-{stage}") + ".pstats"
+    profiler = cProfile.Profile()
+    _ACTIVE = True
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        _ACTIVE = False
+        profiler.dump_stats(directory / name)
+        _DUMPED.append(name)

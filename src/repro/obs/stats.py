@@ -1,0 +1,176 @@
+"""Render a past run's telemetry — ``repro stats <run-dir>``.
+
+Reads whatever a ``repro run --out DIR`` invocation left behind —
+``summary.json`` (checks, timings, fault records), ``metrics.json``
+(aggregated counters/gauges/histograms), ``trace.jsonl`` (spans), and
+any ``profile-*.pstats`` dumps — and renders one human-readable report.
+Pretty-printing past faults lives here too: ``summary.json`` has carried
+per-experiment fault metadata since the fault-tolerance work, and this
+command is its reader.
+
+Everything is file-based and read-only: ``repro stats`` re-runs nothing
+and works on any machine the run directory was copied to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunDirError", "render_run_dir"]
+
+
+class RunDirError(RuntimeError):
+    """The directory holds nothing ``repro stats`` can render."""
+
+
+def _load_json(path: Path) -> "dict[str, Any] | None":
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RunDirError(f"cannot read {path}: {exc}") from exc
+
+
+def _load_spans(path: Path) -> "list[dict[str, Any]]":
+    if not path.is_file():
+        return []
+    spans = []
+    try:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                spans.append(json.loads(line))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RunDirError(f"cannot read {path}: {exc}") from exc
+    return spans
+
+
+def _span_lines(spans: "list[dict[str, Any]]", experiment: str) -> "list[str]":
+    """Stage and task lines of one experiment's span subtree."""
+    exp = [s for s in spans if s.get("kind") == "experiment" and s.get("name") == experiment]
+    if not exp:
+        return []
+    exp_ids = {s["id"] for s in exp}
+    lines = [f"  spans ({sum(s['dur'] for s in exp):.3f}s total):"]
+    for stage in (s for s in spans if s.get("parent") in exp_ids):
+        if stage.get("kind") == "task":
+            continue
+        tasks = [
+            t for t in spans if t.get("parent") == stage["id"] and t.get("kind") == "task"
+        ]
+        lines.append(f"    {stage['name']}: {stage['dur']:.3f}s")
+        if tasks:
+            total = sum(t["dur"] for t in tasks)
+            lines.append(
+                f"      tasks: {len(tasks)} "
+                f"(sum {total:.3f}s, mean {total / len(tasks):.4f}s)"
+            )
+    return lines
+
+
+def _fault_lines(entry: "dict[str, Any]") -> "list[str]":
+    faults = entry.get("faults") or {}
+    if not faults:
+        return []
+    lines = ["  faults:"]
+    for event in faults.get("events", []):
+        lines.append(f"    [event] {event.get('kind')}: {event.get('detail')}")
+    for failure in faults.get("failures", []):
+        lines.append(
+            f"    [lost]  task {failure.get('index')} (stage "
+            f"{failure.get('stage')!r}) {failure.get('kind')} after "
+            f"{failure.get('attempts')} attempt(s): {failure.get('message')}"
+        )
+    if entry.get("incomplete"):
+        lines.append("    result is INCOMPLETE — aggregates exclude lost tasks")
+    return lines
+
+
+def _counter_lines(
+    grouped: "dict[str, dict[str, Any]]", scope: str, indent: str = "  "
+) -> "list[str]":
+    counters = grouped.get(scope)
+    if not counters:
+        return []
+    lines = [f"{indent}counters:"]
+    width = max(len(name) for name in counters)
+    for name, value in counters.items():
+        lines.append(f"{indent}  {name.ljust(width)}  {value}")
+    return lines
+
+
+def render_run_dir(run_dir) -> str:
+    """One readable report of everything the run directory recorded."""
+    base = Path(run_dir)
+    summary = _load_json(base / "summary.json")
+    metrics = _load_json(base / "metrics.json")
+    spans = _load_spans(base / "trace.jsonl")
+    profiles = sorted(p.name for p in base.glob("profile-*.pstats"))
+    if summary is None and metrics is None and not spans:
+        raise RunDirError(
+            f"{base} holds no summary.json, metrics.json, or trace.jsonl; "
+            "create one with `repro run ... --out DIR [--trace --metrics]`"
+        )
+
+    grouped = (metrics or {}).get("counters", {})
+    lines = [f"run directory: {base}"]
+    if summary is not None:
+        flags = ", ".join(
+            f"{key}={summary.get(key)!r}"
+            for key in ("scale", "seed", "jobs", "channel", "run_id")
+            if summary.get(key) is not None
+        )
+        lines.append(f"flags: {flags or '(defaults)'}")
+        status = "PASS" if summary.get("passed") else "FAIL"
+        if summary.get("incomplete"):
+            status += " (INCOMPLETE)"
+        lines.append(f"status: {status}")
+
+    for entry in (summary or {}).get("experiments", []):
+        exp_id = str(entry.get("experiment_id"))
+        lines.append("")
+        verdict = "PASS" if entry.get("passed") else "FAIL"
+        lines.append(f"[{exp_id}] {entry.get('title')}  [{verdict}]")
+        timings = entry.get("timings") or {}
+        if timings:
+            rendered = ", ".join(f"{k}={v:.3f}s" for k, v in timings.items())
+            lines.append(f"  timings: {rendered}")
+        lines.extend(_fault_lines(entry))
+        lines.extend(_span_lines(spans, exp_id))
+        lines.extend(_counter_lines(grouped, exp_id))
+
+    if summary is None and metrics is not None:
+        # Metrics without a summary: render every scope we have.
+        for scope in grouped:
+            if scope == "run":
+                continue
+            lines.append("")
+            lines.append(f"[{scope}]")
+            lines.extend(_counter_lines(grouped, scope))
+
+    run_counters = _counter_lines(grouped, "run")
+    gauges = (metrics or {}).get("gauges", {})
+    hists = (metrics or {}).get("histograms", {})
+    if run_counters or spans or profiles or gauges or hists:
+        lines.append("")
+        lines.append("run totals:")
+        lines.extend(_counter_lines(grouped, "run", indent="  "))
+        for scope, named in gauges.items():
+            for name, value in named.items():
+                lines.append(f"  gauge {scope}/{name} = {value}")
+        for scope, named in hists.items():
+            for name, hist in named.items():
+                count = hist.get("count", 0)
+                total = hist.get("sum", 0.0)
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"  histogram {scope}/{name}: count={count} "
+                    f"sum={total:.4f} mean={mean:.5f}"
+                )
+        if spans:
+            lines.append(f"  trace: {len(spans)} span(s) in trace.jsonl")
+        for name in profiles:
+            lines.append(f"  profile: {name}")
+    return "\n".join(lines)

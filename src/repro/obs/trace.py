@@ -1,0 +1,198 @@
+"""Hierarchical tracing spans — run → experiment → stage → task.
+
+A span is one timed region of a run.  The ambient stack gives spans
+their parents: the CLI opens a ``run`` span, the registry opens one
+``experiment`` span per driver call, drivers open ``stage`` spans (via
+:class:`StageTimer`), and the executor attaches one ``task`` span per
+completed task (timed in whatever process executed it, shipped back as
+a duration on the result envelope).
+
+Spans always *measure* — entering one costs two ``perf_counter`` calls
+even with tracing off, which is how :class:`StageTimer` (and hence
+``--timings`` and ``timings["total"]``) is a rendering of span data
+rather than a second timing code path.  Only when a :class:`TraceWriter`
+is installed are completed spans also *emitted*, as one JSON line each::
+
+    {"name": "E1", "kind": "experiment", "id": 2, "parent": 1,
+     "t0": 0.0012, "dur": 3.41}
+
+``t0`` is seconds since the writer opened (a monotonic offset, not a
+wall-clock date), so traces are diffable across machines.  Tracing
+writes no randomness and never touches task results; the byte-identity
+invariant of ``--jobs`` extends to ``--trace`` on/off by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+from typing import Any, TextIO
+
+__all__ = [
+    "Span",
+    "StageTimer",
+    "TraceWriter",
+    "current_experiment",
+    "install_tracer",
+    "record_complete",
+    "span",
+]
+
+SPAN_KINDS = ("run", "experiment", "stage", "task")
+
+
+class Span:
+    """One timed region; ``duration`` is valid after the block exits."""
+
+    __slots__ = ("name", "kind", "span_id", "parent_id", "start", "duration", "meta")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        span_id: int,
+        parent_id: "int | None",
+        meta: "dict[str, Any] | None" = None,
+    ):
+        if kind not in SPAN_KINDS:
+            raise ValueError(f"span kind must be one of {SPAN_KINDS}, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = perf_counter()
+        self.duration = 0.0
+        self.meta = meta or {}
+
+
+class TraceWriter:
+    """Streams completed spans to a JSONL file as they close.
+
+    Each line is self-contained, so a killed run keeps every span that
+    finished before the crash (the same append-only philosophy as the
+    checkpoint journal).
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh: "TextIO | None" = open(self.path, "w", encoding="utf-8")
+        self.epoch = perf_counter()
+        self.spans_written = 0
+
+    def emit(self, sp: Span) -> None:
+        if self._fh is None:
+            return
+        doc: "dict[str, Any]" = {
+            "name": sp.name,
+            "kind": sp.kind,
+            "id": sp.span_id,
+            "parent": sp.parent_id,
+            "t0": round(sp.start - self.epoch, 6),
+            "dur": round(sp.duration, 6),
+        }
+        if sp.meta:
+            doc["meta"] = sp.meta
+        self._fh.write(json.dumps(doc) + "\n")
+        self._fh.flush()
+        self.spans_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+_TRACER: "TraceWriter | None" = None
+_STACK: "list[Span]" = []
+_NEXT_ID = 1
+
+
+def install_tracer(tracer: "TraceWriter | None") -> "TraceWriter | None":
+    """Install the span sink; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def current_tracer() -> "TraceWriter | None":
+    return _TRACER
+
+
+def current_experiment() -> "str | None":
+    """Name of the innermost open ``experiment`` span, if any — the
+    namespace profile dumps and task spans report under."""
+    for sp in reversed(_STACK):
+        if sp.kind == "experiment":
+            return sp.name
+    return None
+
+
+def _new_span(name: str, kind: str, meta: "dict[str, Any] | None") -> Span:
+    global _NEXT_ID
+    parent = _STACK[-1].span_id if _STACK else None
+    sp = Span(name, kind, _NEXT_ID, parent, meta)
+    _NEXT_ID += 1
+    return sp
+
+
+@contextmanager
+def span(name: str, kind: str = "stage", **meta: Any):
+    """Open a span for the block; always measures, emits when traced.
+
+    Yields the :class:`Span`; read ``span.duration`` after the block for
+    the measured wall-clock seconds (this is the single timing source
+    behind :class:`StageTimer` and the registry's ``timings["total"]``).
+    """
+    sp = _new_span(name, kind, meta or None)
+    _STACK.append(sp)
+    try:
+        yield sp
+    finally:
+        sp.duration = perf_counter() - sp.start
+        _STACK.pop()
+        tracer = _TRACER
+        if tracer is not None:
+            tracer.emit(sp)
+
+
+def record_complete(name: str, kind: str, duration: float, **meta: Any) -> None:
+    """Emit an already-measured span (e.g. a task timed in a worker
+    process) parented under the currently open span.  No-op untraced."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    sp = _new_span(name, kind, meta or None)
+    sp.start = perf_counter() - duration
+    sp.duration = duration
+    tracer.emit(sp)
+
+
+class StageTimer:
+    """Accumulates per-stage wall-clock timings for an experiment run.
+
+    Since the telemetry layer, each stage *is* a span: the timer opens a
+    ``stage`` span (emitted to the trace when one is being written, and
+    wrapped in a cProfile dump when ``--profile`` is active) and records
+    the span's measured duration — ``--timings`` renders span data, it
+    does not time anything itself.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("sweep"):
+    ...     pass
+    >>> sorted(timer.timings) == ["sweep"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self.timings: "dict[str, float]" = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        from repro.obs.profile import maybe_profile
+
+        with span(name, kind="stage") as sp, maybe_profile(name):
+            yield
+        self.timings[name] = self.timings.get(name, 0.0) + sp.duration

@@ -1,0 +1,66 @@
+"""CLI-level telemetry tests: flags, byte-identity, and ``repro stats``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTelemetryFlags:
+    def test_telemetry_flags_require_out(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E11", "--trace"])
+
+    def test_run_with_telemetry_is_byte_identical(self, tmp_path, capsys):
+        plain, observed = tmp_path / "plain", tmp_path / "observed"
+        assert main(["run", "E11", "--out", str(plain)]) == 0
+        assert main(
+            ["run", "E11", "--out", str(observed), "--trace", "--metrics"]
+        ) == 0
+        capsys.readouterr()
+        # The invariant: telemetry must never change result bytes.
+        assert (observed / "E11.json").read_bytes() == (plain / "E11.json").read_bytes()
+        assert (observed / "E11.txt").read_bytes() == (plain / "E11.txt").read_bytes()
+        # ... while still recording spans and counters on the side.
+        assert (observed / "trace.jsonl").is_file()
+        metrics = json.loads((observed / "metrics.json").read_text())
+        assert metrics["counters"]
+        summary = json.loads((observed / "summary.json").read_text())
+        assert summary["telemetry"]["trace"] == "trace.jsonl"
+        assert summary["telemetry"]["metrics"] == "metrics.json"
+        assert json.loads((plain / "summary.json").read_text()).get("telemetry") is None
+
+    def test_trace_contains_all_span_kinds(self, tmp_path, capsys):
+        # E7 drives the executor through a StageTimer stage, so its trace
+        # exercises the full hierarchy: run → experiment → stage → task.
+        out = tmp_path / "run"
+        assert main(["run", "E7", "--out", str(out), "--trace"]) == 0
+        capsys.readouterr()
+        spans = [
+            json.loads(line)
+            for line in (out / "trace.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        kinds = {s["kind"] for s in spans}
+        assert {"run", "experiment", "stage", "task"} <= kinds
+        assert any(s["kind"] == "experiment" and s["name"] == "E7" for s in spans)
+
+
+class TestStatsCommand:
+    def test_stats_renders_observed_run(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(
+            ["run", "E11", "--out", str(out), "--trace", "--metrics"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "status: PASS" in report
+        assert "[E11]" in report
+        assert "counters:" in report
+        assert "trace:" in report
+
+    def test_stats_on_empty_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path)])

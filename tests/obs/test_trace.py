@@ -1,0 +1,100 @@
+"""Tests for hierarchical spans, the JSONL trace writer, and StageTimer."""
+
+import json
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span, StageTimer, TraceWriter, record_complete, span
+
+
+def _read_spans(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestSpan:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="span kind"):
+            Span("x", "banana", 1, None)
+
+    def test_span_measures_without_tracer(self):
+        with span("work", kind="stage") as sp:
+            pass
+        assert sp.duration >= 0.0
+        assert sp.kind == "stage"
+
+    def test_nesting_assigns_parent_ids(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        obs_trace.install_tracer(writer)
+        with span("outer", kind="run") as outer:
+            with span("mid", kind="experiment") as mid:
+                with span("leaf", kind="stage") as leaf:
+                    pass
+        writer.close()
+        assert mid.parent_id == outer.span_id
+        assert leaf.parent_id == mid.span_id
+        docs = {d["name"]: d for d in _read_spans(tmp_path / "trace.jsonl")}
+        # Inner spans close (and emit) first; parents reference outer ids.
+        assert docs["leaf"]["parent"] == docs["mid"]["id"]
+        assert docs["mid"]["parent"] == docs["outer"]["id"]
+        assert docs["outer"]["parent"] is None
+
+    def test_emitted_doc_shape(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        obs_trace.install_tracer(writer)
+        with span("E1", kind="experiment", scale="quick"):
+            pass
+        writer.close()
+        (doc,) = _read_spans(tmp_path / "trace.jsonl")
+        assert doc["name"] == "E1" and doc["kind"] == "experiment"
+        assert doc["t0"] >= 0.0 and doc["dur"] >= 0.0
+        assert doc["meta"] == {"scale": "quick"}
+        assert writer.spans_written == 1
+
+    def test_current_experiment_tracks_innermost(self):
+        assert obs_trace.current_experiment() is None
+        with span("E5", kind="experiment"):
+            with span("sweep", kind="stage"):
+                assert obs_trace.current_experiment() == "E5"
+        assert obs_trace.current_experiment() is None
+
+    def test_record_complete_emits_pre_measured_task(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        obs_trace.install_tracer(writer)
+        with span("sweep", kind="stage") as parent:
+            record_complete("task-3", "task", 0.25, index=3)
+        writer.close()
+        docs = {d["name"]: d for d in _read_spans(tmp_path / "trace.jsonl")}
+        task = docs["task-3"]
+        assert task["kind"] == "task"
+        assert task["dur"] == 0.25
+        assert task["parent"] == parent.span_id
+        assert task["meta"] == {"index": 3}
+
+    def test_record_complete_noop_untraced(self):
+        record_complete("task-0", "task", 0.1)  # must not raise
+
+
+class TestStageTimer:
+    def test_timings_accumulate_per_stage(self):
+        timer = StageTimer()
+        with timer.stage("sweep"):
+            pass
+        with timer.stage("sweep"):
+            pass
+        with timer.stage("aggregate"):
+            pass
+        assert set(timer.timings) == {"sweep", "aggregate"}
+        assert timer.timings["sweep"] >= 0.0
+
+    def test_stages_emit_spans_when_traced(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        obs_trace.install_tracer(writer)
+        timer = StageTimer()
+        with timer.stage("sweep"):
+            pass
+        writer.close()
+        (doc,) = _read_spans(tmp_path / "trace.jsonl")
+        assert doc["name"] == "sweep" and doc["kind"] == "stage"
+        # The recorded timing is the span's measured duration.
+        assert doc["dur"] == round(timer.timings["sweep"], 6)
