@@ -19,6 +19,18 @@ column stays meaningful after the original code is gone.  ``--check``
 compares only the fast-path ("after") timings — reference timings drift
 with the machine, but a fast path that lands within the regression
 budget of its own recorded baseline is healthy regardless.
+
+The array-backend **n-scaling sweep** times ``counterfactual_batch``
+per backend mode (dense, top-k sparse, float32, numba when importable)
+from ``n = 10²`` to ``n = 10⁴`` and records throughput, the sparse
+speedup over dense, and the measured max deviation per point in
+``benchmarks/BENCH_scaling.json``.  ``--check`` also enforces the
+sparse-speedup floor (top-k ≥ 3x dense at ``n ≥ 3000``).
+
+``--filter SUBSTR`` restricts both the micro-kernels and the scaling
+entries to names containing the substring (e.g. ``--filter scaling``);
+partial runs *merge* into the recorded baselines instead of clobbering
+the entries they did not measure.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backend import BackendConfig, backend_scope, numba_available
 from repro.channel import NonFadingChannel, RayleighChannel
 from repro.core.network import Network
 from repro.core.power import UniformPower
@@ -41,6 +54,7 @@ from repro.learning.regret import expected_send_rewards, lemma5_quantities
 
 BENCH_DIR = Path(__file__).resolve().parent
 SUMMARY_PATH = BENCH_DIR / "BENCH_summary.json"
+SCALING_PATH = BENCH_DIR / "BENCH_scaling.json"
 
 N = 100
 T = 2000
@@ -49,9 +63,20 @@ BETA = 2.5
 BLOCK_L = 16
 BLOCK_SLOTS = 512
 
+#: n-scaling sweep sizes: 10² → 10⁴ (full) and the CI subset (quick).
+SCALING_NS = (100, 300, 1000, 3000, 10000)
+SCALING_NS_QUICK = (100, 1000, 3000)
+SCALING_BATCH = 64
+SCALING_TOPK = 32
+
 #: ``--check`` fails when a fast path runs slower than this multiple of
 #: its recorded baseline.
 REGRESSION_FACTOR = 5.0
+
+#: ``--check`` fails when the top-k sparse path is not at least this
+#: much faster than dense on ``counterfactual_batch`` at large n.
+SPARSE_SPEEDUP_FLOOR = 3.0
+SPARSE_FLOOR_MIN_N = 3000
 
 
 def _instance() -> SINRInstance:
@@ -134,8 +159,13 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def measure_kernels(repeats: int) -> dict:
-    """Time every (naive, fast) kernel pair; returns the summary mapping."""
+def measure_kernels(repeats: int, name_filter: "str | None" = None) -> dict:
+    """Time every (naive, fast) kernel pair; returns the summary mapping.
+
+    ``name_filter`` skips every kernel whose name does not contain the
+    substring (the ``--filter`` flag); skipped kernels are absent from
+    the returned mapping, and the caller merge-writes the baseline.
+    """
     inst = _instance()
     gen = np.random.default_rng(0)
     actions = gen.random((T, N)) < 0.4
@@ -153,6 +183,8 @@ def measure_kernels(repeats: int) -> dict:
     kernels: dict[str, dict] = {}
 
     def record(name, naive_fn, fast_fn, *, calls=1, naive_repeats=None):
+        if name_filter is not None and name_filter not in name:
+            return
         before = _best_of(naive_fn, naive_repeats or repeats) / calls
         after = _best_of(fast_fn, repeats) / calls
         kernels[name] = {
@@ -222,6 +254,124 @@ def measure_kernels(repeats: int) -> dict:
     return kernels
 
 
+# ---------------------------------------------------------------------------
+# Array-backend n-scaling sweep.
+# ---------------------------------------------------------------------------
+
+
+def _scaling_instance(n: int) -> SINRInstance:
+    """Instance at density matched to the paper's geometry (area grows
+    with n so the interference structure, not just the size, scales)."""
+    s, r = paper_random_network(n, area=1000.0 * (n / 100.0) ** 0.5, rng=n)
+    return SINRInstance.from_network(Network(s, r), UniformPower(2.0), 2.2, 4e-7)
+
+
+def _scaling_modes() -> "list[tuple[str, BackendConfig]]":
+    modes = [
+        ("dense", BackendConfig()),
+        (f"topk{SCALING_TOPK}", BackendConfig(topk=SCALING_TOPK)),
+        ("float32", BackendConfig(dtype="float32")),
+    ]
+    if numba_available():
+        modes.append(
+            (f"numba_topk{SCALING_TOPK}", BackendConfig(backend="numba", topk=SCALING_TOPK))
+        )
+    else:
+        print("  (numba not importable; skipping the numba scaling leg)")
+    return modes
+
+
+def measure_scaling(
+    repeats: int, ns: "tuple[int, ...]", name_filter: "str | None" = None
+) -> dict:
+    """Throughput of ``counterfactual_batch`` per backend mode and size.
+
+    Every mode at one ``n`` shares the instance and the pattern batch;
+    deviations are measured on the *deterministic* Theorem-1 batch
+    probabilities (no sampling noise), dense float64 being the
+    reference.  Entries are named ``scaling_n{n}_{mode}`` so
+    ``--filter scaling`` selects the whole sweep.
+    """
+    entries: "dict[str, dict]" = {}
+    modes = _scaling_modes()
+    for n in ns:
+        wanted = [m for m, _ in modes if name_filter is None or name_filter in f"scaling_n{n}_{m}"]
+        if not wanted:
+            continue
+        inst = _scaling_instance(n)
+        gen = np.random.default_rng(n)
+        pats = gen.random((SCALING_BATCH, n)) < 0.4
+        reps = max(1, repeats if n <= 1000 else repeats // 2)
+        dense_seconds = None
+        dense_probs = None
+        for mode, config in modes:
+            name = f"scaling_n{n}_{mode}"
+            # The dense leg always runs when any mode at this n is wanted:
+            # it is the speedup/deviation reference for the others.
+            need_reference = mode == "dense"
+            if name_filter is not None and name_filter not in name and not need_reference:
+                continue
+            with backend_scope(config):
+                channel = RayleighChannel(inst, BETA)
+                # Warm: builds the log-factor tensor + the mode's operator,
+                # and yields the deterministic output for the deviation column.
+                probs = channel.kernel.conditional_batch(pats)
+                rng = np.random.default_rng(1)
+                seconds = _best_of(lambda: channel.counterfactual_batch(pats, rng), reps)
+            entry = {
+                "n": n,
+                "mode": mode,
+                "seconds": seconds,
+                "patterns_per_s": SCALING_BATCH / max(seconds, 1e-12),
+            }
+            if mode == "dense":
+                dense_seconds, dense_probs = seconds, probs
+            elif dense_probs is not None:
+                entry["speedup_vs_dense"] = dense_seconds / max(seconds, 1e-12)
+                entry["max_abs_dev"] = float(np.max(np.abs(probs - dense_probs)))
+            if name_filter is None or name_filter in name:
+                entries[name] = entry
+                extra = (
+                    f"  ({entry['speedup_vs_dense']:5.1f}x dense, "
+                    f"dev {entry['max_abs_dev']:.2e})"
+                    if "speedup_vs_dense" in entry
+                    else ""
+                )
+                print(f"  {name:28s} {seconds:10.3e}s{extra}")
+    return entries
+
+
+def check_scaling(entries: dict) -> list[str]:
+    """Compare scaling timings to the recorded baseline and enforce the
+    sparse-speedup floor at large n; returns failure descriptions."""
+    failures = []
+    recorded = {}
+    if SCALING_PATH.exists():
+        recorded = json.loads(SCALING_PATH.read_text(encoding="utf-8")).get("entries", {})
+    elif entries:
+        failures.append(
+            f"no recorded scaling baseline at {SCALING_PATH}; run without --check first"
+        )
+    for name, entry in entries.items():
+        base = recorded.get(name)
+        if base is not None and entry["seconds"] > REGRESSION_FACTOR * base["seconds"]:
+            failures.append(
+                f"{name}: {entry['seconds']:.3e}s vs recorded "
+                f"{base['seconds']:.3e}s (>{REGRESSION_FACTOR:.0f}x regression)"
+            )
+        if (
+            entry["n"] >= SPARSE_FLOOR_MIN_N
+            and entry["mode"].endswith(f"topk{SCALING_TOPK}")
+            and "speedup_vs_dense" in entry
+            and entry["speedup_vs_dense"] < SPARSE_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"{name}: top-k sparse only {entry['speedup_vs_dense']:.1f}x dense "
+                f"(floor {SPARSE_SPEEDUP_FLOOR:.0f}x at n >= {SPARSE_FLOOR_MIN_N})"
+            )
+    return failures
+
+
 def run_pytest_benches() -> dict:
     """Run every ``bench_*.py`` under pytest; record outcome and duration."""
     start = time.perf_counter()
@@ -253,29 +403,63 @@ def check_against_baseline(kernels: dict) -> list[str]:
     return failures
 
 
+def _merge_write(path: Path, fresh: dict, key: str, config: dict) -> None:
+    """Write a baseline file, merging ``fresh`` into any recorded entries
+    under ``key`` — a ``--filter`` run must not clobber what it skipped."""
+    doc = {"config": config, key: fresh}
+    if path.exists():
+        recorded = json.loads(path.read_text(encoding="utf-8"))
+        merged = dict(recorded.get(key, {}))
+        merged.update(fresh)
+        doc = dict(recorded)
+        doc["config"] = config
+        doc[key] = merged
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="fewer timing repeats and skip the pytest experiment benches",
+        help="fewer timing repeats, the short scaling sweep, and skip the "
+        "pytest experiment benches",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="compare against the recorded BENCH_summary.json instead of "
-        "rewriting it; exit 1 on a >5x fast-path regression",
+        help="compare against the recorded BENCH_summary.json / "
+        "BENCH_scaling.json instead of rewriting them; exit 1 on a >5x "
+        "fast-path regression or a sparse speedup below the floor",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only kernels/scaling entries whose name contains SUBSTR "
+        "(partial runs merge into the recorded baselines)",
     )
     args = parser.parse_args(argv)
 
     repeats = 3 if args.quick else 7
     print(f"timing hot-path kernels (n={N}, T={T}, batch={BATCH}) ...")
-    kernels = measure_kernels(repeats)
+    kernels = measure_kernels(repeats, args.filter)
+
+    ns = SCALING_NS_QUICK if args.quick else SCALING_NS
+    print(
+        f"timing backend n-scaling (counterfactual_batch, batch={SCALING_BATCH}, "
+        f"topk={SCALING_TOPK}, n in {ns}) ..."
+    )
+    scaling = measure_scaling(repeats, ns, args.filter)
 
     import bench_obs
 
-    print("timing telemetry overhead (bench_obs) ...")
-    obs_results = bench_obs.measure_overhead(repeats)
+    run_obs = args.filter is None or args.filter in "bench_obs"
+    obs_results = None
+    if run_obs:
+        print("timing telemetry overhead (bench_obs) ...")
+        obs_results = bench_obs.measure_overhead(repeats)
 
     summary = {
         "config": {"n": N, "T": T, "batch": BATCH, "beta": BETA,
@@ -283,7 +467,7 @@ def main(argv=None) -> int:
         "kernels": kernels,
     }
 
-    if not args.quick:
+    if not args.quick and args.filter is None:
         print("running pytest benches (bench_*.py) ...")
         summary["pytest_benches"] = run_pytest_benches()
         if not summary["pytest_benches"]["passed"]:
@@ -292,19 +476,39 @@ def main(argv=None) -> int:
 
     if args.check:
         failures = check_against_baseline(kernels)
-        failures += bench_obs.check_overhead(obs_results)
+        failures += check_scaling(scaling)
+        if obs_results is not None:
+            failures += bench_obs.check_overhead(obs_results)
         if failures:
             for line in failures:
                 print("PERF REGRESSION:", line, file=sys.stderr)
             return 1
         print("perf check passed: every fast path within "
-              f"{REGRESSION_FACTOR:.0f}x of its recorded baseline and "
-              f"telemetry overhead within {bench_obs.OVERHEAD_BUDGET:.0%}")
+              f"{REGRESSION_FACTOR:.0f}x of its recorded baseline, sparse "
+              f"top-k >= {SPARSE_SPEEDUP_FLOOR:.0f}x dense at n >= "
+              f"{SPARSE_FLOOR_MIN_N}, and telemetry overhead within "
+              f"{bench_obs.OVERHEAD_BUDGET:.0%}")
         return 0
 
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {SUMMARY_PATH}")
-    bench_obs.write_baseline(obs_results)
+    if args.filter is None:
+        SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {SUMMARY_PATH}")
+    else:
+        _merge_write(SUMMARY_PATH, kernels, "kernels", summary["config"])
+    _merge_write(
+        SCALING_PATH,
+        scaling,
+        "entries",
+        {
+            "batch": SCALING_BATCH,
+            "topk": SCALING_TOPK,
+            "beta": BETA,
+            "sparse_speedup_floor": SPARSE_SPEEDUP_FLOOR,
+            "sparse_floor_min_n": SPARSE_FLOOR_MIN_N,
+        },
+    )
+    if obs_results is not None:
+        bench_obs.write_baseline(obs_results)
     return 0
 
 

@@ -1,0 +1,120 @@
+"""Optional Numba-JIT backend — feature-gated behind importability.
+
+CI and the library default stay pure NumPy; this module is imported
+only when a :class:`~repro.backend.config.BackendConfig` names
+``backend="numba"``, and :func:`available` gates every use, so the
+package is never a requirement.
+
+What the JIT buys: the **sparse top-k gather product** is the one hot
+kernel where NumPy pays for temporaries (the ``(B, k, n)`` gather) or
+SciPy pays CSR indirection; a fused nopython loop streams ``indices``/
+``values`` once with no intermediate allocation.  Dense products stay
+on BLAS (:meth:`~repro.backend.core.ArrayBackend.matmul` is inherited
+unchanged) — a hand-rolled JIT matmul would *lose* to a tuned BLAS, so
+``--backend numba`` without ``--topk`` is deliberately identical to
+NumPy.
+
+Numerics: the JIT product accumulates each output entry in index order
+(ascending sender index, the same order the operator stores), in the
+compute dtype.  That fixed order makes numba runs deterministic, but
+the summation order differs from SciPy's CSR walk, so cross-backend
+equality is *allclose*, not byte-equal — the equivalence tests state
+the tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend
+from repro.backend.sparse import TopKGains
+from repro.obs import metrics as _metrics
+
+try:  # pragma: no cover - absent in the pure-NumPy CI leg
+    import numba as _numba
+except ImportError:
+    _numba = None
+
+__all__ = ["NumbaBackend", "NumbaTopKGains", "available"]
+
+_JIT_CACHE: "dict[str, object]" = {}
+
+
+def available() -> bool:
+    """Whether the numba package is importable here."""
+    return _numba is not None
+
+
+def _topk_kernel():
+    """Compile (once) the fused top-k gather product.
+
+    ``out[b, i] = Σ_r x[b, idx[r, i]] * val[r, i]`` — one pass over the
+    ``(rows, n)`` tables per batch row, no gathered temporary.
+    """
+    fn = _JIT_CACHE.get("topk")
+    if fn is None:  # pragma: no cover - requires numba
+        @_numba.njit(parallel=True, cache=True)
+        def _product(x, idx, val, out):
+            batch, n = out.shape
+            rows = idx.shape[0]
+            for b in _numba.prange(batch):
+                for i in range(n):
+                    acc = 0.0
+                    for r in range(rows):
+                        acc += x[b, idx[r, i]] * val[r, i]
+                    out[b, i] = acc
+
+        fn = _JIT_CACHE["topk"] = _product
+    return fn
+
+
+class NumbaTopKGains(TopKGains):
+    """Top-k operator whose products run through the JIT kernel."""
+
+    def __init__(self, indices, values, *, keeps_diagonal):
+        # skip the scipy CSR build: the JIT path replaces it entirely.
+        super().__init__(indices, values, keeps_diagonal=keeps_diagonal, use_scipy=False)
+
+    @classmethod
+    def from_topk(cls, base: TopKGains) -> "NumbaTopKGains":
+        return cls(base.indices, base.values, keeps_diagonal=base.keeps_diagonal)
+
+    def _jit_product(self, x: np.ndarray, values: np.ndarray) -> np.ndarray:
+        x2 = np.ascontiguousarray(np.atleast_2d(x))
+        out = np.empty((x2.shape[0], self.n), dtype=self.dtype)
+        _topk_kernel()(x2, self.indices, np.ascontiguousarray(values), out)
+        return out[0] if x.ndim == 1 else out
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        _metrics.add("backend.sparse_matmuls")
+        return self._jit_product(x, self.values)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        _metrics.add("backend.sparse_matmuls")
+        return self._jit_product(x, self.values)
+
+    def gather_matmul(self, x: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        _metrics.add("backend.sparse_matmuls")
+        vals = np.take_along_axis(np.asarray(dense), self.indices, axis=0)
+        return self._jit_product(x, vals.astype(self.dtype, copy=False))
+
+
+class NumbaBackend(ArrayBackend):
+    """NumPy backend with the sparse gather product JIT-compiled."""
+
+    name = "numba"
+
+    def __init__(self, config):
+        if not available():  # pragma: no cover - resolve() checks first
+            raise ImportError("numba is not importable")
+        super().__init__(config)
+
+    def _topk_operator(self, matrix, keep_diagonal):
+        base = TopKGains.build(
+            matrix,
+            self.config.topk,
+            dtype=self.dtype,
+            keep_diagonal=keep_diagonal,
+            use_scipy=False,
+        )
+        return NumbaTopKGains.from_topk(base)

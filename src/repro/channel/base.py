@@ -90,9 +90,28 @@ class Channel(abc.ABC):
         return _as_active_bool(active, self.n)
 
     def _patterns(self, patterns) -> np.ndarray:
+        """Validate a ``(B, n)`` pattern batch.
+
+        Boolean arrays pass through untouched.  Integer arrays whose
+        entries are all 0/1 are coerced to bool — recorded schedules
+        often arrive as 0/1 int matrices, and rejecting them outright
+        proved a recurring paper cut.  Anything else (floats, ints
+        outside {0, 1}) is still an error, now saying what to pass.
+        """
         pats = np.asarray(patterns)
         if pats.dtype != np.bool_:
-            raise TypeError(f"patterns must be boolean, got dtype {pats.dtype}")
+            if pats.dtype.kind in "iu":
+                if pats.size and not np.isin(pats, (0, 1)).all():
+                    raise TypeError(
+                        "integer pattern arrays must contain only 0/1 "
+                        "transmit indicators; got values outside {0, 1}"
+                    )
+                pats = pats.astype(bool)
+            else:
+                raise TypeError(
+                    "patterns must be a boolean mask array (or a 0/1 "
+                    f"integer array), got dtype {pats.dtype}"
+                )
         if pats.ndim != 2 or pats.shape[1] != self.n:
             raise ValueError(f"patterns must have shape (B, {self.n}), got {pats.shape}")
         return pats

@@ -117,8 +117,34 @@ class BlockFadingChannel(Channel):
         out = np.zeros(pats.shape, dtype=bool)
         for start, stop, draws in self._advance_chunks(pats.shape[0], rng):
             chunk = pats[start:stop]
-            sinr = _sinr_from_draws(draws, chunk, self.instance.noise)
+            sinr = self._chunk_sinr(draws, chunk)
             out[start:stop] = sinr >= self.beta
+        return out
+
+    def _chunk_sinr(self, draws: np.ndarray, chunk: np.ndarray) -> np.ndarray:
+        """SINRs of a pattern chunk against one coherence block's draws.
+
+        Dense float64 operators take the exact einsum kernel verbatim —
+        the default config stays byte-identical.  Sparse/float32 modes
+        gather the block's draw values onto the top-k selection built
+        from the *mean* gains (the draws themselves stay dense, so
+        randomness consumption is backend-independent).
+        """
+        op = self.instance.gains_operator(keep_diagonal=True)
+        if not op.is_sparse and op.dtype == np.float64:
+            return _sinr_from_draws(draws, chunk, self.instance.noise)
+        signal = np.diagonal(draws)
+        total = op.gather_matmul(chunk.astype(op.dtype), draws)
+        denom = total - chunk * signal + self.instance.noise
+        out = np.zeros(denom.shape, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(
+                np.broadcast_to(signal, denom.shape),
+                denom,
+                out=out,
+                where=chunk & (denom > 0.0),
+            )
+        out[chunk & (denom <= 0.0)] = np.inf
         return out
 
     def counterfactual(self, active, rng=None) -> np.ndarray:
@@ -139,9 +165,16 @@ class BlockFadingChannel(Channel):
     def _counterfactual_against(
         self, draws: np.ndarray, patterns: np.ndarray
     ) -> np.ndarray:
-        """Had-I-sent masks for a chunk of patterns sharing one draw."""
+        """Had-I-sent masks for a chunk of patterns sharing one draw.
+
+        The product routes through the instance's gain operator: a dense
+        float64 operator computes ``patterns @ draws`` byte-identically;
+        the top-k form gathers this block's draw values onto the sparse
+        selection built from the mean gains.
+        """
+        op = self.instance.gains_operator(keep_diagonal=True)
         signal = np.diagonal(draws)
-        total = patterns.astype(np.float64) @ draws
+        total = op.gather_matmul(patterns.astype(op.dtype), draws)
         denom = total - patterns * signal + self.instance.noise
         with np.errstate(divide="ignore", invalid="ignore"):
             sinr = np.where(denom > 0.0, signal / np.maximum(denom, 1e-300), np.inf)

@@ -90,7 +90,11 @@ class MonteCarloChannel(Channel):
         gen = as_generator(rng)
         draws = self.model.sample(self.instance.gains, gen)
         signal = np.diagonal(draws)
-        total = mask.astype(np.float64) @ draws
+        # Selection from the mean gains, values from this slot's draw
+        # matrix: the draws stay dense so randomness consumption never
+        # depends on the backend config.
+        op = self.instance.gains_operator(keep_diagonal=True)
+        total = op.gather_matmul(mask.astype(op.dtype), draws)
         denom = total - mask * signal + self.instance.noise
         with np.errstate(divide="ignore", invalid="ignore"):
             sinr = np.where(denom > 0.0, signal / np.maximum(denom, 1e-300), np.inf)

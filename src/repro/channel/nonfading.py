@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.channel.base import Channel
 from repro.core.sinr import SINRInstance
 from repro.obs import metrics as _metrics
@@ -46,6 +47,21 @@ class NonFadingChannel(Channel):
             self._beta_gains_cache = bg
         return bg
 
+    def _bg_op(self):
+        """Backend operator over the cached ``β·S̄`` tensor, keyed by the
+        active config (``keep_diagonal=False`` — the diagonal is zero).
+        Under the default config this wraps the cached float64 array and
+        the margin test is byte-identical to ``pats @ β·S̄``."""
+        ops = getattr(self, "_bg_ops_cache", None)
+        if ops is None:
+            ops = self._bg_ops_cache = {}
+        be = _backend.active()
+        op = ops.get(be.config)
+        if op is None:
+            op = be.gain_operator(self._beta_gains, keep_diagonal=False)
+            ops[be.config] = op
+        return op
+
     @property
     def _margin(self) -> np.ndarray:
         """Cached interference budget ``S̄(i,i) − βν`` per link."""
@@ -73,14 +89,16 @@ class NonFadingChannel(Channel):
         sent is irrelevant to its own counterfactual).
         """
         a = self._mask(active)
-        return a.astype(np.float64) @ self._beta_gains <= self._margin
+        op = self._bg_op()
+        return op.matvec(a.astype(op.dtype)) <= self._margin
 
     def counterfactual_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         """Batched had-I-sent test: one ``(B, n) @ (n, n)`` product
         against the cached ``β·S̄`` tensor, no randomness consumed."""
         pats = self._patterns(patterns)
         _metrics.add("channel.counterfactual_slots", pats.shape[0])
-        return pats.astype(np.float64) @ self._beta_gains <= self._margin
+        op = self._bg_op()
+        return op.matmul(pats.astype(op.dtype)) <= self._margin
 
     def sinr_batch(self, patterns: np.ndarray, rng=None) -> np.ndarray:
         return self.instance.sinr_batch(self._patterns(patterns))

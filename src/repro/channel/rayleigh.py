@@ -15,6 +15,12 @@ Since PR 3 the channel owns one lazily built
 tensors are derived once and every subsequent round-level call
 (``realize``/``counterfactual``) is a single matvec against the cache
 instead of a fresh factor-matrix build.
+
+Array-backend routing is inherited from the kernel: its products run
+through the operator shim (:mod:`repro.backend`), so ``--dtype float32``
+and ``--topk`` sparsification apply to this channel without any code
+here touching the backend — and the default config keeps every path
+byte-identical.
 """
 
 from __future__ import annotations

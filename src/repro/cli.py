@@ -41,6 +41,15 @@ hierarchical spans (run → experiment → stage → task) to
 all inside the ``--out`` directory, which these flags therefore
 require.  Telemetry never changes result bytes, at any ``--jobs``.
 ``repro stats <run-dir>`` renders what a past run left behind.
+
+Array backend (see DESIGN.md, "Array backend & dtype policy"):
+``--backend numpy|numba`` picks the kernel engine (numba is
+feature-gated behind importability), ``--dtype float64|float32`` the
+compute precision of the gain-matrix products, and ``--topk K`` the
+sparse top-k-interferer representation for large ``n``.  The defaults
+(``numpy``, ``float64``, dense) are byte-identical to the pre-backend
+library at any ``--jobs``; non-default modes trade the documented
+tolerances for speed and are recorded in ``summary.json``.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import backend as _backend
 from repro.engine import chaos, guards
 from repro.engine.executor import resolve_jobs
 from repro.engine.faults import ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
@@ -83,6 +93,26 @@ def _resolve_specs(spec: str) -> "list[ExperimentSpec]":
         return [get_spec(i) for i in ids]
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]) + "; or 'all'") from exc
+
+
+def _install_backend(args) -> "_backend.BackendConfig":
+    """Install the array-backend configuration the flags describe.
+
+    Resolves the backend eagerly so a ``--backend numba`` invocation in
+    an environment without numba fails with a one-line error up front,
+    not with an ImportError deep inside the first kernel.  The installed
+    config is shipped to ``--jobs`` workers by the executor's pool
+    initializer, so parent and workers always compute under one policy.
+    """
+    try:
+        config = _backend.BackendConfig(
+            backend=args.backend, dtype=args.dtype, topk=args.topk
+        )
+        _backend.resolve(config)
+    except (ValueError, _backend.NumbaUnavailableError) as exc:
+        raise SystemExit(str(exc)) from exc
+    _backend.set_config(config)
+    return config
 
 
 def _build_policy(args, journal: "RunJournal | None" = None) -> ExecutionPolicy:
@@ -119,6 +149,7 @@ def _open_journal(args) -> "RunJournal | None":
         "scale": args.scale,
         "seed": args.seed,
         "channel": args.channel,
+        "backend": _backend.get_config().describe(),
     }
     try:
         if args.resume is not None:
@@ -182,6 +213,7 @@ def _write_text(path: Path, text: str) -> None:
 
 def _cmd_run(args) -> int:
     guards.set_guard_mode(args.guards)
+    backend_config = _install_backend(args)
     journal = _open_journal(args)
     policy = _build_policy(args, journal)
     out_dir = Path(args.out) if args.out else None
@@ -229,6 +261,7 @@ def _cmd_run(args) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "channel": args.channel,
+            "backend": backend_config.to_dict(),
             "run_id": journal.run_id if journal is not None else None,
             "passed": bool(failures == 0),
             "incomplete": bool(incomplete),
@@ -239,6 +272,7 @@ def _cmd_run(args) -> int:
                 "trace": TRACE_FILENAME if args.trace else None,
                 "metrics": METRICS_FILENAME if args.metrics else None,
                 "profile": profile_files,
+                "backend": backend_config.describe(),
             }
         _write_text(out_dir / "summary.json", json.dumps(doc, indent=2) + "\n")
         if telemetry is not None and telemetry.metrics is not None:
@@ -282,6 +316,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_report(args) -> int:
     guards.set_guard_mode(args.guards)
+    _install_backend(args)
     policy = _build_policy(args)
     lines = [
         "# Experiment report",
@@ -345,6 +380,16 @@ def _timeout_arg(value: str) -> float:
     return seconds
 
 
+def _topk_arg(value: str) -> int:
+    try:
+        k = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"topk must be an integer, got {value!r}")
+    if k < 1:
+        raise argparse.ArgumentTypeError(f"topk must be >= 1, got {k}")
+    return k
+
+
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=("quick", "paper"), default="quick",
@@ -386,6 +431,21 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--guards", choices=guards.GUARD_MODES, default="warn",
         help="numerical-guard strictness for kernel outputs "
         "(default warn; strict turns violations into task failures)",
+    )
+    parser.add_argument(
+        "--backend", choices=_backend.BACKENDS, default="numpy",
+        help="array backend for the gain-matrix kernels (default numpy; "
+        "numba requires the numba package and JITs the sparse product)",
+    )
+    parser.add_argument(
+        "--dtype", choices=_backend.DTYPES, default="float64",
+        help="compute dtype of the gain-matrix products (default float64, "
+        "exact; float32 trades documented tolerances for speed)",
+    )
+    parser.add_argument(
+        "--topk", type=_topk_arg, default=None, metavar="K",
+        help="keep only the K strongest interferers per receiver (sparse "
+        "gain matrices for large n; default dense/exact)",
     )
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.core.network import Network
 from repro.core.power import PowerAssignment
 from repro.utils.validation import check_nonnegative, check_positive, check_square_matrix
@@ -81,7 +82,7 @@ def _as_active_bool(active, n: int) -> np.ndarray:
     )
 
 
-def sinr_nonfading(gains: np.ndarray, active, noise: float) -> np.ndarray:
+def sinr_nonfading(gains: np.ndarray, active, noise: float, *, gains_op=None) -> np.ndarray:
     """Non-fading SINR of every link under one transmit pattern.
 
     Parameters
@@ -92,6 +93,11 @@ def sinr_nonfading(gains: np.ndarray, active, noise: float) -> np.ndarray:
         Boolean mask of transmitting links, or an integer index list.
     noise:
         Ambient noise ``ν >= 0``.
+    gains_op:
+        Optional pre-built gain operator over ``gains`` (built with
+        ``keep_diagonal=True``); :class:`SINRInstance` passes its cached
+        one.  When omitted, the ambient backend wraps ``gains`` — a
+        no-copy view under the default config.
 
     Returns
     -------
@@ -104,7 +110,10 @@ def sinr_nonfading(gains: np.ndarray, active, noise: float) -> np.ndarray:
     n = gains.shape[0]
     mask = _as_active_bool(active, n)
     diag = np.diagonal(gains)
-    total = mask.astype(np.float64) @ gains  # Σ_{j active} S̄(j, i), includes own signal
+    if gains_op is None:
+        gains_op = _backend.active().gain_operator(gains, keep_diagonal=True)
+    # Σ_{j active} S̄(j, i), includes own signal
+    total = gains_op.matvec(mask.astype(gains_op.dtype))
     denom = total - mask * diag + float(noise)
     out = np.zeros(n, dtype=np.float64)
     with np.errstate(divide="ignore"):
@@ -113,18 +122,24 @@ def sinr_nonfading(gains: np.ndarray, active, noise: float) -> np.ndarray:
     return out
 
 
-def sinr_nonfading_batch(gains: np.ndarray, active: np.ndarray, noise: float) -> np.ndarray:
+def sinr_nonfading_batch(
+    gains: np.ndarray, active: np.ndarray, noise: float, *, gains_op=None
+) -> np.ndarray:
     """Non-fading SINR for a batch of transmit patterns.
 
     ``active`` has shape ``(B, n)`` (boolean); the result has the same
-    shape.  One matrix product evaluates all ``B`` patterns.
+    shape.  One matrix product evaluates all ``B`` patterns — routed
+    through the ambient array backend (or the caller's ``gains_op``), so
+    ``--topk`` swaps in the sparse representation transparently.
     """
     gains = np.asarray(gains, dtype=np.float64)
     act = np.asarray(active, dtype=bool)
     if act.ndim != 2 or act.shape[1] != gains.shape[0]:
         raise ValueError(f"active batch must be (B, {gains.shape[0]}), got {act.shape}")
     diag = np.diagonal(gains)
-    total = act.astype(np.float64) @ gains
+    if gains_op is None:
+        gains_op = _backend.active().gain_operator(gains, keep_diagonal=True)
+    total = gains_op.matmul(act.astype(gains_op.dtype))
     denom = total - act * diag + float(noise)
     out = np.zeros(act.shape, dtype=np.float64)
     with np.errstate(divide="ignore"):
@@ -151,10 +166,12 @@ class SINRInstance:
 
     This is the common input of the non-fading engine, the Rayleigh engine,
     the scheduling algorithms, and the learning dynamics.  Instances are
-    immutable and cache nothing mutable, so they are safe to share.
+    immutable; the only internal mutability is a cache of derived gain
+    operators keyed by the active backend configuration, so sharing an
+    instance across backend switches is safe.
     """
 
-    __slots__ = ("_gains", "_noise")
+    __slots__ = ("_gains", "_noise", "_backend_ops")
 
     def __init__(self, gains, noise: float = 0.0):
         g = check_square_matrix(gains, name="gains").copy()
@@ -165,6 +182,7 @@ class SINRInstance:
         g.setflags(write=False)
         self._gains = g
         self._noise = check_nonnegative(noise, "noise")
+        self._backend_ops: "dict[tuple, object]" = {}
 
     @classmethod
     def from_network(
@@ -211,23 +229,57 @@ class SINRInstance:
                 self._noise > 0.0, self.signal / max(self._noise, 1e-300), np.inf
             )
 
+    # -- backend operators ---------------------------------------------------
+
+    def gains_operator(self, *, keep_diagonal: bool = True):
+        """Gain operator over ``S̄`` for the *active* backend config.
+
+        Cached per ``(config, keep_diagonal)`` so repeated batch calls
+        under one policy reuse the representation (in particular the
+        one-time top-k selection), while a config switch transparently
+        builds — and thereafter reuses — the right operator.
+        """
+        be = _backend.active()
+        key = (be.config, keep_diagonal)
+        op = self._backend_ops.get(key)
+        if op is None:
+            op = be.gain_operator(self._gains, keep_diagonal=keep_diagonal)
+            self._backend_ops[key] = op
+        return op
+
+    def topk_gains(self, k: int, *, keep_diagonal: bool = True):
+        """Sparse top-k-interferer representation of ``S̄`` (uncached).
+
+        A direct builder for callers that want the sparse form
+        irrespective of the ambient config — e.g. the scaling benchmark
+        comparing dense vs sparse on one instance.
+        """
+        from repro.backend import TopKGains
+
+        return TopKGains.build(self._gains, k, keep_diagonal=keep_diagonal)
+
     # -- SINR / success -----------------------------------------------------
 
     def sinr(self, active) -> np.ndarray:
         """Non-fading SINR ``γ^nf`` of every link under a transmit pattern."""
-        return sinr_nonfading(self._gains, active, self._noise)
+        return sinr_nonfading(
+            self._gains, active, self._noise, gains_op=self.gains_operator()
+        )
 
     def sinr_batch(self, active: np.ndarray) -> np.ndarray:
         """Batched non-fading SINR over patterns of shape ``(B, n)``."""
-        return sinr_nonfading_batch(self._gains, active, self._noise)
+        return sinr_nonfading_batch(
+            self._gains, active, self._noise, gains_op=self.gains_operator()
+        )
 
     def successes(self, active, beta: float) -> np.ndarray:
         """Mask of links succeeding (transmitting with ``γ^nf >= β``)."""
-        return successful_links(self._gains, active, self._noise, beta)
+        check_positive(beta, "beta")
+        return self.sinr(active) >= beta
 
     def success_count(self, active, beta: float) -> int:
         """Number of successful transmissions under one pattern."""
-        return success_count(self._gains, active, self._noise, beta)
+        return int(self.successes(active, beta).sum())
 
     def is_feasible(self, subset, beta: float) -> bool:
         """Whether *all* links in ``subset`` succeed simultaneously

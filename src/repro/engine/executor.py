@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import backend
 from repro.engine import chaos
 from repro.engine import guards
 from repro.engine.faults import (
@@ -94,14 +95,17 @@ _WORKER_CONTEXT: Any = None
 
 def _worker_bundle(context: Any) -> tuple:
     """Everything a worker process must install before running tasks:
-    the shared context, the guard strictness, any chaos plan, and
-    whether to buffer telemetry metrics for shipping back."""
+    the shared context, the guard strictness, any chaos plan, whether to
+    buffer telemetry metrics for shipping back, and the array-backend
+    configuration (so ``--jobs N`` workers compute under the parent's
+    backend/dtype/top-k policy and the determinism invariant holds)."""
     plan = chaos.current_plan()
     return (
         context,
         guards.get_guard_mode(),
         None if plan is None else plan.to_dict(),
         _observing(),
+        backend.get_config().to_dict(),
     )
 
 
@@ -112,13 +116,15 @@ def _observing() -> bool:
 
 
 def _init_worker(bundle: tuple) -> None:
-    """Pool initializer: install shared context, guards, chaos, metrics."""
+    """Pool initializer: install shared context, guards, chaos, metrics,
+    and the parent's array-backend configuration."""
     global _WORKER_CONTEXT
-    context, guard_mode, chaos_doc, metrics_on = bundle
+    context, guard_mode, chaos_doc, metrics_on, backend_doc = bundle
     _WORKER_CONTEXT = context
     guards.set_guard_mode(guard_mode)
     chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
     obs_metrics.set_collection(metrics_on)
+    backend.set_config(backend.BackendConfig.from_dict(backend_doc))
 
 
 def get_worker_context() -> Any:

@@ -177,7 +177,10 @@ def simulate_sinr_patterns_with_model(
     if num_slots == 0:
         return out
     gen = as_generator(rng)
-    gains = instance.gains
+    # Same CRN kernel as the Rayleigh fast path: the product includes the
+    # own-signal term, so the operator keeps the exact diagonal in top-k
+    # mode; the default config wraps `instance.gains` byte-identically.
+    gains_op = instance.gains_operator(keep_diagonal=True)
     own = instance.signal
     unit = np.ones(n, dtype=np.float64)
     block = max(1, 12_000_000 // max(1, n))
@@ -187,7 +190,8 @@ def simulate_sinr_patterns_with_model(
         chunk = pats[done : done + t]
         act = chunk.astype(np.float64)
         draws = model.sample(unit, gen, size=t)  # F_j per (slot, sender)
-        total = (act * draws) @ gains  # includes j = i when i is active
+        # includes j = i when i is active
+        total = gains_op.matmul((act * draws).astype(gains_op.dtype, copy=False))
         signal = own * draws
         denom = total - act * signal + instance.noise
         where = np.ones_like(chunk) if counterfactual else chunk

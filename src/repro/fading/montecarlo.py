@@ -11,6 +11,15 @@ evaluates every slot's SINR against its own pattern in a single
 vectorized pass (:func:`repro.fading.rayleigh.simulate_sinr_patterns`).
 Chunk sizes are bounded so memory stays constant regardless of
 ``num_samples``.
+
+Backend routing: the matrix products inside each chunk go through the
+array-backend shim transitively (the Rayleigh kernel pulls the
+instance's cached gain operator), so ``--dtype float32`` and ``--topk``
+apply here without any code in this module touching the backend.  Chunk
+sizes deliberately do **not** scale with the compute dtype: each outer
+chunk interleaves pattern draws with fading draws, so changing the
+chunk boundary would reassign RNG variates and move the estimate by far
+more than the dtype's documented tolerance.
 """
 
 from __future__ import annotations

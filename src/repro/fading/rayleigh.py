@@ -173,7 +173,11 @@ def simulate_sinr_patterns(
         return out
     _metrics.add("mc.draw_slots", num_slots)
     gen = as_generator(rng)
-    gains = instance.gains
+    # keep_diagonal=True: the product below includes the own-signal term
+    # (j = i) and subtracts it back out, so the top-k form must carry the
+    # exact diagonal.  Under the default config this wraps `instance.gains`
+    # itself and the product is byte-identical to `x @ gains`.
+    gains_op = instance.gains_operator(keep_diagonal=True)
     own = instance.signal  # S̄(i,i), shape (n,)
     block = max(1, _BLOCK_ELEMENTS // max(1, n))
     done = 0
@@ -183,7 +187,7 @@ def simulate_sinr_patterns(
         act = chunk.astype(np.float64)
         draws = gen.standard_exponential((t, n))  # E_j per (slot, sender)
         # total[t, i] = Σ_j act_j · S̄(j, i) · E_j  — includes j = i.
-        total = (act * draws) @ gains
+        total = gains_op.matmul((act * draws).astype(gains_op.dtype, copy=False))
         signal = own * draws
         denom = total - act * signal + instance.noise
         sinr = np.zeros((t, n), dtype=np.float64)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.core.sinr import SINRInstance
 from repro.engine import chaos, guards
 from repro.obs import metrics as _metrics
@@ -80,6 +81,7 @@ class Theorem1Kernel:
         "_noise_term",
         "_weights",
         "_log_factors",
+        "_ops",
     )
 
     def __init__(self, instance: SINRInstance, beta):
@@ -90,6 +92,7 @@ class Theorem1Kernel:
         self._noise_term = np.exp(-self._noise_exponent)
         self._weights: "np.ndarray | None" = None
         self._log_factors: "np.ndarray | None" = None
+        self._ops: "dict[tuple, object]" = {}
 
     @property
     def n(self) -> int:
@@ -128,6 +131,24 @@ class Theorem1Kernel:
             _metrics.add("theorem1.cache_hits")
         return self._log_factors
 
+    def _operator(self, which: str):
+        """Backend operator over a cached tensor, keyed by active config.
+
+        ``which`` names the tensor: ``"log_factors"`` (binary/batch sum
+        form) or ``"weights"`` (fractional product form).  Both have a
+        zero diagonal, so the top-k form never needs the diagonal row.
+        Under the default config the operator wraps the cached float64
+        array itself, keeping the products byte-identical.
+        """
+        be = _backend.active()
+        key = (be.config, which)
+        op = self._ops.get(key)
+        if op is None:
+            matrix = self.log_factors if which == "log_factors" else self.weights
+            op = be.gain_operator(matrix, keep_diagonal=False)
+            self._ops[key] = op
+        return op
+
     def _guard(self, out: np.ndarray, site: str) -> np.ndarray:
         """Chaos hook + numerical guard on a probability output.
 
@@ -148,18 +169,50 @@ class Theorem1Kernel:
 
     def conditional(self, q: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for fractional ``q`` (the
-        product form); ``q`` must be a validated ``(n,)`` float vector."""
+        product form); ``q`` must be a validated ``(n,)`` float vector.
+
+        In top-k mode the product runs over the stored interferers only
+        (every dropped factor is treated as exactly 1 — a weak sender
+        never hurts), which is the product-form analogue of the sparse
+        matmul in the binary paths.
+        """
         _metrics.add("theorem1.conditional_calls")
-        factors = 1.0 - q[:, None] * self.weights
-        out = self._noise_term * np.prod(factors, axis=0)
+        op = self._operator("weights")
+        qv = np.asarray(q, dtype=op.dtype)
+        if op.is_sparse:
+            _metrics.add("backend.sparse_matmuls")
+            prod = np.prod(1.0 - qv[op.indices] * op.values, axis=0)
+        else:
+            factors = 1.0 - qv[:, None] * op.matrix
+            prod = np.prod(factors, axis=0)
+        out = self._noise_term * prod
+        if op.dtype != np.float64:
+            out = np.minimum(out, 1.0)
         return self._guard(out, "theorem1.conditional")
+
+    def _binary_log_p(self, pats: np.ndarray) -> np.ndarray:
+        """``patterns @ log_factors − βν/S̄ii`` through the backend shim.
+
+        The exact sum is non-positive (every log factor is ≤ 0), but
+        float32 round-off can push it a hair above 0, so non-float64
+        modes clip at 0 to keep ``exp`` inside the probability guard's
+        tolerance.  The default path takes no clip and stays
+        byte-identical.
+        """
+        op = self._operator("log_factors")
+        log_p = op.matmul(pats.astype(op.dtype)) - self._noise_exponent
+        if op.dtype != np.float64:
+            log_p = np.minimum(log_p, 0.0)
+        return log_p
 
     def conditional_binary(self, mask: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for one 0/1 pattern — a single
         ``(n,) @ (n, n)`` product against the cached log factors."""
         _metrics.add("theorem1.binary_calls")
-        log_p = mask.astype(np.float64) @ self.log_factors - self._noise_exponent
-        return self._guard(np.exp(log_p), "theorem1.conditional_binary")
+        return self._guard(
+            np.exp(self._binary_log_p(np.asarray(mask))),
+            "theorem1.conditional_binary",
+        )
 
     def conditional_batch(self, patterns: np.ndarray) -> np.ndarray:
         """Conditional success probabilities for a ``(B, n)`` batch of 0/1
@@ -169,8 +222,9 @@ class Theorem1Kernel:
             raise ValueError(f"patterns must be (B, {self.n}), got {pats.shape}")
         _metrics.add("theorem1.batch_calls")
         _metrics.add("theorem1.batch_patterns", pats.shape[0])
-        log_p = pats.astype(np.float64) @ self.log_factors - self._noise_exponent
-        return self._guard(np.exp(log_p), "theorem1.conditional_batch")
+        return self._guard(
+            np.exp(self._binary_log_p(pats)), "theorem1.conditional_batch"
+        )
 
 
 def success_probability_conditional(

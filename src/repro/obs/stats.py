@@ -123,6 +123,14 @@ def render_run_dir(run_dir) -> str:
             if summary.get(key) is not None
         )
         lines.append(f"flags: {flags or '(defaults)'}")
+        backend_doc = summary.get("backend")
+        if isinstance(backend_doc, dict):
+            topk = backend_doc.get("topk")
+            tail = "dense" if topk is None else f"topk={topk}"
+            lines.append(
+                "backend: "
+                f"{backend_doc.get('backend')}/{backend_doc.get('dtype')}/{tail}"
+            )
         status = "PASS" if summary.get("passed") else "FAIL"
         if summary.get("incomplete"):
             status += " (INCOMPLETE)"
