@@ -27,10 +27,19 @@ speedup over dense, and the measured max deviation per point in
 ``benchmarks/BENCH_scaling.json``.  ``--check`` also enforces the
 sparse-speedup floor (top-k ≥ 3x dense at ``n ≥ 3000``).
 
-``--filter SUBSTR`` restricts both the micro-kernels and the scaling
-entries to names containing the substring (e.g. ``--filter scaling``);
-partial runs *merge* into the recorded baselines instead of clobbering
-the entries they did not measure.
+The **executor throughput** entry times one identical sweep end-to-end
+on the process-pool backend (``before_s``) and on the dispatch backend
+with the same number of local workers (``after_s``), so the recorded
+baseline pins how much the file-queue indirection costs and ``--check``
+catches dispatch-path regressions like any other kernel.
+
+``--filter SUBSTR`` restricts the micro-kernels, the scaling entries,
+and the executor/telemetry benches to names containing the substring
+(e.g. ``--filter scaling``); partial runs *merge* into the recorded
+baselines instead of clobbering the entries they did not measure.  A
+filter that matches nothing is an error: the run exits non-zero listing
+the known bench names rather than silently rewriting baselines with an
+empty measurement set.
 """
 
 from __future__ import annotations
@@ -159,12 +168,18 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def measure_kernels(repeats: int, name_filter: "str | None" = None) -> dict:
+def measure_kernels(
+    repeats: int,
+    name_filter: "str | None" = None,
+    known: "list[str] | None" = None,
+) -> dict:
     """Time every (naive, fast) kernel pair; returns the summary mapping.
 
     ``name_filter`` skips every kernel whose name does not contain the
     substring (the ``--filter`` flag); skipped kernels are absent from
     the returned mapping, and the caller merge-writes the baseline.
+    Every kernel name is appended to ``known`` (filtered or not), so the
+    caller can report the full vocabulary when a filter matches nothing.
     """
     inst = _instance()
     gen = np.random.default_rng(0)
@@ -183,6 +198,8 @@ def measure_kernels(repeats: int, name_filter: "str | None" = None) -> dict:
     kernels: dict[str, dict] = {}
 
     def record(name, naive_fn, fast_fn, *, calls=1, naive_repeats=None):
+        if known is not None:
+            known.append(name)
         if name_filter is not None and name_filter not in name:
             return
         before = _best_of(naive_fn, naive_repeats or repeats) / calls
@@ -282,7 +299,10 @@ def _scaling_modes() -> "list[tuple[str, BackendConfig]]":
 
 
 def measure_scaling(
-    repeats: int, ns: "tuple[int, ...]", name_filter: "str | None" = None
+    repeats: int,
+    ns: "tuple[int, ...]",
+    name_filter: "str | None" = None,
+    known: "list[str] | None" = None,
 ) -> dict:
     """Throughput of ``counterfactual_batch`` per backend mode and size.
 
@@ -294,6 +314,8 @@ def measure_scaling(
     """
     entries: "dict[str, dict]" = {}
     modes = _scaling_modes()
+    if known is not None:
+        known.extend(f"scaling_n{n}_{m}" for n in ns for m, _ in modes)
     for n in ns:
         wanted = [m for m, _ in modes if name_filter is None or name_filter in f"scaling_n{n}_{m}"]
         if not wanted:
@@ -372,6 +394,78 @@ def check_scaling(entries: dict) -> list[str]:
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Executor throughput: dispatch backend vs the process pool.
+# ---------------------------------------------------------------------------
+
+EXECUTOR_BENCH = "executor_dispatch_vs_pool_32tasks"
+EXECUTOR_TASKS = 32
+EXECUTOR_JOBS = 4
+EXECUTOR_TASK_SLEEP = 0.01
+
+
+def measure_executor(
+    repeats: int,
+    name_filter: "str | None" = None,
+    known: "list[str] | None" = None,
+) -> dict:
+    """One identical sweep end-to-end on the process pool (``before_s``)
+    vs the dispatch backend with the same local worker count
+    (``after_s``).  The tasks sleep a fixed 10ms so the entry measures
+    orchestration overhead — queue files, leases, envelope streaming —
+    not kernel arithmetic."""
+    if known is not None:
+        known.append(EXECUTOR_BENCH)
+    if name_filter is not None and name_filter not in EXECUTOR_BENCH:
+        return {}
+    import tempfile
+
+    from repro.engine.backends import DispatchBackend
+    from repro.engine.backends.dispatch import sleep_echo_task
+    from repro.engine.executor import make_tasks, map_tasks
+
+    tasks = make_tasks(
+        [{"v": i, "sleep": EXECUTOR_TASK_SLEEP} for i in range(EXECUTOR_TASKS)],
+        root_seed=0,
+    )
+    reps = max(1, repeats // 2)
+    pool_s = _best_of(
+        lambda: map_tasks(
+            sleep_echo_task, tasks, jobs=EXECUTOR_JOBS, executor="pool",
+            stage="bench-pool",
+        ),
+        reps,
+    )
+    with tempfile.TemporaryDirectory() as root:
+        backend = DispatchBackend(
+            root, local_workers=EXECUTOR_JOBS, lease_timeout=10.0, poll=0.005
+        )
+        try:
+            # Warm-up: spawns the local workers and pays their import cost
+            # once, matching the pool measurement (best-of over repeats).
+            map_tasks(sleep_echo_task, tasks[:EXECUTOR_JOBS],
+                      executor=backend, stage="bench-warm")
+            dispatch_s = _best_of(
+                lambda: map_tasks(
+                    sleep_echo_task, tasks, executor=backend,
+                    stage="bench-dispatch",
+                ),
+                reps,
+            )
+        finally:
+            backend.close()
+    entry = {
+        "before_s": pool_s,
+        "after_s": dispatch_s,
+        "speedup": pool_s / max(dispatch_s, 1e-12),
+    }
+    print(
+        f"  {EXECUTOR_BENCH:35s} {pool_s:10.3e}s -> {dispatch_s:10.3e}s   "
+        f"({entry['speedup']:6.1f}x)"
+    )
+    return {EXECUTOR_BENCH: entry}
+
+
 def run_pytest_benches() -> dict:
     """Run every ``bench_*.py`` under pytest; record outcome and duration."""
     start = time.perf_counter()
@@ -443,23 +537,40 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repeats = 3 if args.quick else 7
+    known: "list[str]" = []
     print(f"timing hot-path kernels (n={N}, T={T}, batch={BATCH}) ...")
-    kernels = measure_kernels(repeats, args.filter)
+    kernels = measure_kernels(repeats, args.filter, known)
 
     ns = SCALING_NS_QUICK if args.quick else SCALING_NS
     print(
         f"timing backend n-scaling (counterfactual_batch, batch={SCALING_BATCH}, "
         f"topk={SCALING_TOPK}, n in {ns}) ..."
     )
-    scaling = measure_scaling(repeats, ns, args.filter)
+    scaling = measure_scaling(repeats, ns, args.filter, known)
+
+    print(
+        f"timing executor throughput (pool vs dispatch, {EXECUTOR_TASKS} tasks, "
+        f"{EXECUTOR_JOBS} workers) ..."
+    )
+    kernels.update(measure_executor(repeats, args.filter, known))
 
     import bench_obs
 
+    known.append("bench_obs")
     run_obs = args.filter is None or args.filter in "bench_obs"
     obs_results = None
     if run_obs:
         print("timing telemetry overhead (bench_obs) ...")
         obs_results = bench_obs.measure_overhead(repeats)
+
+    if args.filter is not None and not kernels and not scaling and obs_results is None:
+        print(
+            f"--filter {args.filter!r} matched no bench; known names:",
+            file=sys.stderr,
+        )
+        for name in known:
+            print(f"  {name}", file=sys.stderr)
+        return 2
 
     summary = {
         "config": {"n": N, "T": T, "batch": BATCH, "beta": BETA,

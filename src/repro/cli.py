@@ -13,6 +13,8 @@
     python -m repro run E13 --resume nightly  # replay journal, run the rest
     python -m repro run E6 --on-error retry --task-timeout 120
     python -m repro run E1 --out r/ --trace --metrics   # telemetry, same bytes
+    python -m repro run E1 --executor dispatch          # multi-host queue
+    python -m repro worker .repro-runs        # serve dispatch queues
     python -m repro stats r/                  # render a past run's telemetry
     python -m repro report --out EXPERIMENTS.md
 
@@ -50,6 +52,17 @@ sparse top-k-interferer representation for large ``n``.  The defaults
 (``numpy``, ``float64``, dense) are byte-identical to the pre-backend
 library at any ``--jobs``; non-default modes trade the documented
 tolerances for speed and are recorded in ``summary.json``.
+
+Execution backends (see DESIGN.md, "Execution backends"):
+``--executor`` picks where sweep tasks run — ``auto`` (default: serial
+for ``--jobs 1``, a local process pool otherwise), ``serial``, ``pool``,
+or ``dispatch``, a multi-host work-stealing file queue under
+``--runs-root`` served by ``repro worker <runs-root>`` processes (on
+this host or on any host mounting the same directory).
+``--dispatch-workers N`` spawns N local workers for single-host use;
+``--lease-timeout`` bounds how long a silent worker holds a task before
+it is re-issued.  Result bytes are identical on every backend at every
+worker count.
 """
 
 from __future__ import annotations
@@ -62,7 +75,7 @@ from pathlib import Path
 from repro import backend as _backend
 from repro.engine import chaos, guards
 from repro.engine.executor import resolve_jobs
-from repro.engine.faults import ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
+from repro.engine.faults import EXECUTOR_MODES, ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
 from repro.engine.journal import JournalError, RunJournal
 from repro.engine.registry import ExperimentSpec, all_specs, get_spec
 from repro.obs import METRICS_FILENAME, TRACE_FILENAME, Telemetry, obs_scope, span
@@ -115,6 +128,30 @@ def _install_backend(args) -> "_backend.BackendConfig":
     return config
 
 
+def _build_executor(args):
+    """The ``--executor`` choice as the policy layer wants it: the mode
+    string, or one configured :class:`DispatchBackend` instance shared
+    by every stage of this invocation (so all stages publish to queues
+    under one runs root and reuse the same local workers)."""
+    if args.executor != "dispatch":
+        if args.dispatch_workers:
+            raise SystemExit("--dispatch-workers requires --executor dispatch")
+        return args.executor
+    from repro.engine.backends import DispatchBackend
+
+    return DispatchBackend(
+        args.runs_root,
+        local_workers=args.dispatch_workers,
+        lease_timeout=args.lease_timeout,
+    )
+
+
+def _close_executor(policy: ExecutionPolicy) -> None:
+    """Release a backend instance the policy owns (dispatch workers)."""
+    if not isinstance(policy.executor, str):
+        policy.executor.close()
+
+
 def _build_policy(args, journal: "RunJournal | None" = None) -> ExecutionPolicy:
     """The :class:`ExecutionPolicy` this invocation's flags describe."""
     try:
@@ -123,6 +160,7 @@ def _build_policy(args, journal: "RunJournal | None" = None) -> ExecutionPolicy:
             retry=RetryPolicy(max_attempts=args.retries),
             timeout=args.task_timeout,
             journal=journal,
+            executor=_build_executor(args),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -133,9 +171,11 @@ def _open_journal(args) -> "RunJournal | None":
 
     A resumed journal must have been created by a compatible invocation:
     the experiment selection, scale, seed, and channel all feed the sweep
-    shape and the per-task seeds, so a mismatch would silently mix two
-    different runs.  ``--jobs`` is deliberately *not* checked — results
-    are bit-identical across worker counts by construction.
+    shape and the per-task seeds, and the array-backend configuration
+    (backend/dtype/topk) feeds the recorded result bytes, so a mismatch
+    would silently mix two different runs.  ``--jobs`` and ``--executor``
+    are deliberately *not* checked — results are bit-identical across
+    worker counts and backends by construction.
     """
     if args.resume and args.run_id:
         raise SystemExit(
@@ -149,20 +189,33 @@ def _open_journal(args) -> "RunJournal | None":
         "scale": args.scale,
         "seed": args.seed,
         "channel": args.channel,
-        "backend": _backend.get_config().describe(),
+        "backend": _backend.get_config().to_dict(),
     }
     try:
         if args.resume is not None:
             journal = RunJournal.open(args.runs_root, args.resume)
             for key, value in meta.items():
                 recorded = journal.meta.get(key)
-                if recorded != value:
-                    raise SystemExit(
-                        f"--resume {args.resume}: the run was created with "
-                        f"{key}={recorded!r} but this invocation has "
-                        f"{key}={value!r}; re-run with matching flags or "
-                        "start a new --run-id"
+                if recorded == value:
+                    continue
+                if isinstance(recorded, dict) and isinstance(value, dict):
+                    diff = ", ".join(
+                        f"{f}: {recorded.get(f)!r} (recorded) != "
+                        f"{value.get(f)!r} (this invocation)"
+                        for f in sorted(set(recorded) | set(value))
+                        if recorded.get(f) != value.get(f)
                     )
+                    raise SystemExit(
+                        f"--resume {args.resume}: the run was created under "
+                        f"a different {key} configuration [{diff}]; re-run "
+                        "with matching flags or start a new --run-id"
+                    )
+                raise SystemExit(
+                    f"--resume {args.resume}: the run was created with "
+                    f"{key}={recorded!r} but this invocation has "
+                    f"{key}={value!r}; re-run with matching flags or "
+                    "start a new --run-id"
+                )
             return journal
         return RunJournal.create(args.runs_root, args.run_id, meta)
     except JournalError as exc:
@@ -216,6 +269,13 @@ def _cmd_run(args) -> int:
     backend_config = _install_backend(args)
     journal = _open_journal(args)
     policy = _build_policy(args, journal)
+    try:
+        return _cmd_run_scoped(args, backend_config, journal, policy)
+    finally:
+        _close_executor(policy)
+
+
+def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
     out_dir = Path(args.out) if args.out else None
     if (args.trace or args.metrics or args.profile) and out_dir is None:
         raise SystemExit(
@@ -261,6 +321,7 @@ def _cmd_run(args) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "channel": args.channel,
+            "executor": args.executor,
             "backend": backend_config.to_dict(),
             "run_id": journal.run_id if journal is not None else None,
             "passed": bool(failures == 0),
@@ -306,6 +367,21 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    """Body of ``repro worker``: steal and execute dispatch tasks."""
+    from repro.engine.backends.dispatch import worker_loop
+
+    try:
+        return worker_loop(
+            args.runs_root,
+            name=args.name,
+            poll=args.poll,
+            max_idle=args.max_idle,
+        )
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_stats(args) -> int:
     try:
         print(render_run_dir(args.run_dir))
@@ -338,7 +414,10 @@ def _cmd_report(args) -> int:
             ]
         )
 
-    failures = _run_specs(args, on_result, policy)
+    try:
+        failures = _run_specs(args, on_result, policy)
+    finally:
+        _close_executor(policy)
     text = "\n".join(lines)
     if args.out:
         _write_text(Path(args.out), text)
@@ -447,6 +526,30 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="keep only the K strongest interferers per receiver (sparse "
         "gain matrices for large n; default dense/exact)",
     )
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_MODES, default="auto",
+        help="where sweep tasks run: auto (default; serial for --jobs 1, "
+        "a local process pool otherwise), serial, pool, or dispatch — a "
+        "work-stealing queue under --runs-root served by 'repro worker' "
+        "processes, possibly on other hosts (identical result bytes on "
+        "every backend)",
+    )
+    parser.add_argument(
+        "--dispatch-workers", type=int, default=0, metavar="N",
+        help="with --executor dispatch: also spawn N local worker "
+        "processes for the duration of the run (default 0 = rely on "
+        "externally started 'repro worker' processes)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=_timeout_arg, default=10.0, metavar="SECONDS",
+        help="with --executor dispatch: re-issue a claimed task whose "
+        "worker has not heartbeat for this long (default 10)",
+    )
+    parser.add_argument(
+        "--runs-root", default=DEFAULT_RUNS_ROOT, metavar="DIR",
+        help="directory holding run journals and dispatch queues "
+        f"(default {DEFAULT_RUNS_ROOT})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -490,11 +593,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="ID",
         help="replay a journaled run's completed tasks and execute the rest",
     )
-    run_p.add_argument(
-        "--runs-root", default=DEFAULT_RUNS_ROOT, metavar="DIR",
-        help=f"directory holding run journals (default {DEFAULT_RUNS_ROOT})",
-    )
     run_p.set_defaults(func=_cmd_run)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="serve dispatch queues under a runs root (start one per "
+        "core, on any host sharing the directory)",
+    )
+    worker_p.add_argument(
+        "runs_root",
+        help="the shared --runs-root directory dispatch runs publish "
+        "their task queues under",
+    )
+    worker_p.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="worker identity on leases and task spans "
+        "(default <hostname>-<pid>)",
+    )
+    worker_p.add_argument(
+        "--poll", type=_timeout_arg, default=0.1, metavar="SECONDS",
+        help="idle queue-scan interval (default 0.1)",
+    )
+    worker_p.add_argument(
+        "--max-idle", type=_timeout_arg, default=None, metavar="SECONDS",
+        help="exit after this long with no work (default: serve forever)",
+    )
+    worker_p.set_defaults(func=_cmd_worker)
 
     stats_p = sub.add_parser(
         "stats", help="render a past run directory's telemetry and faults"

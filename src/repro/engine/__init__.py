@@ -6,10 +6,13 @@ The engine is the layer between the experiment drivers and the CLI:
   DESIGN.md experiment (id, title, scale→config factory, runner), so the
   CLI and the benchmark suite discover experiments instead of
   hand-maintaining a table.
-* :mod:`repro.engine.executor` — a ``map_tasks`` abstraction with serial
-  and process-pool backends.  Each task carries a child
+* :mod:`repro.engine.executor` — a ``map_tasks`` abstraction over
+  pluggable execution backends (:mod:`repro.engine.backends`): serial,
+  process-pool, and a multi-host work-stealing dispatcher served by
+  ``repro worker`` processes.  Each task carries a child
   :class:`numpy.random.SeedSequence` spawned from the experiment's root
-  seed, so ``jobs=1`` and ``jobs=8`` produce bit-identical results.
+  seed, so every backend at every worker count produces bit-identical
+  results.
 * :mod:`repro.engine.faults` — failure records, retry policy with
   deterministic backoff jitter, and the per-run execution policy.
 * :mod:`repro.engine.journal` — incremental checkpointing of completed
@@ -26,8 +29,16 @@ spans, the registry opens one experiment span per run, and
 stage timer from :mod:`repro.obs.trace`.
 """
 
+from repro.engine.backends import (
+    DispatchBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_executor,
+)
 from repro.engine.executor import StageTimer, Task, make_tasks, map_tasks, resolve_jobs
 from repro.engine.faults import (
+    EXECUTOR_MODES,
     ExecutionPolicy,
     RetryPolicy,
     RunReport,
@@ -49,16 +60,22 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "DispatchBackend",
+    "EXECUTOR_MODES",
+    "ExecutionBackend",
     "ExecutionPolicy",
     "ExperimentSpec",
     "JournalError",
+    "ProcessPoolBackend",
     "RetryPolicy",
     "RunJournal",
     "RunReport",
+    "SerialBackend",
     "StageTimer",
     "Task",
     "TaskFailure",
     "all_specs",
+    "resolve_executor",
     "completed",
     "current_policy",
     "execution_scope",

@@ -1,0 +1,255 @@
+"""Shared machinery of every execution backend.
+
+An :class:`ExecutionBackend` turns a list of pending
+:class:`~repro.engine.executor.Task` objects into settled results under
+one :class:`RunState` (the resolved knobs of a ``map_tasks`` call).
+Everything that must behave identically no matter *where* a task runs
+lives here:
+
+* :func:`execute_task` — the instrumented task invocation (chaos hooks,
+  telemetry buffers, wall-clock) that runs in whatever process executes
+  the task;
+* :class:`TaskEnvelope` — the result wrapper that carries worker-side
+  telemetry (and the worker's identity) back to the dispatching process;
+* :func:`settle_success` / :func:`settle_failure` — the single settle
+  path (metric merge, task span, journal record, failure report) every
+  backend funnels through, in task order;
+* :func:`worker_bundle` / :func:`install_worker_bundle` — the shared
+  state a worker process must install before running tasks (context,
+  guard mode, chaos plan, metrics switch, array-backend config), used
+  by both the process pool's initializer and the multi-host dispatch
+  workers.
+
+The determinism contract is enforced by this split: task randomness
+rides on the tasks (spawned seeds), shared state ships via the bundle,
+and results settle in task order — so serial, process-pool, and
+dispatch execution produce bit-identical aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro import backend as array_backend
+from repro.engine import chaos, guards
+from repro.engine.faults import RetryPolicy, RunReport, TaskFailure
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.executor import Task
+    from repro.engine.journal import RunJournal
+
+__all__ = [
+    "ExecutionBackend",
+    "RunState",
+    "TaskEnvelope",
+    "execute_task",
+    "get_worker_context",
+    "get_worker_name",
+    "install_worker_bundle",
+    "record_event",
+    "set_worker_name",
+    "settle_failure",
+    "settle_success",
+    "worker_bundle",
+]
+
+#: Per-process shared state installed by ``map_tasks``'s ``context``
+#: argument — set once per worker (pool initializer, dispatch-queue
+#: bundle, or around the serial loop) and read back with
+#: :func:`get_worker_context`.
+_WORKER_CONTEXT: Any = None
+
+#: Identity of this worker process on task spans (``None`` in the main
+#: process; ``pool-<pid>`` in pool workers; the ``repro worker`` name in
+#: dispatch workers).
+_WORKER_NAME: "str | None" = None
+
+
+def get_worker_context() -> Any:
+    """The shared object passed as ``map_tasks(..., context=...)``.
+
+    Valid only inside a task function during a :func:`map_tasks` call
+    that supplied a context; returns ``None`` otherwise.
+    """
+    return _WORKER_CONTEXT
+
+
+def set_worker_context(context: Any) -> Any:
+    """Install the per-process shared context; returns the previous one."""
+    global _WORKER_CONTEXT
+    previous = _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    return previous
+
+
+def get_worker_name() -> "str | None":
+    """This process's worker identity, if it has declared one."""
+    return _WORKER_NAME
+
+
+def set_worker_name(name: "str | None") -> None:
+    """Declare this process's worker identity (attached to task spans)."""
+    global _WORKER_NAME
+    _WORKER_NAME = name
+
+
+def observing() -> bool:
+    """Whether task executions should ship telemetry envelopes: metrics
+    are being collected, or a tracer wants per-task spans."""
+    return obs_metrics.collecting() or obs_trace.current_tracer() is not None
+
+
+def worker_bundle(context: Any) -> tuple:
+    """Everything a worker process must install before running tasks:
+    the shared context, the guard strictness, any chaos plan, whether to
+    buffer telemetry metrics for shipping back, and the array-backend
+    configuration (so workers — pool or dispatch, local or remote —
+    compute under the parent's backend/dtype/top-k policy and the
+    determinism invariant holds)."""
+    plan = chaos.current_plan()
+    return (
+        context,
+        guards.get_guard_mode(),
+        None if plan is None else plan.to_dict(),
+        observing(),
+        array_backend.get_config().to_dict(),
+    )
+
+
+def install_worker_bundle(bundle: tuple) -> None:
+    """Install a :func:`worker_bundle` in this process: shared context,
+    guards, chaos, the metrics switch, and the array-backend config."""
+    context, guard_mode, chaos_doc, metrics_on, backend_doc = bundle
+    set_worker_context(context)
+    guards.set_guard_mode(guard_mode)
+    chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
+    obs_metrics.set_collection(metrics_on)
+    array_backend.set_config(array_backend.BackendConfig.from_dict(backend_doc))
+
+
+@dataclass
+class TaskEnvelope:
+    """A task result plus the telemetry measured where it executed.
+
+    When metrics collection is on, workers ship their buffered counter
+    deltas (plus the task's wall-clock and the worker's identity) back
+    to the dispatching process on this envelope; :func:`settle_success`
+    unwraps it, so journals, failure handling, and driver aggregation
+    only ever see the raw value — the envelope can never leak into
+    result bytes.
+    """
+
+    value: Any
+    metrics: "obs_metrics.MetricsRegistry | None"
+    seconds: float
+    worker: "str | None" = None
+
+
+def execute_task(fn: "Callable[[Task], Any]", task: "Task", stage: str) -> Any:
+    """Run one task with chaos + telemetry instrumentation (executes in
+    the worker).  Successful executions return a :class:`TaskEnvelope`
+    when metrics are being collected; failed attempts drop their buffer
+    (only metrics of executions that produced a result are aggregated,
+    which keeps the merged totals identical across worker counts)."""
+    chaos.set_current_task(stage, task.index)
+    collect = observing()
+    previous = obs_metrics.begin_task() if collect else None
+    start = time.perf_counter()
+    try:
+        chaos.on_task_start(stage, task.index)
+        value = fn(task)
+    finally:
+        chaos.set_current_task(None, None)
+        delta = obs_metrics.end_task(previous) if collect else None
+    if not collect:
+        return value
+    return TaskEnvelope(value, delta, time.perf_counter() - start, _WORKER_NAME)
+
+
+@dataclass
+class RunState:
+    """Resolved knobs of one ``map_tasks`` call, handed to the backend."""
+
+    fn: "Callable[[Task], Any]"
+    stage: str
+    context: Any
+    on_error: str
+    retry: RetryPolicy
+    timeout: "float | None"
+    journal: "RunJournal | None"
+    report: "RunReport | None"
+    n_jobs: int = 1
+
+
+def settle_success(state: RunState, task: "Task", outcome: Any) -> Any:
+    """Unwrap a telemetry envelope (merge metrics, emit the task span),
+    journal the raw value, and return it.  The journal always stores the
+    unwrapped value, so a checkpointed run resumes identically whether
+    telemetry was on or off when it recorded."""
+    if isinstance(outcome, TaskEnvelope):
+        value = outcome.value
+        obs_metrics.merge_task_metrics(outcome.metrics)
+        obs_metrics.observe("executor.task_seconds", outcome.seconds)
+        meta: "dict[str, Any]" = {"index": task.index, "stage": state.stage}
+        if outcome.worker is not None:
+            meta["worker"] = outcome.worker
+        obs_trace.record_complete(
+            "task-" + str(task.index), "task", outcome.seconds, **meta
+        )
+    else:
+        value = outcome
+    if state.journal is not None:
+        state.journal.record(state.stage, task.index, value)
+    return value
+
+
+def settle_failure(state: RunState, failure: TaskFailure) -> TaskFailure:
+    """Record a terminal task failure everywhere it must be visible."""
+    obs_metrics.add("executor.task_failures")
+    if state.report is not None:
+        state.report.record_failure(failure)
+    if state.journal is not None:
+        state.journal.log_failure(failure)
+    warnings.warn(failure.describe(), stacklevel=3)
+    return failure
+
+
+def record_event(state: RunState, kind: str, detail: str, **extra) -> None:
+    """Record a degradation event (timeout, pool-broken, worker-lost...)."""
+    obs_metrics.add("executor.events." + kind)
+    warnings.warn(f"{kind}: {detail}", stacklevel=3)
+    if state.report is not None:
+        state.report.record_event(kind, detail, stage=state.stage, **extra)
+
+
+class ExecutionBackend:
+    """Protocol of an execution backend.
+
+    A backend receives the resolved :class:`RunState`, the pending tasks
+    (journal-replayed results already removed), and the mutable
+    ``results`` mapping to fill — one entry per pending task index,
+    holding either the task's value or a
+    :class:`~repro.engine.faults.TaskFailure`.  Backends must settle
+    every outcome through :func:`settle_success` / :func:`settle_failure`
+    and must never touch task randomness, so any backend at any worker
+    count produces bit-identical aggregates.
+    """
+
+    #: Short name used by ``--executor`` and the ambient policy.
+    name = "abstract"
+
+    def run(
+        self,
+        state: RunState,
+        pending: "list[Task]",
+        results: "dict[int, Any]",
+    ) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (dispatch workers, queues)."""

@@ -1,0 +1,693 @@
+"""Dispatch backend — multi-host work-stealing over a shared directory.
+
+The serial and pool backends are bounded by one machine's core count.
+This backend removes that ceiling without a network stack: the
+dispatcher (the process inside ``map_tasks``) publishes a *task queue*
+as plain files under a runs root, and any number of worker processes —
+started with ``repro worker <runs-root>``, on this host or on any host
+that mounts the same directory — steal tasks from it::
+
+    <runs-root>/queues/<queue-id>/
+        manifest.json        # queue announce: stage, status open|closed,
+                             # task count, worker heartbeat period
+        bundle.pkl           # task function + shared worker bundle
+                             # (context, guards, chaos plan, metrics
+                             # switch, array-backend config)
+        todo/task-NNNNNN-aK.pkl      # unclaimed task, attempt K
+        claimed/task-NNNNNN-aK.pkl   # claimed by exactly one worker
+        leases/lease-NNNNNN.json     # who holds it; mtime = heartbeat
+        results/task-NNNNNN-aK.pkl   # result envelope streamed back
+
+Work stealing is one atomic ``os.rename`` from ``todo/`` into
+``claimed/`` — exactly one worker wins the race, no locks, no server.
+The winner records a lease (:class:`~repro.engine.journal.LeaseLedger`)
+and touches it while the task executes; the dispatcher measures
+heartbeats on its **own** monotonic clock (cross-host wall clocks are
+never compared), declares a worker lost when its lease stops moving,
+and re-issues the task.  Every file is written atomically
+(write-then-rename), so readers on any host see whole records or
+nothing.
+
+Determinism is inherited, not re-proven: tasks carry their spawned
+seeds, workers install the dispatcher's exact bundle before executing,
+result envelopes are settled strictly in task order, and retry /
+timeout / worker-loss recovery re-executes tasks whose randomness lives
+on the task — so ``--executor dispatch`` with any worker count (and any
+worker deaths) produces result bytes identical to ``--executor serial``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.engine import chaos
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    RunState,
+    execute_task,
+    install_worker_bundle,
+    record_event,
+    set_worker_name,
+    settle_failure,
+    settle_success,
+    worker_bundle,
+)
+from repro.engine.backends.serial import attempt_serial
+from repro.engine.faults import TaskFailure, is_failure
+from repro.engine.journal import LeaseLedger
+from repro.obs import metrics as obs_metrics
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.executor import Task
+
+__all__ = [
+    "DEFAULT_DISPATCH_ROOT",
+    "DISPATCH_ROOT_ENV",
+    "DispatchBackend",
+    "sleep_echo_task",
+    "worker_loop",
+]
+
+#: Where queues live when no root is configured (matches the CLI's
+#: default ``--runs-root``).
+DEFAULT_DISPATCH_ROOT = ".repro-runs"
+
+#: Environment override for the queue root when ``--executor dispatch``
+#: is selected without a configured backend instance.
+DISPATCH_ROOT_ENV = "REPRO_DISPATCH_ROOT"
+
+_MANIFEST_FORMAT = "repro-dispatch-queue"
+_MANIFEST_VERSION = 1
+
+#: A task whose workers keep dying is re-executed locally after this
+#: many losses (the dispatch analogue of the pool's degraded-serial
+#: recovery) — worker deaths never fail a run by themselves.
+_MAX_WORKER_LOSSES = 3
+
+#: Seconds without any claim before the dispatcher reminds the user
+#: that dispatch needs ``repro worker`` processes.
+_NO_WORKER_HINT_AFTER = 10.0
+
+_TASK_FILE = re.compile(r"^task-(\d{6})-a(\d+)\.pkl$")
+_SAFE = re.compile(r"[^-._A-Za-z0-9]")
+
+
+def _task_name(index: int, attempt: int) -> str:
+    return f"task-{int(index):06d}-a{int(attempt)}.pkl"
+
+
+def _parse_task_name(name: str) -> "tuple[int, int] | None":
+    m = _TASK_FILE.match(name)
+    return None if m is None else (int(m.group(1)), int(m.group(2)))
+
+
+def sleep_echo_task(task: "Task") -> Any:
+    """Benchmark/smoke task function, module-level so external dispatch
+    workers can unpickle it by reference: optionally sleeps
+    ``payload["sleep"]`` seconds, then echoes its payload."""
+    payload = task.payload
+    if isinstance(payload, dict) and payload.get("sleep"):
+        time.sleep(float(payload["sleep"]))
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher side.
+# ---------------------------------------------------------------------------
+
+
+class DispatchBackend(ExecutionBackend):
+    """Publish tasks to a shared-directory queue and merge streamed
+    result envelopes back in task order.
+
+    Parameters
+    ----------
+    root:
+        The shared runs root (workers join with ``repro worker ROOT``).
+        Defaults to ``$REPRO_DISPATCH_ROOT`` or ``.repro-runs``.
+    local_workers:
+        Convenience: spawn this many local ``repro worker`` processes
+        the first time a queue opens (killed again by :meth:`close`).
+        Zero (the default) relies on externally started workers.
+    lease_timeout:
+        Seconds a claimed task's lease may go without a heartbeat before
+        its worker is declared lost and the task is re-issued.
+    poll:
+        Dispatcher poll interval in seconds.
+    """
+
+    name = "dispatch"
+
+    def __init__(
+        self,
+        root=None,
+        *,
+        local_workers: int = 0,
+        lease_timeout: float = 10.0,
+        poll: float = 0.05,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        self.root = Path(
+            root
+            if root is not None
+            else os.environ.get(DISPATCH_ROOT_ENV, DEFAULT_DISPATCH_ROOT)
+        )
+        self.local_workers = int(local_workers)
+        self.lease_timeout = float(lease_timeout)
+        self.poll = float(poll)
+        self._seq = 0
+        self._procs: "list[subprocess.Popen]" = []
+        self._spawned = False
+
+    # -- queue lifecycle ---------------------------------------------------
+
+    def _queue_dir(self, stage: str) -> Path:
+        self._seq += 1
+        stage_part = _SAFE.sub("_", stage) or "stage"
+        queue_id = f"{socket.gethostname()}-{os.getpid()}-{self._seq:03d}-{stage_part}"
+        return self.root / "queues" / queue_id
+
+    def _open_queue(
+        self, state: RunState, pending: "list[Task]", attempts: "dict[int, int]"
+    ) -> Path:
+        """Publish bundle + todo files, then the manifest (workers only
+        act once the manifest appears, so ordering makes the queue
+        appear atomically complete)."""
+        qdir = self._queue_dir(state.stage)
+        for sub in ("todo", "claimed", "leases", "results"):
+            (qdir / sub).mkdir(parents=True)
+        bundle_doc = {
+            "fn": state.fn,
+            "stage": state.stage,
+            "bundle": worker_bundle(state.context),
+        }
+        atomic_write_bytes(qdir / "bundle.pkl", pickle.dumps(bundle_doc, protocol=4))
+        for task in pending:
+            attempts[task.index] = 1
+            atomic_write_bytes(
+                qdir / "todo" / _task_name(task.index, 1),
+                pickle.dumps(task, protocol=4),
+            )
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "queue": qdir.name,
+            "stage": state.stage,
+            "status": "open",
+            "tasks": len(pending),
+            "heartbeat": max(0.2, self.lease_timeout / 4.0),
+        }
+        atomic_write_text(qdir / "manifest.json", json.dumps(manifest, indent=2) + "\n")
+        obs_metrics.add("executor.dispatch.queues")
+        return qdir
+
+    @staticmethod
+    def _close_queue(qdir: Path) -> None:
+        try:
+            doc = json.loads((qdir / "manifest.json").read_text(encoding="utf-8"))
+            doc["status"] = "closed"
+            atomic_write_text(qdir / "manifest.json", json.dumps(doc) + "\n")
+        except OSError:
+            pass
+        shutil.rmtree(qdir, ignore_errors=True)
+
+    # -- local convenience workers ----------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self.local_workers <= 0 or self._spawned:
+            return
+        self._spawned = True
+        pkg_root = str(Path(__file__).resolve().parents[3])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        for i in range(self.local_workers):
+            self._procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "worker", str(self.root),
+                        "--poll", "0.02", "--max-idle", "600",
+                        "--name", f"local-{os.getpid()}-{i}",
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+
+    def close(self) -> None:
+        """Terminate any locally spawned workers."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self._procs.clear()
+        self._spawned = False
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def run(
+        self,
+        state: RunState,
+        pending: "list[Task]",
+        results: "dict[int, Any]",
+    ) -> None:
+        if not pending:
+            return
+        taskmap = {t.index: t for t in pending}
+        order = [t.index for t in pending]
+        attempts: "dict[int, int]" = {}
+        losses: "dict[int, int]" = {i: 0 for i in order}
+        terminal: "dict[int, tuple[str, Any]]" = {}
+        reissue_at: "dict[int, tuple[float, int]]" = {}
+        claim_seen: "dict[int, float]" = {}
+        beat_seen: "dict[int, tuple[float, float]]" = {}
+        settle_ptr = 0
+        started = time.monotonic()
+        hinted = False
+
+        qdir = self._open_queue(state, pending, attempts)
+        ledger = LeaseLedger(qdir / "leases")
+        self._ensure_workers()
+        try:
+            while settle_ptr < len(order):
+                now = time.monotonic()
+                self._harvest(state, qdir, ledger, taskmap, attempts, terminal,
+                              reissue_at, claim_seen, beat_seen, now)
+                self._watch_inflight(state, qdir, ledger, taskmap, attempts,
+                                     losses, terminal, reissue_at, claim_seen,
+                                     beat_seen, now)
+                self._issue_due(qdir, taskmap, attempts, reissue_at,
+                                claim_seen, beat_seen, now)
+                while settle_ptr < len(order) and order[settle_ptr] in terminal:
+                    idx = order[settle_ptr]
+                    kind, payload = terminal.pop(idx)
+                    if kind == "ok":
+                        results[idx] = settle_success(state, taskmap[idx], payload)
+                    else:
+                        results[idx] = settle_failure(state, payload)
+                    terminal[idx] = ("settled", None)
+                    settle_ptr += 1
+                if (
+                    not hinted
+                    and not claim_seen
+                    and settle_ptr < len(order)
+                    and now - started > _NO_WORKER_HINT_AFTER
+                ):
+                    hinted = True
+                    print(
+                        f"dispatch: no worker has claimed a task yet; start "
+                        f"workers with: repro worker {self.root}",
+                        file=sys.stderr,
+                    )
+                if settle_ptr < len(order):
+                    time.sleep(self.poll)
+        finally:
+            self._close_queue(qdir)
+
+    # The helpers below mutate the per-run dicts the loop owns; ``terminal``
+    # maps a resolved index to ("ok", outcome) / ("fail", TaskFailure) until
+    # the ordered settle replaces it with ("settled", None).
+
+    def _clear_inflight(
+        self,
+        qdir: Path,
+        ledger: LeaseLedger,
+        idx: int,
+        attempt: int,
+        claim_seen: "dict[int, float]",
+        beat_seen: "dict[int, tuple[float, float]]",
+    ) -> None:
+        try:
+            (qdir / "claimed" / _task_name(idx, attempt)).unlink()
+        except OSError:
+            pass
+        try:
+            (qdir / "todo" / _task_name(idx, attempt)).unlink()
+        except OSError:
+            pass
+        ledger.release(idx)
+        claim_seen.pop(idx, None)
+        beat_seen.pop(idx, None)
+
+    def _harvest(self, state, qdir, ledger, taskmap, attempts, terminal,
+                 reissue_at, claim_seen, beat_seen, now) -> None:
+        """Consume streamed result envelopes; schedule retries for
+        failed attempts; raise under ``on_error="raise"``."""
+        results_dir = qdir / "results"
+        try:
+            names = sorted(p.name for p in results_dir.iterdir())
+        except OSError:
+            return
+        for name in names:
+            parsed = _parse_task_name(name)
+            if parsed is None:
+                continue
+            idx, attempt = parsed
+            path = results_dir / name
+            try:
+                doc = pickle.loads(path.read_bytes())
+            except Exception:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            if (
+                idx in terminal
+                or idx in reissue_at
+                or idx not in taskmap
+                or attempt != attempts.get(idx)
+            ):
+                continue  # stale attempt (timed out and re-issued) or unknown
+            self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
+            if doc.get("ok"):
+                terminal[idx] = ("ok", doc["outcome"])
+                continue
+            if state.on_error == "raise":
+                exc = None
+                if doc.get("exception") is not None:
+                    try:
+                        exc = pickle.loads(doc["exception"])
+                    except Exception:
+                        exc = None
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise RuntimeError(
+                    f"task {idx} (stage {state.stage!r}) failed on worker "
+                    f"{doc.get('worker')!r}: [{doc.get('error_type')}] "
+                    f"{doc.get('message')}"
+                )
+            if state.on_error == "retry" and attempt < state.retry.max_attempts:
+                obs_metrics.add("executor.retries")
+                reissue_at[idx] = (now + state.retry.delay(idx, attempt), attempt + 1)
+                continue
+            terminal[idx] = (
+                "fail",
+                TaskFailure(
+                    index=idx,
+                    stage=state.stage,
+                    kind="error",
+                    error_type=str(doc.get("error_type")),
+                    message=str(doc.get("message")),
+                    attempts=attempt,
+                ),
+            )
+
+    def _watch_inflight(self, state, qdir, ledger, taskmap, attempts, losses,
+                        terminal, reissue_at, claim_seen, beat_seen, now) -> None:
+        """Track claims and heartbeats; enforce the per-task wall-clock
+        budget; re-issue tasks whose worker stopped heartbeating."""
+        for idx in taskmap:
+            if idx in terminal or idx in reissue_at:
+                continue
+            attempt = attempts[idx]
+            claimed = (qdir / "claimed" / _task_name(idx, attempt)).exists()
+            if not claimed:
+                if (
+                    idx in claim_seen
+                    and not (qdir / "results" / _task_name(idx, attempt)).exists()
+                ):
+                    # Claim vanished without a result (a worker died
+                    # mid-cleanup): treat like a lost worker below.  When
+                    # a result file exists the worker simply finished
+                    # between our harvest and this scan.
+                    self._worker_lost(state, qdir, ledger, taskmap, attempts,
+                                      losses, terminal, reissue_at, claim_seen,
+                                      beat_seen, idx, now)
+                continue
+            if idx not in claim_seen:
+                claim_seen[idx] = now
+            mt = ledger.mtime(idx)
+            prev = beat_seen.get(idx)
+            if mt is not None and (prev is None or mt != prev[0]):
+                beat_seen[idx] = (mt, now)
+            if state.timeout is not None and now - claim_seen[idx] > state.timeout:
+                self._timed_out(state, qdir, ledger, attempts, terminal,
+                                reissue_at, claim_seen, beat_seen, idx, now)
+                continue
+            last_sign = beat_seen[idx][1] if idx in beat_seen else claim_seen[idx]
+            if now - last_sign > self.lease_timeout:
+                self._worker_lost(state, qdir, ledger, taskmap, attempts, losses,
+                                  terminal, reissue_at, claim_seen, beat_seen,
+                                  idx, now)
+
+    def _timed_out(self, state, qdir, ledger, attempts, terminal, reissue_at,
+                   claim_seen, beat_seen, idx, now) -> None:
+        attempt = attempts[idx]
+        budget = state.timeout if state.timeout is not None else 0.0
+        record_event(
+            state,
+            "timeout",
+            f"task {idx} exceeded its {budget:g}s wall-clock budget on the "
+            "dispatch backend; abandoning the attempt",
+            index=idx,
+        )
+        # Bump the attempt so a late result from the hung worker is
+        # ignored as stale (the worker itself cannot be preempted).
+        self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
+        if state.on_error == "raise":
+            raise TimeoutError(
+                f"task {idx} (stage {state.stage!r}) exceeded its "
+                f"{budget:g}s wall-clock budget"
+            )
+        if state.on_error == "retry" and attempt < state.retry.max_attempts:
+            obs_metrics.add("executor.retries")
+            reissue_at[idx] = (now + state.retry.delay(idx, attempt), attempt + 1)
+            return
+        attempts[idx] = attempt + 1
+        terminal[idx] = (
+            "fail",
+            TaskFailure(
+                index=idx,
+                stage=state.stage,
+                kind="timeout",
+                error_type="TimeoutError",
+                message=f"exceeded {budget:g}s budget",
+                attempts=attempt,
+            ),
+        )
+
+    def _worker_lost(self, state, qdir, ledger, taskmap, attempts, losses,
+                     terminal, reissue_at, claim_seen, beat_seen, idx, now) -> None:
+        lease = ledger.load(idx) or {}
+        attempt = attempts[idx]
+        losses[idx] += 1
+        obs_metrics.add("executor.dispatch.workers_lost")
+        record_event(
+            state,
+            "worker-lost",
+            f"worker {lease.get('worker', '<unknown>')!r} stopped "
+            f"heartbeating while holding task {idx}; re-issuing the task",
+            index=idx,
+        )
+        self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
+        if losses[idx] > _MAX_WORKER_LOSSES:
+            # Workers keep dying on this task — the dispatch analogue of
+            # a repeatedly broken pool: execute it locally instead of
+            # failing the run.
+            record_event(
+                state,
+                "degraded-serial",
+                f"task {idx} lost {losses[idx]} workers; executing it "
+                "in the dispatcher process",
+                index=idx,
+            )
+            outcome = attempt_serial(state, taskmap[idx])
+            terminal[idx] = ("fail", outcome) if is_failure(outcome) else ("ok", outcome)
+            return
+        # Worker loss is not a task failure: re-issue the same attempt.
+        reissue_at[idx] = (now, attempt)
+
+    def _issue_due(self, qdir, taskmap, attempts, reissue_at,
+                   claim_seen, beat_seen, now) -> None:
+        for idx, (due, attempt) in list(reissue_at.items()):
+            if due > now:
+                continue
+            del reissue_at[idx]
+            attempts[idx] = attempt
+            claim_seen.pop(idx, None)
+            beat_seen.pop(idx, None)
+            obs_metrics.add("executor.dispatch.reissues")
+            try:
+                atomic_write_bytes(
+                    qdir / "todo" / _task_name(idx, attempt),
+                    pickle.dumps(taskmap[idx], protocol=4),
+                )
+            except OSError:
+                reissue_at[idx] = (now, attempt)  # transient FS error; retry
+
+
+# ---------------------------------------------------------------------------
+# Worker side (``repro worker <runs-root>``).
+# ---------------------------------------------------------------------------
+
+
+def _scan_queues(root: Path) -> "list[Path]":
+    """Open dispatch queues under a runs root, oldest name first."""
+    queues = root / "queues"
+    try:
+        candidates = sorted(p for p in queues.iterdir() if p.is_dir())
+    except OSError:
+        return []
+    return [p for p in candidates if (p / "manifest.json").is_file()]
+
+
+def _claim_next(qdir: Path) -> "tuple[Path, int, int] | None":
+    """Steal one task: atomically rename a todo file into ``claimed/``.
+
+    Exactly one worker wins each rename; losers see ``FileNotFoundError``
+    and move on to the next file.
+    """
+    todo = qdir / "todo"
+    try:
+        names = sorted(p.name for p in todo.iterdir())
+    except OSError:
+        return None
+    for name in names:
+        parsed = _parse_task_name(name)
+        if parsed is None:
+            continue
+        target = qdir / "claimed" / name
+        try:
+            os.rename(todo / name, target)
+        except OSError:
+            continue  # another worker won the race (or the queue closed)
+        return target, parsed[0], parsed[1]
+    return None
+
+
+def _heartbeat_loop(ledger: LeaseLedger, index: int, period: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(period):
+        ledger.heartbeat(index)
+
+
+def _run_claimed(qdir: Path, fn, stage: str, worker: str, heartbeat: float,
+                 claimed: Path, idx: int, attempt: int) -> None:
+    """Execute one stolen task and stream its envelope back.  Never
+    raises: every failure becomes an envelope (or, for hard process
+    death, a stale lease the dispatcher will notice)."""
+    ledger = LeaseLedger(qdir / "leases")
+    ledger.claim(idx, attempt, worker)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(ledger, idx, heartbeat, stop), daemon=True
+    )
+    beat.start()
+    try:
+        try:
+            task = pickle.loads(claimed.read_bytes())
+            outcome = execute_task(fn, task, stage)
+            doc: "dict[str, Any]" = {
+                "ok": True, "outcome": outcome, "worker": worker, "attempt": attempt,
+            }
+            payload = pickle.dumps(doc, protocol=4)
+        except Exception as exc:
+            doc = {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "worker": worker,
+                "attempt": attempt,
+            }
+            try:
+                doc["exception"] = pickle.dumps(exc, protocol=4)
+            except Exception:
+                doc["exception"] = None
+            payload = pickle.dumps(doc, protocol=4)
+        try:
+            atomic_write_bytes(qdir / "results" / _task_name(idx, attempt), payload)
+        except OSError:
+            pass  # queue closed under us; the attempt was already re-issued
+    finally:
+        stop.set()
+        beat.join(timeout=1.0)
+        ledger.release(idx)
+        try:
+            claimed.unlink()
+        except OSError:
+            pass
+
+
+def _drain_queue(qdir: Path, worker: str) -> int:
+    """Steal and execute tasks from one queue until its todo pile is
+    empty; returns how many tasks this worker executed."""
+    try:
+        manifest = json.loads((qdir / "manifest.json").read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return 0
+    if (
+        manifest.get("format") != _MANIFEST_FORMAT
+        or manifest.get("status") != "open"
+    ):
+        return 0
+    try:
+        bundle_doc = pickle.loads((qdir / "bundle.pkl").read_bytes())
+        install_worker_bundle(bundle_doc["bundle"])
+        fn, stage = bundle_doc["fn"], bundle_doc["stage"]
+    except Exception:
+        return 0  # half-removed queue, or a bundle this worker cannot load
+    heartbeat = float(manifest.get("heartbeat", 1.0))
+    count = 0
+    while True:
+        stolen = _claim_next(qdir)
+        if stolen is None:
+            return count
+        claimed, idx, attempt = stolen
+        _run_claimed(qdir, fn, stage, worker, heartbeat, claimed, idx, attempt)
+        count += 1
+
+
+def worker_loop(
+    root,
+    *,
+    name: "str | None" = None,
+    poll: float = 0.1,
+    max_idle: "float | None" = None,
+) -> int:
+    """Serve dispatch queues under ``root`` until told to stop.
+
+    The body of ``repro worker``: scan for open queues, steal tasks,
+    execute them under the dispatcher's shipped bundle, and stream
+    envelopes back.  Exits 0 after ``max_idle`` seconds with nothing to
+    do (``None`` = serve forever).  Chaos ``worker-lost`` faults may
+    kill this process hard — that is the point of them.
+    """
+    root = Path(root)
+    worker = name or f"{socket.gethostname()}-{os.getpid()}"
+    chaos.declare_worker_process()
+    set_worker_name(worker)
+    idle_since = time.monotonic()
+    while True:
+        processed = 0
+        for qdir in _scan_queues(root):
+            processed += _drain_queue(qdir, worker)
+        if processed:
+            idle_since = time.monotonic()
+        else:
+            if max_idle is not None and time.monotonic() - idle_since >= max_idle:
+                return 0
+            time.sleep(poll)

@@ -1,0 +1,217 @@
+"""Process-pool backend — :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Workers are initialised with the shared worker bundle (context, guards,
+chaos plan, metrics switch, array-backend config), futures are awaited
+in task order, and every fault path of the single-host world is
+handled here: a task exception is retried or settled, a hung task is
+abandoned after its wall-clock budget (the pool is restarted so the
+remaining tasks keep running), and a broken pool (a worker died hard)
+is rebuilt a bounded number of times before degrading to re-executing
+the unfinished remainder on the serial backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    RunState,
+    execute_task,
+    install_worker_bundle,
+    record_event,
+    set_worker_name,
+    settle_failure,
+    settle_success,
+    worker_bundle,
+)
+from repro.engine.backends.serial import SerialBackend
+from repro.engine.faults import TaskFailure
+from repro.obs import metrics as obs_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.executor import Task
+
+__all__ = ["ProcessPoolBackend"]
+
+#: How many times a broken pool is rebuilt (under ``on_error="retry"``)
+#: before the run degrades to the serial backend.
+_MAX_POOL_REBUILDS = 2
+
+
+def _init_worker(bundle: tuple) -> None:
+    """Pool initializer: install the shared worker bundle and declare
+    this process's identity for task spans."""
+    install_worker_bundle(bundle)
+    set_worker_name(f"pool-{os.getpid()}")
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # already gone
+            pass
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute pending tasks on a local pool of worker processes."""
+
+    name = "pool"
+
+    def run(
+        self,
+        state: RunState,
+        pending: "list[Task]",
+        results: "dict[int, Any]",
+    ) -> None:
+        queue: "dict[int, Task]" = {t.index: t for t in pending}
+        attempts: "dict[int, int]" = {t.index: 0 for t in pending}
+        pool_breaks = 0
+        while queue:
+            submitted = sorted(queue)
+            pool = ProcessPoolExecutor(
+                max_workers=min(max(state.n_jobs, 1), len(submitted)),
+                initializer=_init_worker,
+                initargs=(worker_bundle(state.context),),
+            )
+            futures = {}
+            for idx in submitted:
+                attempts[idx] += 1
+                futures[idx] = pool.submit(
+                    execute_task, state.fn, queue[idx], state.stage
+                )
+            abort = None
+            for idx in submitted:
+                if idx not in queue:
+                    continue
+                fut = futures[idx]
+                try:
+                    value = fut.result(timeout=state.timeout)
+                except BrokenExecutor:
+                    abort = "broken"
+                    break
+                except _FuturesTimeout as exc:
+                    if fut.done():  # the task itself raised a TimeoutError
+                        if state.on_error == "raise":
+                            pool.shutdown(wait=True, cancel_futures=True)
+                            raise
+                        self._task_error(state, queue, attempts, results, idx, exc)
+                        continue
+                    budget = state.timeout if state.timeout is not None else 0.0
+                    record_event(
+                        state,
+                        "timeout",
+                        f"task {idx} exceeded its {budget:g}s wall-clock budget; "
+                        "restarting the worker pool",
+                        index=idx,
+                    )
+                    if state.on_error == "raise":
+                        _kill_pool(pool)
+                        raise TimeoutError(
+                            f"task {idx} (stage {state.stage!r}) exceeded its "
+                            f"{budget:g}s wall-clock budget"
+                        ) from None
+                    self._task_error(
+                        state, queue, attempts, results, idx,
+                        TimeoutError(f"exceeded {budget:g}s budget"), kind="timeout",
+                    )
+                    abort = "timeout"
+                    break
+                except Exception as exc:
+                    if state.on_error == "raise":
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        raise
+                    self._task_error(state, queue, attempts, results, idx, exc)
+                else:
+                    results[idx] = settle_success(state, queue.pop(idx), value)
+
+            if abort is None:
+                pool.shutdown(wait=True)
+            else:
+                self._harvest_done(state, futures, queue, results)
+                _kill_pool(pool)
+                if abort == "broken":
+                    pool_breaks += 1
+                    record_event(
+                        state,
+                        "pool-broken",
+                        "a worker process died and broke the pool "
+                        f"({len(queue)} task(s) unresolved)",
+                    )
+                    can_rebuild = (
+                        state.on_error == "retry"
+                        and pool_breaks <= _MAX_POOL_REBUILDS
+                        and all(
+                            attempts[i] < state.retry.max_attempts for i in queue
+                        )
+                    )
+                    if not can_rebuild:
+                        if queue:
+                            record_event(
+                                state,
+                                "degraded-serial",
+                                f"re-executing the unfinished {len(queue)} task(s) "
+                                "on the serial backend",
+                            )
+                            SerialBackend().run(
+                                state, [queue[i] for i in sorted(queue)], results
+                            )
+                            queue.clear()
+                        return
+                    obs_metrics.add("executor.pool_rebuilds")
+            if state.on_error == "retry" and queue:
+                time.sleep(max(state.retry.delay(i, attempts[i]) for i in queue))
+
+    @staticmethod
+    def _task_error(
+        state: RunState,
+        queue: "dict[int, Task]",
+        attempts: "dict[int, int]",
+        results: "dict[int, Any]",
+        idx: int,
+        exc: BaseException,
+        kind: str = "error",
+    ) -> None:
+        """Handle a task-level failure on the pool backend: requeue for a
+        retry when the policy allows, else settle a :class:`TaskFailure`."""
+        if state.on_error == "retry" and attempts[idx] < state.retry.max_attempts:
+            obs_metrics.add("executor.retries")
+            return  # stays in the queue; next pool round re-runs it
+        queue.pop(idx)
+        results[idx] = settle_failure(
+            state,
+            TaskFailure(
+                index=idx,
+                stage=state.stage,
+                kind=kind,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempts[idx],
+            ),
+        )
+
+    @staticmethod
+    def _harvest_done(
+        state: RunState,
+        futures: dict,
+        queue: "dict[int, Task]",
+        results: "dict[int, Any]",
+    ) -> None:
+        """After an abort, collect results of futures that finished cleanly
+        before the pool went down (their work must not be discarded)."""
+        for idx in list(queue):
+            fut = futures.get(idx)
+            if fut is None or not fut.done():
+                continue
+            try:
+                value = fut.result(timeout=0)
+            except Exception:
+                continue  # broken-pool sentinel or task error: re-run / re-judge later
+            results[idx] = settle_success(state, queue.pop(idx), value)

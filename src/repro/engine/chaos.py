@@ -10,6 +10,12 @@ every recovery path of the engine exercisable on demand.  A
   :class:`ChaosError` so a serial fallback never kills the run itself);
 * ``kind="hang"`` — the task sleeps past any reasonable wall-clock
   budget, exercising the executor's timeout path;
+* ``kind="worker-lost"`` — the process dies hard *while holding a task
+  lease*: in a dispatch worker (a process that called
+  :func:`declare_worker_process`, i.e. ``repro worker``) or a pool
+  worker this is ``os._exit``, leaving the claimed task's lease to go
+  stale so the dispatcher's re-issue path is exercised; in a main
+  process it downgrades to a :class:`ChaosError`;
 * ``kind="nan"`` — a numerical kernel's output array is corrupted with
   NaNs at chosen link positions, exercising the
   :mod:`~repro.engine.guards` layer.
@@ -52,9 +58,11 @@ __all__ = [
     "active",
     "corrupt",
     "current_plan",
+    "declare_worker_process",
     "install",
     "install_from_env",
     "install_from_file",
+    "is_worker_process",
     "on_task_start",
     "set_current_task",
     "uninstall",
@@ -63,7 +71,7 @@ __all__ = [
 #: Environment variable naming a JSON chaos-plan file.
 CHAOS_ENV = "REPRO_CHAOS"
 
-FAULT_KINDS = ("raise", "exit", "hang", "nan")
+FAULT_KINDS = ("raise", "exit", "hang", "nan", "worker-lost")
 
 
 class ChaosError(RuntimeError):
@@ -145,6 +153,20 @@ class ChaosPlan:
 _PLAN: "ChaosPlan | None" = None
 #: The (stage, index) of the task currently executing in this process.
 _CURRENT_TASK: "tuple[str, int] | None" = None
+#: Whether this process declared itself a dispatch worker (``repro
+#: worker``) — the target population of ``worker-lost`` faults.
+_WORKER_PROCESS = False
+
+
+def declare_worker_process(flag: bool = True) -> None:
+    """Mark this process as a dispatch worker (``worker-lost`` faults
+    may kill it hard instead of downgrading to an exception)."""
+    global _WORKER_PROCESS
+    _WORKER_PROCESS = bool(flag)
+
+
+def is_worker_process() -> bool:
+    return _WORKER_PROCESS
 
 
 def install(plan: "ChaosPlan | None") -> None:
@@ -235,6 +257,17 @@ def on_task_start(stage: str, index: int) -> None:
                     "downgraded to an exception in the main process"
                 )
             os._exit(43)
+        if fault.kind == "worker-lost":
+            # Kill any kind of worker — a dispatch worker (its own
+            # top-level process, so ``exit`` would not reach it) dies
+            # holding its task lease, which is exactly the stale-lease
+            # shape the dispatcher's re-issue path recovers from.
+            if _WORKER_PROCESS or multiprocessing.parent_process() is not None:
+                os._exit(44)
+            raise ChaosError(
+                f"injected worker loss in task {index} (stage {stage!r}) "
+                "downgraded to an exception in the main process"
+            )
 
 
 def corrupt(site: str, arr: np.ndarray) -> np.ndarray:

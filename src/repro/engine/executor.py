@@ -2,68 +2,64 @@
 
 Every experiment sweep (networks × seeds × trials) is expressed as a
 list of :class:`Task` objects mapped through a pure task function with
-:func:`map_tasks`.  Two backends are provided:
+:func:`map_tasks`.  Execution is delegated to a pluggable backend (see
+:mod:`repro.engine.backends`):
 
-* **serial** (``jobs=1``) — a plain loop in the calling process;
-* **process pool** (``jobs>1``) — :class:`concurrent.futures.ProcessPoolExecutor`.
+* **serial** — a plain loop in the calling process (the reference
+  implementation);
+* **pool** — a local :class:`concurrent.futures.ProcessPoolExecutor`;
+* **dispatch** — a multi-host work-stealing file queue served by
+  ``repro worker`` processes sharing a runs root;
+* **auto** (the default) — serial for ``jobs <= 1`` or single-task
+  sweeps, the pool otherwise (the historical behaviour).
 
 Determinism contract: a task function may only draw randomness from its
 task — either the task's ``seed`` (a child
 :class:`~numpy.random.SeedSequence` spawned from the experiment's root
 seed) or streams re-derived inside the worker from seeds in the payload
-(e.g. via :class:`repro.utils.rng.RngFactory`).  Results are returned in
+(e.g. via :class:`repro.utils.rng.RngFactory`).  Results are settled in
 task order regardless of completion order, and aggregation happens in
-that fixed order, so ``jobs=1`` and ``jobs=8`` produce bit-identical
-results.
+that fixed order, so any backend at any worker count — including
+workers on other hosts, including workers that die mid-task — produces
+bit-identical results.
 
 Shared read-only state (a config, a generated network list, a channel
 spec) can be passed once per worker through ``map_tasks(..., context=...)``
-instead of being pickled into every task payload: the process backend
-ships it via the pool's ``initializer`` and task functions read it back
-with :func:`get_worker_context`.  Context must never carry randomness —
-seeds stay on the tasks, so the ``jobs`` invariance is unaffected.
+instead of being pickled into every task payload: process backends ship
+it via the shared worker bundle (pool initializer / dispatch-queue
+bundle) and task functions read it back with :func:`get_worker_context`.
+Context must never carry randomness — seeds stay on the tasks, so the
+backend invariance is unaffected.
 
 Fault tolerance (see :mod:`repro.engine.faults`): ``map_tasks`` accepts
 an error policy (``on_error="raise" | "skip" | "retry"``), a per-task
-wall-clock ``timeout`` for the process backend, a
+wall-clock ``timeout`` for the process backends, a
 :class:`~repro.engine.faults.RetryPolicy` (exponential backoff with
 deterministic jitter), and a :class:`~repro.engine.journal.RunJournal`
 for checkpoint/resume.  Under ``skip``/``retry`` a task that ultimately
 cannot produce a result occupies its slot with a structured
 :class:`~repro.engine.faults.TaskFailure` instead of raising, a hung
-task is abandoned after its budget (the pool is restarted so the
-remaining tasks keep running), and a broken pool (a worker died hard)
-degrades to re-executing the unfinished remainder on the serial backend
-rather than discarding the sweep.  None of this touches task
-randomness, so a journaled run interrupted at any point resumes to the
-bit-identical aggregate.
+task is abandoned after its budget, and a dying worker degrades the run
+(pool rebuild / dispatch re-issue / serial fallback) rather than
+discarding the sweep.  None of this touches task randomness, so a
+journaled run interrupted at any point resumes to the bit-identical
+aggregate.
 """
 
 from __future__ import annotations
 
 import os
-import time
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro import backend
-from repro.engine import chaos
-from repro.engine import guards
 from repro.engine.faults import (
     ON_ERROR_MODES,
     RetryPolicy,
-    RunReport,
-    TaskFailure,
     current_policy,
-    is_failure,
 )
 from repro.obs import metrics as obs_metrics
-from repro.obs import trace as obs_trace
 from repro.obs.trace import StageTimer  # re-export: spans subsume stage timing
 from repro.utils.rng import RngFactory
 
@@ -83,58 +79,6 @@ __all__ = [
 #: values that would fork-bomb the host.
 JOBS_CAP = max(64, 4 * (os.cpu_count() or 1))
 
-#: How many times a broken pool is rebuilt (under ``on_error="retry"``)
-#: before the run degrades to the serial backend.
-_MAX_POOL_REBUILDS = 2
-
-#: Per-process shared state installed by :func:`map_tasks`'s ``context``
-#: argument — set once per worker by the pool initializer (or around the
-#: serial loop) and read back with :func:`get_worker_context`.
-_WORKER_CONTEXT: Any = None
-
-
-def _worker_bundle(context: Any) -> tuple:
-    """Everything a worker process must install before running tasks:
-    the shared context, the guard strictness, any chaos plan, whether to
-    buffer telemetry metrics for shipping back, and the array-backend
-    configuration (so ``--jobs N`` workers compute under the parent's
-    backend/dtype/top-k policy and the determinism invariant holds)."""
-    plan = chaos.current_plan()
-    return (
-        context,
-        guards.get_guard_mode(),
-        None if plan is None else plan.to_dict(),
-        _observing(),
-        backend.get_config().to_dict(),
-    )
-
-
-def _observing() -> bool:
-    """Whether task executions should ship telemetry envelopes: metrics
-    are being collected, or a tracer wants per-task spans."""
-    return obs_metrics.collecting() or obs_trace.current_tracer() is not None
-
-
-def _init_worker(bundle: tuple) -> None:
-    """Pool initializer: install shared context, guards, chaos, metrics,
-    and the parent's array-backend configuration."""
-    global _WORKER_CONTEXT
-    context, guard_mode, chaos_doc, metrics_on, backend_doc = bundle
-    _WORKER_CONTEXT = context
-    guards.set_guard_mode(guard_mode)
-    chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
-    obs_metrics.set_collection(metrics_on)
-    backend.set_config(backend.BackendConfig.from_dict(backend_doc))
-
-
-def get_worker_context() -> Any:
-    """The shared object passed as ``map_tasks(..., context=...)``.
-
-    Valid only inside a task function during a :func:`map_tasks` call
-    that supplied a context; returns ``None`` otherwise.
-    """
-    return _WORKER_CONTEXT
-
 
 @dataclass(frozen=True)
 class Task:
@@ -147,7 +91,7 @@ class Task:
         the journal keys checkpointed results by it.
     payload:
         Whatever the task function needs (must be picklable for the
-        process backend — configs, indices, arrays are all fine).
+        process backends — configs, indices, arrays are all fine).
     seed:
         Child :class:`~numpy.random.SeedSequence` spawned from the
         experiment's root seed; ``None`` for deterministic tasks.
@@ -196,291 +140,15 @@ def resolve_jobs(jobs: "int | None") -> int:
     return int(jobs)
 
 
-@dataclass
-class _TaskEnvelope:
-    """A task result plus the telemetry measured where it executed.
+def get_worker_context() -> Any:
+    """The shared object passed as ``map_tasks(..., context=...)``.
 
-    When metrics collection is on, workers ship their buffered counter
-    deltas (and the task's wall-clock) back to the main process on this
-    envelope; :func:`_settle_success` unwraps it, so journals, failure
-    handling, and driver aggregation only ever see the raw value — the
-    envelope can never leak into result bytes.
+    Valid only inside a task function during a :func:`map_tasks` call
+    that supplied a context; returns ``None`` otherwise.
     """
+    from repro.engine.backends import base
 
-    value: Any
-    metrics: "obs_metrics.MetricsRegistry | None"
-    seconds: float
-
-
-def _execute_task(fn: Callable[[Task], Any], task: Task, stage: str) -> Any:
-    """Run one task with chaos + telemetry instrumentation (executes in
-    the worker).  Successful executions return a :class:`_TaskEnvelope`
-    when metrics are being collected; failed attempts drop their buffer
-    (only metrics of executions that produced a result are aggregated,
-    which keeps the merged totals identical across ``--jobs``)."""
-    chaos.set_current_task(stage, task.index)
-    collect = _observing()
-    previous = obs_metrics.begin_task() if collect else None
-    start = time.perf_counter()
-    try:
-        chaos.on_task_start(stage, task.index)
-        value = fn(task)
-    finally:
-        chaos.set_current_task(None, None)
-        delta = obs_metrics.end_task(previous) if collect else None
-    if not collect:
-        return value
-    return _TaskEnvelope(value, delta, time.perf_counter() - start)
-
-
-@dataclass
-class _RunState:
-    """Resolved knobs of one ``map_tasks`` call."""
-
-    fn: Callable[[Task], Any]
-    stage: str
-    context: Any
-    on_error: str
-    retry: RetryPolicy
-    timeout: "float | None"
-    journal: "RunJournal | None"
-    report: "RunReport | None"
-
-
-def _settle_success(state: _RunState, task: Task, outcome: Any) -> Any:
-    """Unwrap a telemetry envelope (merge metrics, emit the task span),
-    journal the raw value, and return it.  The journal always stores the
-    unwrapped value, so a checkpointed run resumes identically whether
-    telemetry was on or off when it recorded."""
-    if isinstance(outcome, _TaskEnvelope):
-        value = outcome.value
-        obs_metrics.merge_task_metrics(outcome.metrics)
-        obs_metrics.observe("executor.task_seconds", outcome.seconds)
-        obs_trace.record_complete(
-            "task-" + str(task.index),
-            "task",
-            outcome.seconds,
-            index=task.index,
-            stage=state.stage,
-        )
-    else:
-        value = outcome
-    if state.journal is not None:
-        state.journal.record(state.stage, task.index, value)
-    return value
-
-
-def _settle_failure(state: _RunState, failure: TaskFailure) -> TaskFailure:
-    obs_metrics.add("executor.task_failures")
-    if state.report is not None:
-        state.report.record_failure(failure)
-    if state.journal is not None:
-        state.journal.log_failure(failure)
-    warnings.warn(failure.describe(), stacklevel=3)
-    return failure
-
-
-def _attempt_serial(state: _RunState, task: Task) -> Any:
-    """Run one task in-process with the retry schedule; returns the
-    value or a :class:`TaskFailure` (under ``skip``/``retry``)."""
-    max_attempts = state.retry.max_attempts if state.on_error == "retry" else 1
-    last_exc: "BaseException | None" = None
-    for attempt in range(1, max_attempts + 1):
-        try:
-            return _execute_task(state.fn, task, state.stage)
-        except Exception as exc:
-            if state.on_error == "raise":
-                raise
-            last_exc = exc
-            if attempt < max_attempts:
-                obs_metrics.add("executor.retries")
-                time.sleep(state.retry.delay(task.index, attempt))
-    return TaskFailure(
-        index=task.index,
-        stage=state.stage,
-        kind="error",
-        error_type=type(last_exc).__name__,
-        message=str(last_exc),
-        attempts=max_attempts,
-    )
-
-
-def _run_serial(state: _RunState, pending: "list[Task]", results: "dict[int, Any]") -> None:
-    global _WORKER_CONTEXT
-    previous = _WORKER_CONTEXT
-    _WORKER_CONTEXT = state.context
-    try:
-        for task in pending:
-            outcome = _attempt_serial(state, task)
-            if is_failure(outcome):
-                results[task.index] = _settle_failure(state, outcome)
-            else:
-                results[task.index] = _settle_success(state, task, outcome)
-    finally:
-        _WORKER_CONTEXT = previous
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down without waiting on hung or dead workers."""
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in list((getattr(pool, "_processes", None) or {}).values()):
-        try:
-            proc.kill()
-        except Exception:  # already gone
-            pass
-
-
-def _record_event(state: _RunState, kind: str, detail: str, **extra) -> None:
-    obs_metrics.add("executor.events." + kind)
-    warnings.warn(f"{kind}: {detail}", stacklevel=3)
-    if state.report is not None:
-        state.report.record_event(kind, detail, stage=state.stage, **extra)
-
-
-def _task_error(
-    state: _RunState,
-    queue: "dict[int, Task]",
-    attempts: "dict[int, int]",
-    results: "dict[int, Any]",
-    idx: int,
-    exc: BaseException,
-    kind: str = "error",
-) -> None:
-    """Handle a task-level failure on the pool backend: requeue for a
-    retry when the policy allows, else settle a :class:`TaskFailure`."""
-    if state.on_error == "retry" and attempts[idx] < state.retry.max_attempts:
-        obs_metrics.add("executor.retries")
-        return  # stays in the queue; next pool round re-runs it
-    queue.pop(idx)
-    results[idx] = _settle_failure(
-        state,
-        TaskFailure(
-            index=idx,
-            stage=state.stage,
-            kind=kind,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            attempts=attempts[idx],
-        ),
-    )
-
-
-def _harvest_done(
-    state: _RunState,
-    futures: dict,
-    queue: "dict[int, Task]",
-    results: "dict[int, Any]",
-) -> None:
-    """After an abort, collect results of futures that finished cleanly
-    before the pool went down (their work must not be discarded)."""
-    for idx in list(queue):
-        fut = futures.get(idx)
-        if fut is None or not fut.done():
-            continue
-        try:
-            value = fut.result(timeout=0)
-        except Exception:
-            continue  # broken-pool sentinel or task error: re-run / re-judge later
-        results[idx] = _settle_success(state, queue.pop(idx), value)
-
-
-def _run_pool(
-    state: _RunState,
-    pending: "list[Task]",
-    results: "dict[int, Any]",
-    n_jobs: int,
-) -> None:
-    queue: "dict[int, Task]" = {t.index: t for t in pending}
-    attempts: "dict[int, int]" = {t.index: 0 for t in pending}
-    pool_breaks = 0
-    while queue:
-        submitted = sorted(queue)
-        pool = ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(submitted)),
-            initializer=_init_worker,
-            initargs=(_worker_bundle(state.context),),
-        )
-        futures = {}
-        for idx in submitted:
-            attempts[idx] += 1
-            futures[idx] = pool.submit(_execute_task, state.fn, queue[idx], state.stage)
-        abort = None
-        for idx in submitted:
-            if idx not in queue:
-                continue
-            fut = futures[idx]
-            try:
-                value = fut.result(timeout=state.timeout)
-            except BrokenExecutor:
-                abort = "broken"
-                break
-            except _FuturesTimeout as exc:
-                if fut.done():  # the task itself raised a TimeoutError
-                    if state.on_error == "raise":
-                        pool.shutdown(wait=True, cancel_futures=True)
-                        raise
-                    _task_error(state, queue, attempts, results, idx, exc)
-                    continue
-                budget = state.timeout if state.timeout is not None else 0.0
-                _record_event(
-                    state,
-                    "timeout",
-                    f"task {idx} exceeded its {budget:g}s wall-clock budget; "
-                    "restarting the worker pool",
-                    index=idx,
-                )
-                if state.on_error == "raise":
-                    _kill_pool(pool)
-                    raise TimeoutError(
-                        f"task {idx} (stage {state.stage!r}) exceeded its "
-                        f"{budget:g}s wall-clock budget"
-                    ) from None
-                _task_error(
-                    state, queue, attempts, results, idx,
-                    TimeoutError(f"exceeded {budget:g}s budget"), kind="timeout",
-                )
-                abort = "timeout"
-                break
-            except Exception as exc:
-                if state.on_error == "raise":
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    raise
-                _task_error(state, queue, attempts, results, idx, exc)
-            else:
-                results[idx] = _settle_success(state, queue.pop(idx), value)
-
-        if abort is None:
-            pool.shutdown(wait=True)
-        else:
-            _harvest_done(state, futures, queue, results)
-            _kill_pool(pool)
-            if abort == "broken":
-                pool_breaks += 1
-                _record_event(
-                    state,
-                    "pool-broken",
-                    "a worker process died and broke the pool "
-                    f"({len(queue)} task(s) unresolved)",
-                )
-                can_rebuild = (
-                    state.on_error == "retry"
-                    and pool_breaks <= _MAX_POOL_REBUILDS
-                    and all(attempts[i] < state.retry.max_attempts for i in queue)
-                )
-                if not can_rebuild:
-                    if queue:
-                        _record_event(
-                            state,
-                            "degraded-serial",
-                            f"re-executing the unfinished {len(queue)} task(s) "
-                            "on the serial backend",
-                        )
-                        _run_serial(state, [queue[i] for i in sorted(queue)], results)
-                        queue.clear()
-                    return
-                obs_metrics.add("executor.pool_rebuilds")
-        if state.on_error == "retry" and queue:
-            time.sleep(max(state.retry.delay(i, attempts[i]) for i in queue))
+    return base.get_worker_context()
 
 
 def map_tasks(
@@ -494,17 +162,28 @@ def map_tasks(
     timeout: "float | None" = None,
     retry: "RetryPolicy | None" = None,
     journal: "RunJournal | None" = None,
+    executor: Any = None,
 ) -> list[Any]:
     """Apply ``fn`` to every task, returning results in task order.
 
     ``fn`` must be a module-level function and each task payload
-    picklable when ``jobs > 1`` (the process backend).
+    picklable when a process backend runs it (for the dispatch backend
+    ``fn`` must additionally be importable on the worker hosts — it is
+    pickled by reference).
 
     ``context`` is shared read-only state shipped **once per worker**
-    (via the pool initializer) rather than pickled into every task;
+    (via the shared worker bundle) rather than pickled into every task;
     task functions retrieve it with :func:`get_worker_context`.  On the
     serial backend it is installed around the loop, so task functions
-    behave identically on both backends.
+    behave identically on every backend.
+
+    ``executor`` picks the backend: one of the
+    :data:`~repro.engine.faults.EXECUTOR_MODES` strings (``"auto"``,
+    ``"serial"``, ``"pool"``, ``"dispatch"``) or a configured
+    :class:`~repro.engine.backends.ExecutionBackend` instance.  The
+    default defers to the ambient policy and falls back to ``"auto"``
+    — serial for ``jobs <= 1`` or single-task sweeps, the process pool
+    otherwise.
 
     Fault knobs (each defaults to the ambient
     :class:`~repro.engine.faults.ExecutionPolicy` installed by
@@ -521,13 +200,17 @@ def map_tasks(
         deterministic jitter before giving up to a :class:`TaskFailure`.
     ``timeout``
         Per-task wall-clock budget in seconds, enforced on the process
-        backend (the pool is restarted around a hung task; the serial
-        backend cannot preempt and ignores it).
+        backends (the pool is restarted around a hung task; the
+        dispatcher abandons the attempt and ignores its late result;
+        the serial backend cannot preempt and ignores it).
     ``journal``
         A :class:`~repro.engine.journal.RunJournal`: completed results
         are checkpointed as they land, previously recorded results are
         replayed without re-execution, and only missing tasks run.
     """
+    from repro.engine.backends import resolve_executor
+    from repro.engine.backends.base import RunState
+
     policy = current_policy()
     on_error = on_error if on_error is not None else (policy.on_error if policy else "raise")
     if on_error not in ON_ERROR_MODES:
@@ -535,16 +218,8 @@ def map_tasks(
     timeout = timeout if timeout is not None else (policy.timeout if policy else None)
     retry = retry if retry is not None else (policy.retry if policy else RetryPolicy())
     journal = journal if journal is not None else (policy.journal if policy else None)
-    state = _RunState(
-        fn=fn,
-        stage=stage,
-        context=context,
-        on_error=on_error,
-        retry=retry,
-        timeout=timeout,
-        journal=journal,
-        report=policy.report if policy else None,
-    )
+    if executor is None:
+        executor = policy.executor if policy is not None else "auto"
 
     items = list(tasks)
     results: "dict[int, Any]" = {}
@@ -558,9 +233,21 @@ def map_tasks(
     n_jobs = resolve_jobs(jobs)
     obs_metrics.add("executor.tasks", len(items))
     if pending:
+        state = RunState(
+            fn=fn,
+            stage=stage,
+            context=context,
+            on_error=on_error,
+            retry=retry,
+            timeout=timeout,
+            journal=journal,
+            report=policy.report if policy else None,
+            n_jobs=n_jobs,
+        )
+        backend = resolve_executor(executor, n_jobs, len(pending))
         obs_metrics.add("executor.tasks_executed", len(pending))
-        if n_jobs <= 1 or len(pending) <= 1:
-            _run_serial(state, pending, results)
-        else:
-            _run_pool(state, pending, results, n_jobs)
+        # No per-backend counter here: counters are jobs-invariant by
+        # contract, and the backend choice depends on --jobs.  Which
+        # backend ran is recorded in summary.json and on task spans.
+        backend.run(state, pending, results)
     return [results[t.index] for t in items]

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.journal import RunJournal
 
 __all__ = [
+    "EXECUTOR_MODES",
     "ExecutionPolicy",
     "RetryPolicy",
     "RunReport",
@@ -44,6 +45,12 @@ __all__ = [
 
 #: Valid ``on_error`` settings for :func:`~repro.engine.executor.map_tasks`.
 ON_ERROR_MODES = ("raise", "skip", "retry")
+
+#: Valid ``--executor`` mode strings (``auto`` keeps the historical
+#: jobs-based choice between serial and pool).  Lives here rather than
+#: in :mod:`repro.engine.backends` so the policy layer never imports
+#: backend machinery.
+EXECUTOR_MODES = ("auto", "serial", "pool", "dispatch")
 
 
 @dataclass(frozen=True)
@@ -193,6 +200,10 @@ class ExecutionPolicy:
     timeout: "float | None" = None
     journal: "RunJournal | None" = None
     report: RunReport = field(default_factory=RunReport)
+    #: ``--executor`` choice: a mode string from :data:`EXECUTOR_MODES`,
+    #: or a configured ExecutionBackend instance (e.g. one
+    #: DispatchBackend shared by every stage of a run).
+    executor: Any = "auto"
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -201,6 +212,11 @@ class ExecutionPolicy:
             )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if isinstance(self.executor, str) and self.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_MODES} or a backend "
+                f"instance, got {self.executor!r}"
+            )
 
 
 _ACTIVE_POLICY: "ExecutionPolicy | None" = None

@@ -1,0 +1,225 @@
+"""Dispatch-backend tests: the file-queue protocol, external ``repro
+worker`` processes, lease heartbeats, and worker-loss recovery.
+
+Workers here are real subprocesses (``python -m repro worker``) or the
+backend's own ``local_workers`` — the same path a multi-host deployment
+uses, minus the network filesystem.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import chaos
+from repro.engine.backends import DispatchBackend, resolve_executor
+from repro.engine.backends.dispatch import (
+    _parse_task_name,
+    _task_name,
+    sleep_echo_task,
+)
+from repro.engine.chaos import ChaosPlan, Fault
+from repro.engine.executor import Task, make_tasks, map_tasks
+from repro.engine.faults import RetryPolicy, is_failure
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    yield
+    chaos.uninstall()
+
+
+def _double(task: Task) -> int:
+    return task.payload * 2
+
+
+def _boom(task: Task) -> int:
+    raise ValueError(f"rejected payload {task.payload}")
+
+
+def _spawn_worker(root, name: str) -> subprocess.Popen:
+    """A real external worker: the exact process a second host would run."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker", str(root),
+            "--name", name, "--poll", "0.02", "--max-idle", "60",
+        ],
+        env=env,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+
+
+class TestTaskNames:
+    def test_round_trip(self):
+        assert _parse_task_name(_task_name(7, 2)) == (7, 2)
+        assert _parse_task_name(_task_name(123456, 11)) == (123456, 11)
+
+    def test_garbage_rejected(self):
+        assert _parse_task_name("task-xx-a1.pkl") is None
+        assert _parse_task_name("lease-000001.json") is None
+
+
+class TestDispatchBasics:
+    def test_local_workers_execute_and_queue_is_removed(self, tmp_path):
+        root = tmp_path / "runs"
+        backend = DispatchBackend(root, local_workers=2, poll=0.02)
+        try:
+            out = map_tasks(_double, make_tasks([3, 1, 2]), executor=backend)
+        finally:
+            backend.close()
+        assert out == [6, 2, 4]
+        assert list((root / "queues").iterdir()) == []
+
+    def test_external_worker_serves_queue(self, tmp_path):
+        root = tmp_path / "runs"
+        worker = _spawn_worker(root, "ext-1")
+        backend = DispatchBackend(root, poll=0.02)
+        try:
+            out = map_tasks(
+                sleep_echo_task, make_tasks([{"v": i} for i in range(6)]),
+                executor=backend,
+            )
+        finally:
+            backend.close()
+            worker.terminate()
+            worker.wait(timeout=10)
+        assert out == [{"v": i} for i in range(6)]
+
+    def test_backend_reused_across_stages(self, tmp_path):
+        backend = DispatchBackend(tmp_path / "runs", local_workers=2, poll=0.02)
+        try:
+            first = map_tasks(_double, make_tasks([1, 2]), executor=backend,
+                              stage="one")
+            second = map_tasks(_double, make_tasks([5]), executor=backend,
+                               stage="two")
+        finally:
+            backend.close()
+        assert (first, second) == ([2, 4], [10])
+
+    def test_rejects_nonpositive_lease_timeout(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_timeout"):
+            DispatchBackend(tmp_path, lease_timeout=0.0)
+
+    def test_resolve_executor_dispatch_uses_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH_ROOT", str(tmp_path / "env-root"))
+        backend = resolve_executor("dispatch", 1, 1)
+        assert backend.root == tmp_path / "env-root"
+
+
+class TestDispatchFaults:
+    def test_worker_exception_propagates_under_raise(self, tmp_path):
+        backend = DispatchBackend(tmp_path / "runs", local_workers=1, poll=0.02)
+        try:
+            with pytest.raises(ValueError, match="rejected payload 4"):
+                map_tasks(_boom, make_tasks([4]), executor=backend)
+        finally:
+            backend.close()
+
+    def test_persistent_failure_settles_structured_slot(self, tmp_path):
+        backend = DispatchBackend(tmp_path / "runs", local_workers=1, poll=0.02)
+        try:
+            out = map_tasks(
+                _boom, make_tasks([9]), executor=backend,
+                on_error="retry", retry=RetryPolicy(max_attempts=2,
+                                                    base_delay=0.001),
+            )
+        finally:
+            backend.close()
+        failure = out[0]
+        assert is_failure(failure)
+        assert failure.kind == "error"
+        assert failure.error_type == "ValueError"
+        assert failure.attempts == 2
+
+    def test_hung_task_times_out_into_failure_slot(self, tmp_path):
+        backend = DispatchBackend(tmp_path / "runs", local_workers=2, poll=0.02)
+        payloads = [{"v": 0}, {"v": 1, "sleep": 30.0}, {"v": 2}]
+        try:
+            with pytest.warns(UserWarning, match="wall-clock budget"):
+                out = map_tasks(
+                    sleep_echo_task, make_tasks(payloads), executor=backend,
+                    on_error="skip", timeout=0.75,
+                )
+        finally:
+            backend.close()
+        assert out[0] == {"v": 0}
+        assert out[2] == {"v": 2}
+        assert is_failure(out[1]) and out[1].kind == "timeout"
+
+    def test_chaos_worker_lost_reissues_and_matches_serial(self, tmp_path):
+        """A worker hard-killed *while holding a lease* (the chaos
+        ``worker-lost`` fault) must not lose the task or change bytes:
+        the dispatcher re-issues it to a surviving worker."""
+        tasks = make_tasks(range(5), root_seed=13)
+        expected = map_tasks(_double, tasks, executor="serial", stage="clean")
+        chaos.install(
+            ChaosPlan(
+                state_dir=str(tmp_path / "chaos"),
+                faults=(Fault(kind="worker-lost", stage="wl", index=2),),
+            )
+        )
+        backend = DispatchBackend(
+            tmp_path / "runs", local_workers=2, lease_timeout=0.8, poll=0.02
+        )
+        try:
+            with pytest.warns(UserWarning, match="stopped heartbeating"):
+                out = map_tasks(_double, tasks, executor=backend, stage="wl")
+        finally:
+            backend.close()
+            chaos.uninstall()
+        assert out == expected
+
+    def test_sigkilled_external_worker_task_reissued(self, tmp_path):
+        """The literal multi-host failure: SIGKILL an external worker
+        mid-task.  Its lease goes stale, the dispatcher re-issues, and a
+        second worker finishes the sweep with identical results."""
+        root = tmp_path / "runs"
+        first = _spawn_worker(root, "victim")
+        second_started = threading.Event()
+
+        def kill_first_then_start_second():
+            # Wait until the victim holds the lease of the slow task.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                leases = list(root.glob("queues/*/leases/lease-*.json"))
+                held = [
+                    doc for doc in (json.loads(p.read_text()) for p in leases
+                                    if p.exists())
+                    if doc.get("worker") == "victim"
+                ]
+                if held:
+                    break
+                time.sleep(0.02)
+            os.kill(first.pid, signal.SIGKILL)
+            kill_first_then_start_second.worker = _spawn_worker(root, "rescuer")
+            second_started.set()
+
+        killer = threading.Thread(target=kill_first_then_start_second)
+        killer.start()
+        backend = DispatchBackend(root, lease_timeout=1.0, poll=0.02)
+        payloads = [{"v": 0, "sleep": 1.5}, {"v": 1, "sleep": 1.5},
+                    {"v": 2}, {"v": 3}]
+        try:
+            out = map_tasks(
+                sleep_echo_task, make_tasks(payloads), executor=backend,
+                stage="killed",
+            )
+        finally:
+            backend.close()
+            killer.join(timeout=30)
+            first.wait(timeout=10)
+            if second_started.is_set():
+                rescuer = kill_first_then_start_second.worker
+                rescuer.terminate()
+                rescuer.wait(timeout=10)
+        assert out == payloads

@@ -164,6 +164,53 @@ class TestFailurePaths:
             )
         assert "seed" in str(err.value) and "--run-id" in str(err.value)
 
+    def test_resume_backend_config_mismatch_names_fields(self, tmp_path, capsys):
+        """S2: resuming under a different array-backend configuration is
+        refused with a per-field diff, not a generic mismatch line."""
+        main(["run", "E11", "--run-id", "mine", "--runs-root", str(tmp_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "run", "E11", "--resume", "mine",
+                    "--runs-root", str(tmp_path), "--dtype", "float32",
+                ]
+            )
+        message = str(err.value)
+        assert "backend" in message
+        assert "dtype" in message
+        assert "float32" in message and "float64" in message
+
+    def test_dispatch_workers_require_dispatch_executor(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "run", "E11", "--dispatch-workers", "2",
+                    "--runs-root", str(tmp_path),
+                ]
+            )
+        assert "--executor dispatch" in str(err.value)
+
+    def test_run_with_dispatch_executor_matches_serial(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        main(["run", "E11", "--out", str(serial_dir)])
+        capsys.readouterr()
+        dispatch_dir = tmp_path / "dispatch"
+        main(
+            [
+                "run", "E11", "--out", str(dispatch_dir),
+                "--executor", "dispatch", "--dispatch-workers", "2",
+                "--runs-root", str(tmp_path / "runs"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert (dispatch_dir / "E11.json").read_bytes() == (
+            serial_dir / "E11.json"
+        ).read_bytes()
+        summary = json.loads((dispatch_dir / "summary.json").read_text())
+        assert summary["executor"] == "dispatch"
+        assert "E11" in out
+
     def test_run_id_refuses_reuse(self, tmp_path, capsys):
         main(["run", "E11", "--run-id", "once", "--runs-root", str(tmp_path)])
         capsys.readouterr()
