@@ -159,6 +159,48 @@ class Channel(abc.ABC):
             out[t] = self.realize(pats[t], stream)
         return out
 
+    # -- positional slot fields (the batched slot-loop engine) -------------
+
+    def slot_fields(self, num_slots: int, rng=None):
+        """Draw the channel's exogenous randomness for the next
+        ``num_slots`` slots, *by position* and pattern-independently.
+
+        The slot-loop engine (:mod:`repro.latency.slotloop`) pre-draws
+        fields for a speculative block and evaluates (possibly
+        corrected) transmit patterns against them via
+        :meth:`apply_slot_fields`.  Two contract clauses make block
+        execution schedule-exact:
+
+        * slot ``t``'s field depends only on ``t`` (never on the
+          pattern), so a slot invalidated by a served-set change can be
+          re-evaluated against the *same* field;
+        * fields are drawn strictly in slot order and the draw stream
+          advances identically under any grouping of slots into calls,
+          so every block size consumes the same randomness.
+
+        The generic fallback spawns one child seed per slot (seed-
+        sequence spawning is sequential, hence grouping-invariant) and
+        :meth:`apply_slot_fields` replays :meth:`realize` under it;
+        vectorized channels override both with array-valued fields.
+        """
+        if num_slots <= 0:
+            return []
+        return as_generator(rng).spawn(num_slots)
+
+    def apply_slot_fields(self, fields, patterns, offset: int = 0) -> np.ndarray:
+        """Success masks of ``patterns`` against cached ``fields``.
+
+        Row ``t`` of ``patterns`` is evaluated under field
+        ``fields[offset + t]``; the call must be repeatable (same
+        fields + same patterns → same masks).
+        """
+        pats = self._patterns(patterns)
+        out = np.zeros(pats.shape, dtype=bool)
+        for t in range(pats.shape[0]):
+            child = np.random.default_rng(fields[offset + t].bit_generator.seed_seq)
+            out[t] = self.realize(pats[t], child)
+        return out
+
     @abc.abstractmethod
     def counterfactual(self, active, rng=None) -> np.ndarray:
         """Success-if-sent indicator for *every* link given the others.

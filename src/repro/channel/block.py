@@ -147,6 +147,31 @@ class BlockFadingChannel(Channel):
         out[chunk & (denom <= 0.0)] = np.inf
         return out
 
+    def slot_fields(self, num_slots: int, rng=None):
+        """Coherence-block chunks for the next ``num_slots`` slots.
+
+        Fields are the ``(start, stop, draws)`` chunks of
+        :meth:`_advance_chunks`: the channel clock advances as fields
+        are *drawn* (strictly in slot order), so chunk boundaries — and
+        hence redraw positions — land exactly where the slot-by-slot
+        loop would put them, for any speculation window.
+        """
+        if num_slots <= 0:
+            return []
+        return list(self._advance_chunks(num_slots, rng))
+
+    def apply_slot_fields(self, fields, patterns, offset: int = 0) -> np.ndarray:
+        pats = self._patterns(patterns)
+        out = np.zeros(pats.shape, dtype=bool)
+        for start, stop, draws in fields:
+            lo = max(start, offset)
+            hi = min(stop, offset + pats.shape[0])
+            if lo >= hi:
+                continue
+            chunk = pats[lo - offset : hi - offset]
+            out[lo - offset : hi - offset] = self._chunk_sinr(draws, chunk) >= self.beta
+        return out
+
     def counterfactual(self, active, rng=None) -> np.ndarray:
         mask = self._mask(active)
         draws = self._step_draws(rng)

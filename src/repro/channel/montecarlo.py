@@ -25,8 +25,10 @@ from repro.core.sinr import SINRInstance
 from repro.engine import guards
 from repro.fading.models import (
     FadingModel,
+    draw_unit_multipliers,
     simulate_sinr_patterns_with_model,
     simulate_slots_with_model,
+    sinr_from_unit_multipliers,
 )
 from repro.obs import metrics as _metrics
 from repro.utils.rng import as_generator
@@ -80,6 +82,20 @@ class MonteCarloChannel(Channel):
         _metrics.add("channel.realize_slots", pats.shape[0])
         _metrics.add("channel.sinr_evaluations", pats.size)
         sinr = simulate_sinr_patterns_with_model(self.instance, pats, self.model, rng)
+        return (sinr >= self.beta) & pats
+
+    def slot_fields(self, num_slots: int, rng=None) -> np.ndarray:
+        """One unit-mean fading multiplier per (slot, sender) — the CRN
+        kernel's randomness, drawn grouping-invariantly (non-elementwise
+        models fall back to per-slot draws)."""
+        return draw_unit_multipliers(self.model, self.n, rng, num_slots)
+
+    def apply_slot_fields(self, fields, patterns, offset: int = 0) -> np.ndarray:
+        """Deterministic SINR evaluation of (possibly corrected)
+        patterns against the cached multipliers."""
+        pats = self._patterns(patterns)
+        draws = fields[offset : offset + pats.shape[0]]
+        sinr = sinr_from_unit_multipliers(self.instance, pats, draws)
         return (sinr >= self.beta) & pats
 
     def counterfactual(self, active, rng=None) -> np.ndarray:

@@ -81,6 +81,13 @@ class NonFadingChannel(Channel):
         _metrics.add("channel.sinr_evaluations", pats.size)
         return (self.instance.sinr_batch(pats) >= self.beta) & pats
 
+    def slot_fields(self, num_slots: int, rng=None):
+        """Deterministic channel: no exogenous randomness, no fields."""
+        return None
+
+    def apply_slot_fields(self, fields, patterns, offset: int = 0) -> np.ndarray:
+        return self.realize_batch(patterns)
+
     def counterfactual(self, active, rng=None) -> np.ndarray:
         """Deterministic had-I-sent test against the realized senders.
 

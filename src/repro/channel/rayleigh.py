@@ -67,6 +67,57 @@ class RayleighChannel(Channel):
         p = self.kernel.conditional_batch(pats)
         return pats & (gen.random(pats.shape) < p)
 
+    def slot_fields(self, num_slots: int, rng=None) -> np.ndarray:
+        """One uniform row per slot — the Bernoulli fast path's only
+        randomness.  ``gen.random`` fills element-sequentially, so any
+        grouping of slots into calls draws identical rows."""
+        return as_generator(rng).random((max(0, num_slots), self.n))
+
+    def apply_slot_fields(self, fields, patterns, offset: int = 0) -> np.ndarray:
+        """Threshold the cached uniforms against the exact conditional
+        probabilities of the (possibly corrected) patterns.
+
+        Only transmitting links can succeed, so probabilities are needed
+        solely at the transmitting entries.  Entries of sparse slots go
+        straight to the kernel's exact ragged gather
+        (:meth:`~repro.fading.success.Theorem1Kernel.conditional_at`,
+        cost ``a`` per entry).  Entries of dense slots (active count
+        above the kernel's ``screen_cutoff``) are first screened against
+        the top-K interferer upper bound
+        (:meth:`~repro.fading.success.Theorem1Kernel.screen_bound`, cost
+        ``K`` per entry): a uniform at or above the bound is at or above
+        the exact probability too, so the entry fails without the ``a²``
+        work, and only the rare survivors are evaluated exactly.  Either
+        way every surviving comparison is ``u < p`` with the exact ``p``,
+        so outcomes are bit-identical to unscreened evaluation."""
+        pats = self._patterns(patterns)
+        out = np.zeros(pats.shape, dtype=bool)
+        rows, cols = np.nonzero(pats)
+        if rows.size == 0:
+            return out
+        u = fields[offset : offset + pats.shape[0]]
+        kern = self.kernel
+        if not kern.supports_entry_gather:
+            p = kern.conditional_batch(pats)[rows, cols]
+            hit = u[rows, cols] < p
+            out[rows[hit], cols[hit]] = True
+            return out
+        u_e = u[rows, cols]
+        counts = np.bincount(rows, minlength=pats.shape[0])
+        screened = counts[rows] > kern.screen_cutoff
+        survive = np.ones(rows.size, dtype=bool)
+        if screened.any():
+            bound = kern.screen_bound(pats, rows[screened], cols[screened])
+            survive[screened] = u_e[screened] < bound
+        srows = rows[survive]
+        scols = cols[survive]
+        p = kern.conditional_at(pats, srows, scols, actives=(rows, cols, counts))
+        live = u_e[survive] < p
+        plain = ~screened[survive]
+        kern.note_hit_rate(int(plain.sum()), int(live[plain].sum()))
+        out[srows[live], scols[live]] = True
+        return out
+
     def counterfactual(self, active, rng=None) -> np.ndarray:
         """Sampled success-if-sent with the exact conditional law.
 

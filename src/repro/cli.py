@@ -125,6 +125,13 @@ def _install_backend(args) -> "_backend.BackendConfig":
     except (ValueError, _backend.NumbaUnavailableError) as exc:
         raise SystemExit(str(exc)) from exc
     _backend.set_config(config)
+    if getattr(args, "slot_block", None) is not None:
+        from repro.latency.slotloop import set_default_slot_block
+
+        try:
+            set_default_slot_block(args.slot_block)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     return config
 
 
@@ -136,14 +143,20 @@ def _build_executor(args):
     if args.executor != "dispatch":
         if args.dispatch_workers:
             raise SystemExit("--dispatch-workers requires --executor dispatch")
+        if args.dispatch_chunk is not None:
+            raise SystemExit("--dispatch-chunk requires --executor dispatch")
         return args.executor
     from repro.engine.backends import DispatchBackend
 
-    return DispatchBackend(
-        args.runs_root,
-        local_workers=args.dispatch_workers,
-        lease_timeout=args.lease_timeout,
-    )
+    try:
+        return DispatchBackend(
+            args.runs_root,
+            local_workers=args.dispatch_workers,
+            lease_timeout=args.lease_timeout,
+            chunk=args.dispatch_chunk,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _close_executor(policy: ExecutionPolicy) -> None:
@@ -490,6 +503,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "rician:k=K | block:coherence=L[,family=...]",
     )
     parser.add_argument(
+        "--slot-block", type=int, default=None, metavar="B",
+        help="speculative block size of the latency slot-loop engine "
+        "(default: engine-chosen; results are identical for every value — "
+        "B=1 is the sequential reference, larger B only batches kernels)",
+    )
+    parser.add_argument(
         "--timings", action="store_true",
         help="append per-stage wall-clock timings to each table",
     )
@@ -539,6 +558,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="with --executor dispatch: also spawn N local worker "
         "processes for the duration of the run (default 0 = rely on "
         "externally started 'repro worker' processes)",
+    )
+    parser.add_argument(
+        "--dispatch-chunk", type=int, default=None, metavar="K",
+        help="with --executor dispatch: tasks per claimed work unit "
+        "(default: auto-sized from task and worker counts; results are "
+        "identical for every chunk size)",
     )
     parser.add_argument(
         "--lease-timeout", type=_timeout_arg, default=10.0, metavar="SECONDS",

@@ -13,10 +13,19 @@ that mounts the same directory — steal tasks from it::
         bundle.pkl           # task function + shared worker bundle
                              # (context, guards, chaos plan, metrics
                              # switch, array-backend config)
-        todo/task-NNNNNN-aK.pkl      # unclaimed task, attempt K
+        todo/task-NNNNNN-aK.pkl      # unclaimed work unit, attempt K
         claimed/task-NNNNNN-aK.pkl   # claimed by exactly one worker
         leases/lease-NNNNNN.json     # who holds it; mtime = heartbeat
-        results/task-NNNNNN-aK.pkl   # result envelope streamed back
+        results/task-NNNNNN-aK.pkl   # per-task result envelope
+
+Small tasks amortize the claim/heartbeat/pickle round trip through
+**chunking**: a queue file is a *work unit* — a list of consecutive
+tasks named after its head task's index — and a worker claims the whole
+unit at once (``chunk`` tasks per claim, auto-sized from the task and
+worker counts by default).  Results still stream back as one envelope
+*per task*, settled strictly in task order, so chunking is invisible to
+result bytes; on a lost worker or a retry, surviving tasks of a unit
+are re-issued as singleton units.
 
 Work stealing is one atomic ``os.rename`` from ``todo/`` into
 ``claimed/`` — exactly one worker wins the race, no locks, no server.
@@ -142,10 +151,17 @@ class DispatchBackend(ExecutionBackend):
         the first time a queue opens (killed again by :meth:`close`).
         Zero (the default) relies on externally started workers.
     lease_timeout:
-        Seconds a claimed task's lease may go without a heartbeat before
-        its worker is declared lost and the task is re-issued.
+        Seconds a claimed unit's lease may go without a heartbeat before
+        its worker is declared lost and the unit's unfinished tasks are
+        re-issued.
     poll:
         Dispatcher poll interval in seconds.
+    chunk:
+        Tasks per claimed work unit.  ``None`` (the default) auto-sizes
+        to ``num_tasks // (4 · workers)`` clamped into ``[1, 16]`` — a
+        few units per worker so stealing still balances load, but small
+        tasks stop paying one claim/heartbeat/pickle round trip each.
+        Results are identical for every chunk size.
     """
 
     name = "dispatch"
@@ -157,9 +173,12 @@ class DispatchBackend(ExecutionBackend):
         local_workers: int = 0,
         lease_timeout: float = 10.0,
         poll: float = 0.05,
+        chunk: "int | None" = None,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        if chunk is not None and int(chunk) < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
         self.root = Path(
             root
             if root is not None
@@ -168,9 +187,18 @@ class DispatchBackend(ExecutionBackend):
         self.local_workers = int(local_workers)
         self.lease_timeout = float(lease_timeout)
         self.poll = float(poll)
+        self.chunk = None if chunk is None else int(chunk)
         self._seq = 0
         self._procs: "list[subprocess.Popen]" = []
         self._spawned = False
+
+    def _resolve_chunk(self, num_tasks: int) -> int:
+        """Tasks per work unit: the explicit setting, or auto-sized so
+        every worker still sees several units to steal."""
+        if self.chunk is not None:
+            return self.chunk
+        workers = self.local_workers if self.local_workers > 0 else 4
+        return max(1, min(16, num_tasks // (workers * 4)))
 
     # -- queue lifecycle ---------------------------------------------------
 
@@ -181,11 +209,17 @@ class DispatchBackend(ExecutionBackend):
         return self.root / "queues" / queue_id
 
     def _open_queue(
-        self, state: RunState, pending: "list[Task]", attempts: "dict[int, int]"
+        self,
+        state: RunState,
+        pending: "list[Task]",
+        attempts: "dict[int, int]",
+        units: "dict[int, list[int]]",
+        unit_attempt: "dict[int, int]",
+        unit_size: "dict[int, int]",
     ) -> Path:
-        """Publish bundle + todo files, then the manifest (workers only
-        act once the manifest appears, so ordering makes the queue
-        appear atomically complete)."""
+        """Publish bundle + chunked todo units, then the manifest
+        (workers only act once the manifest appears, so ordering makes
+        the queue appear atomically complete)."""
         qdir = self._queue_dir(state.stage)
         for sub in ("todo", "claimed", "leases", "results"):
             (qdir / sub).mkdir(parents=True)
@@ -194,12 +228,23 @@ class DispatchBackend(ExecutionBackend):
             "stage": state.stage,
             "bundle": worker_bundle(state.context),
         }
-        atomic_write_bytes(qdir / "bundle.pkl", pickle.dumps(bundle_doc, protocol=4))
-        for task in pending:
-            attempts[task.index] = 1
+        atomic_write_bytes(
+            qdir / "bundle.pkl",
+            pickle.dumps(bundle_doc, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        chunk = self._resolve_chunk(len(pending))
+        for lo in range(0, len(pending), chunk):
+            group = pending[lo : lo + chunk]
+            head = group[0].index
+            units[head] = [t.index for t in group]
+            unit_attempt[head] = 1
+            unit_size[head] = len(group)
+            for task in group:
+                attempts[task.index] = 1
+            payload: "Any" = group if len(group) > 1 else group[0]
             atomic_write_bytes(
-                qdir / "todo" / _task_name(task.index, 1),
-                pickle.dumps(task, protocol=4),
+                qdir / "todo" / _task_name(head, 1),
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
             )
         manifest = {
             "format": _MANIFEST_FORMAT,
@@ -208,6 +253,7 @@ class DispatchBackend(ExecutionBackend):
             "stage": state.stage,
             "status": "open",
             "tasks": len(pending),
+            "chunk": chunk,
             "heartbeat": max(0.2, self.lease_timeout / 4.0),
         }
         atomic_write_text(qdir / "manifest.json", json.dumps(manifest, indent=2) + "\n")
@@ -278,25 +324,35 @@ class DispatchBackend(ExecutionBackend):
         losses: "dict[int, int]" = {i: 0 for i in order}
         terminal: "dict[int, tuple[str, Any]]" = {}
         reissue_at: "dict[int, tuple[float, int]]" = {}
+        # Work-unit state, keyed by the head task's index: live (still
+        # unresolved) members, the unit's queue-file attempt, and its
+        # size at issue time (which scales the wall-clock budget).
+        units: "dict[int, list[int]]" = {}
+        unit_attempt: "dict[int, int]" = {}
+        unit_size: "dict[int, int]" = {}
         claim_seen: "dict[int, float]" = {}
         beat_seen: "dict[int, tuple[float, float]]" = {}
         settle_ptr = 0
         started = time.monotonic()
         hinted = False
 
-        qdir = self._open_queue(state, pending, attempts)
+        qdir = self._open_queue(state, pending, attempts, units, unit_attempt,
+                                unit_size)
         ledger = LeaseLedger(qdir / "leases")
         self._ensure_workers()
         try:
             while settle_ptr < len(order):
                 now = time.monotonic()
                 self._harvest(state, qdir, ledger, taskmap, attempts, terminal,
-                              reissue_at, claim_seen, beat_seen, now)
+                              reissue_at, units, unit_attempt, unit_size,
+                              claim_seen, beat_seen, now)
                 self._watch_inflight(state, qdir, ledger, taskmap, attempts,
-                                     losses, terminal, reissue_at, claim_seen,
+                                     losses, terminal, reissue_at, units,
+                                     unit_attempt, unit_size, claim_seen,
                                      beat_seen, now)
-                self._issue_due(qdir, taskmap, attempts, reissue_at,
-                                claim_seen, beat_seen, now)
+                self._issue_due(qdir, taskmap, attempts, reissue_at, units,
+                                unit_attempt, unit_size, claim_seen, beat_seen,
+                                now)
                 while settle_ptr < len(order) and order[settle_ptr] in terminal:
                     idx = order[settle_ptr]
                     kind, payload = terminal.pop(idx)
@@ -327,31 +383,58 @@ class DispatchBackend(ExecutionBackend):
     # maps a resolved index to ("ok", outcome) / ("fail", TaskFailure) until
     # the ordered settle replaces it with ("settled", None).
 
-    def _clear_inflight(
+    @staticmethod
+    def _unit_of(units: "dict[int, list[int]]", idx: int) -> "int | None":
+        for head, members in units.items():
+            if idx in members:
+                return head
+        return None
+
+    def _clear_unit(
         self,
         qdir: Path,
         ledger: LeaseLedger,
-        idx: int,
+        head: int,
         attempt: int,
+        units: "dict[int, list[int]]",
+        unit_attempt: "dict[int, int]",
+        unit_size: "dict[int, int]",
         claim_seen: "dict[int, float]",
         beat_seen: "dict[int, tuple[float, float]]",
     ) -> None:
+        """Drop a work unit's queue file, lease, and tracking state."""
         try:
-            (qdir / "claimed" / _task_name(idx, attempt)).unlink()
+            (qdir / "claimed" / _task_name(head, attempt)).unlink()
         except OSError:
             pass
         try:
-            (qdir / "todo" / _task_name(idx, attempt)).unlink()
+            (qdir / "todo" / _task_name(head, attempt)).unlink()
         except OSError:
             pass
-        ledger.release(idx)
-        claim_seen.pop(idx, None)
-        beat_seen.pop(idx, None)
+        ledger.release(head)
+        units.pop(head, None)
+        unit_attempt.pop(head, None)
+        unit_size.pop(head, None)
+        claim_seen.pop(head, None)
+        beat_seen.pop(head, None)
+
+    def _resolve_member(self, qdir, ledger, idx, units, unit_attempt,
+                        unit_size, claim_seen, beat_seen) -> None:
+        """Mark one task resolved inside its unit; drop the unit once its
+        last member resolves."""
+        head = self._unit_of(units, idx)
+        if head is None:
+            return
+        units[head].remove(idx)
+        if not units[head]:
+            self._clear_unit(qdir, ledger, head, unit_attempt[head], units,
+                             unit_attempt, unit_size, claim_seen, beat_seen)
 
     def _harvest(self, state, qdir, ledger, taskmap, attempts, terminal,
-                 reissue_at, claim_seen, beat_seen, now) -> None:
-        """Consume streamed result envelopes; schedule retries for
-        failed attempts; raise under ``on_error="raise"``."""
+                 reissue_at, units, unit_attempt, unit_size, claim_seen,
+                 beat_seen, now) -> None:
+        """Consume streamed per-task result envelopes; schedule retries
+        for failed attempts; raise under ``on_error="raise"``."""
         results_dir = qdir / "results"
         try:
             names = sorted(p.name for p in results_dir.iterdir())
@@ -382,7 +465,8 @@ class DispatchBackend(ExecutionBackend):
                 or attempt != attempts.get(idx)
             ):
                 continue  # stale attempt (timed out and re-issued) or unknown
-            self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
+            self._resolve_member(qdir, ledger, idx, units, unit_attempt,
+                                 unit_size, claim_seen, beat_seen)
             if doc.get("ok"):
                 terminal[idx] = ("ok", doc["outcome"])
                 continue
@@ -417,127 +501,157 @@ class DispatchBackend(ExecutionBackend):
             )
 
     def _watch_inflight(self, state, qdir, ledger, taskmap, attempts, losses,
-                        terminal, reissue_at, claim_seen, beat_seen, now) -> None:
-        """Track claims and heartbeats; enforce the per-task wall-clock
-        budget; re-issue tasks whose worker stopped heartbeating."""
-        for idx in taskmap:
-            if idx in terminal or idx in reissue_at:
+                        terminal, reissue_at, units, unit_attempt, unit_size,
+                        claim_seen, beat_seen, now) -> None:
+        """Track unit claims and heartbeats; enforce the wall-clock
+        budget; re-issue units whose worker stopped heartbeating."""
+        for head in list(units):
+            members = units.get(head)
+            if not members:
                 continue
-            attempt = attempts[idx]
-            claimed = (qdir / "claimed" / _task_name(idx, attempt)).exists()
+            attempt = unit_attempt[head]
+            claimed = (qdir / "claimed" / _task_name(head, attempt)).exists()
             if not claimed:
-                if (
-                    idx in claim_seen
-                    and not (qdir / "results" / _task_name(idx, attempt)).exists()
-                ):
-                    # Claim vanished without a result (a worker died
-                    # mid-cleanup): treat like a lost worker below.  When
-                    # a result file exists the worker simply finished
-                    # between our harvest and this scan.
+                pending_results = any(
+                    (qdir / "results" / _task_name(m, attempts[m])).exists()
+                    for m in members
+                )
+                if head in claim_seen and not pending_results:
+                    # Claim vanished without results for the live members
+                    # (a worker died mid-cleanup): treat like a lost
+                    # worker below.  When result files exist the worker
+                    # simply finished between our harvest and this scan.
                     self._worker_lost(state, qdir, ledger, taskmap, attempts,
-                                      losses, terminal, reissue_at, claim_seen,
-                                      beat_seen, idx, now)
+                                      losses, terminal, reissue_at, units,
+                                      unit_attempt, unit_size, claim_seen,
+                                      beat_seen, head, now)
                 continue
-            if idx not in claim_seen:
-                claim_seen[idx] = now
-            mt = ledger.mtime(idx)
-            prev = beat_seen.get(idx)
+            if head not in claim_seen:
+                claim_seen[head] = now
+            mt = ledger.mtime(head)
+            prev = beat_seen.get(head)
             if mt is not None and (prev is None or mt != prev[0]):
-                beat_seen[idx] = (mt, now)
-            if state.timeout is not None and now - claim_seen[idx] > state.timeout:
-                self._timed_out(state, qdir, ledger, attempts, terminal,
-                                reissue_at, claim_seen, beat_seen, idx, now)
-                continue
-            last_sign = beat_seen[idx][1] if idx in beat_seen else claim_seen[idx]
+                beat_seen[head] = (mt, now)
+            if state.timeout is not None:
+                # A unit executes its tasks back to back on one claim, so
+                # its budget is the per-task budget times its issue size.
+                budget = state.timeout * unit_size[head]
+                if now - claim_seen[head] > budget:
+                    self._timed_out(state, qdir, ledger, attempts, terminal,
+                                    reissue_at, units, unit_attempt, unit_size,
+                                    claim_seen, beat_seen, head, now)
+                    continue
+            last_sign = beat_seen[head][1] if head in beat_seen else claim_seen[head]
             if now - last_sign > self.lease_timeout:
                 self._worker_lost(state, qdir, ledger, taskmap, attempts, losses,
-                                  terminal, reissue_at, claim_seen, beat_seen,
-                                  idx, now)
+                                  terminal, reissue_at, units, unit_attempt,
+                                  unit_size, claim_seen, beat_seen, head, now)
 
     def _timed_out(self, state, qdir, ledger, attempts, terminal, reissue_at,
-                   claim_seen, beat_seen, idx, now) -> None:
-        attempt = attempts[idx]
-        budget = state.timeout if state.timeout is not None else 0.0
+                   units, unit_attempt, unit_size, claim_seen, beat_seen,
+                   head, now) -> None:
+        members = list(units.get(head, ()))
+        attempt = unit_attempt[head]
+        budget = (state.timeout or 0.0) * unit_size.get(head, 1)
         record_event(
             state,
             "timeout",
-            f"task {idx} exceeded its {budget:g}s wall-clock budget on the "
-            "dispatch backend; abandoning the attempt",
-            index=idx,
+            f"work unit {head} ({len(members)} unfinished tasks) exceeded "
+            f"its {budget:g}s wall-clock budget on the dispatch backend; "
+            "abandoning the attempt",
+            index=head,
         )
-        # Bump the attempt so a late result from the hung worker is
-        # ignored as stale (the worker itself cannot be preempted).
-        self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
+        self._clear_unit(qdir, ledger, head, attempt, units, unit_attempt,
+                         unit_size, claim_seen, beat_seen)
         if state.on_error == "raise":
             raise TimeoutError(
-                f"task {idx} (stage {state.stage!r}) exceeded its "
+                f"task {members[0] if members else head} "
+                f"(stage {state.stage!r}) exceeded its "
                 f"{budget:g}s wall-clock budget"
             )
-        if state.on_error == "retry" and attempt < state.retry.max_attempts:
-            obs_metrics.add("executor.retries")
-            reissue_at[idx] = (now + state.retry.delay(idx, attempt), attempt + 1)
-            return
-        attempts[idx] = attempt + 1
-        terminal[idx] = (
-            "fail",
-            TaskFailure(
-                index=idx,
-                stage=state.stage,
-                kind="timeout",
-                error_type="TimeoutError",
-                message=f"exceeded {budget:g}s budget",
-                attempts=attempt,
-            ),
-        )
+        for idx in members:
+            m_attempt = attempts[idx]
+            if state.on_error == "retry" and m_attempt < state.retry.max_attempts:
+                obs_metrics.add("executor.retries")
+                reissue_at[idx] = (now + state.retry.delay(idx, m_attempt),
+                                   m_attempt + 1)
+                continue
+            # Bump the attempt so a late result from the hung worker is
+            # ignored as stale (the worker itself cannot be preempted).
+            attempts[idx] = m_attempt + 1
+            terminal[idx] = (
+                "fail",
+                TaskFailure(
+                    index=idx,
+                    stage=state.stage,
+                    kind="timeout",
+                    error_type="TimeoutError",
+                    message=f"exceeded {budget:g}s budget",
+                    attempts=m_attempt,
+                ),
+            )
 
     def _worker_lost(self, state, qdir, ledger, taskmap, attempts, losses,
-                     terminal, reissue_at, claim_seen, beat_seen, idx, now) -> None:
-        lease = ledger.load(idx) or {}
-        attempt = attempts[idx]
-        losses[idx] += 1
+                     terminal, reissue_at, units, unit_attempt, unit_size,
+                     claim_seen, beat_seen, head, now) -> None:
+        lease = ledger.load(head) or {}
+        members = list(units.get(head, ()))
+        attempt = unit_attempt[head]
         obs_metrics.add("executor.dispatch.workers_lost")
         record_event(
             state,
             "worker-lost",
             f"worker {lease.get('worker', '<unknown>')!r} stopped "
-            f"heartbeating while holding task {idx}; re-issuing the task",
-            index=idx,
+            f"heartbeating while holding work unit {head} "
+            f"({len(members)} unfinished tasks); re-issuing them",
+            index=head,
         )
-        self._clear_inflight(qdir, ledger, idx, attempt, claim_seen, beat_seen)
-        if losses[idx] > _MAX_WORKER_LOSSES:
-            # Workers keep dying on this task — the dispatch analogue of
-            # a repeatedly broken pool: execute it locally instead of
-            # failing the run.
-            record_event(
-                state,
-                "degraded-serial",
-                f"task {idx} lost {losses[idx]} workers; executing it "
-                "in the dispatcher process",
-                index=idx,
-            )
-            outcome = attempt_serial(state, taskmap[idx])
-            terminal[idx] = ("fail", outcome) if is_failure(outcome) else ("ok", outcome)
-            return
-        # Worker loss is not a task failure: re-issue the same attempt.
-        reissue_at[idx] = (now, attempt)
+        self._clear_unit(qdir, ledger, head, attempt, units, unit_attempt,
+                         unit_size, claim_seen, beat_seen)
+        for idx in members:
+            losses[idx] += 1
+            if losses[idx] > _MAX_WORKER_LOSSES:
+                # Workers keep dying on this task — the dispatch analogue
+                # of a repeatedly broken pool: execute it locally instead
+                # of failing the run.
+                record_event(
+                    state,
+                    "degraded-serial",
+                    f"task {idx} lost {losses[idx]} workers; executing it "
+                    "in the dispatcher process",
+                    index=idx,
+                )
+                outcome = attempt_serial(state, taskmap[idx])
+                terminal[idx] = (
+                    ("fail", outcome) if is_failure(outcome) else ("ok", outcome)
+                )
+                continue
+            # Worker loss is not a task failure: re-issue the same attempt.
+            reissue_at[idx] = (now, attempts[idx])
 
-    def _issue_due(self, qdir, taskmap, attempts, reissue_at,
-                   claim_seen, beat_seen, now) -> None:
+    def _issue_due(self, qdir, taskmap, attempts, reissue_at, units,
+                   unit_attempt, unit_size, claim_seen, beat_seen, now) -> None:
+        """Re-issue due tasks as singleton units.  A task whose index
+        still heads a live unit (its siblings remain in flight under that
+        head) waits until the unit drains, so queue-file names and the
+        head's lease stay unambiguous."""
         for idx, (due, attempt) in list(reissue_at.items()):
-            if due > now:
+            if due > now or idx in units:
                 continue
             del reissue_at[idx]
             attempts[idx] = attempt
-            claim_seen.pop(idx, None)
-            beat_seen.pop(idx, None)
             obs_metrics.add("executor.dispatch.reissues")
             try:
                 atomic_write_bytes(
                     qdir / "todo" / _task_name(idx, attempt),
-                    pickle.dumps(taskmap[idx], protocol=4),
+                    pickle.dumps(taskmap[idx], protocol=pickle.HIGHEST_PROTOCOL),
                 )
             except OSError:
                 reissue_at[idx] = (now, attempt)  # transient FS error; retry
+                continue
+            units[idx] = [idx]
+            unit_attempt[idx] = attempt
+            unit_size[idx] = 1
 
 
 # ---------------------------------------------------------------------------
@@ -556,10 +670,13 @@ def _scan_queues(root: Path) -> "list[Path]":
 
 
 def _claim_next(qdir: Path) -> "tuple[Path, int, int] | None":
-    """Steal one task: atomically rename a todo file into ``claimed/``.
+    """Steal one work unit: atomically rename a todo file into
+    ``claimed/``.
 
     Exactly one worker wins each rename; losers see ``FileNotFoundError``
-    and move on to the next file.
+    and move on to the next file.  A unit file holds either a bare
+    :class:`Task` or a list of consecutive tasks; the returned index is
+    the unit's head (its first member).
     """
     todo = qdir / "todo"
     try:
@@ -586,27 +703,32 @@ def _heartbeat_loop(ledger: LeaseLedger, index: int, period: float,
 
 
 def _run_claimed(qdir: Path, fn, stage: str, worker: str, heartbeat: float,
-                 claimed: Path, idx: int, attempt: int) -> None:
-    """Execute one stolen task and stream its envelope back.  Never
-    raises: every failure becomes an envelope (or, for hard process
-    death, a stale lease the dispatcher will notice)."""
+                 claimed: Path, head: int, attempt: int) -> None:
+    """Execute one stolen work unit and stream one envelope per member
+    task back.  Never raises: every failure becomes an envelope (or, for
+    hard process death, a stale lease the dispatcher will notice).
+
+    The heartbeat lease is keyed by the unit's head index and covers all
+    members.  Member envelopes carry the *unit's* attempt number (the
+    dispatcher issued every member at that attempt) and are written
+    before the claimed file is removed, so a vanished claim with no
+    member envelopes reliably signals a dead worker.
+    """
     ledger = LeaseLedger(qdir / "leases")
-    ledger.claim(idx, attempt, worker)
+    ledger.claim(head, attempt, worker)
     stop = threading.Event()
     beat = threading.Thread(
-        target=_heartbeat_loop, args=(ledger, idx, heartbeat, stop), daemon=True
+        target=_heartbeat_loop, args=(ledger, head, heartbeat, stop), daemon=True
     )
     beat.start()
     try:
         try:
-            task = pickle.loads(claimed.read_bytes())
-            outcome = execute_task(fn, task, stage)
-            doc: "dict[str, Any]" = {
-                "ok": True, "outcome": outcome, "worker": worker, "attempt": attempt,
-            }
-            payload = pickle.dumps(doc, protocol=4)
+            payload_obj = pickle.loads(claimed.read_bytes())
         except Exception as exc:
-            doc = {
+            # The unit file itself is unreadable: report on the head; the
+            # dispatcher recovers any remaining members via the
+            # lost-worker path once the claim disappears.
+            doc: "dict[str, Any]" = {
                 "ok": False,
                 "error_type": type(exc).__name__,
                 "message": str(exc),
@@ -614,18 +736,55 @@ def _run_claimed(qdir: Path, fn, stage: str, worker: str, heartbeat: float,
                 "attempt": attempt,
             }
             try:
-                doc["exception"] = pickle.dumps(exc, protocol=4)
+                doc["exception"] = pickle.dumps(
+                    exc, protocol=pickle.HIGHEST_PROTOCOL
+                )
             except Exception:
                 doc["exception"] = None
-            payload = pickle.dumps(doc, protocol=4)
-        try:
-            atomic_write_bytes(qdir / "results" / _task_name(idx, attempt), payload)
-        except OSError:
-            pass  # queue closed under us; the attempt was already re-issued
+            try:
+                atomic_write_bytes(
+                    qdir / "results" / _task_name(head, attempt),
+                    pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+            except OSError:
+                pass
+            return
+        tasks = payload_obj if isinstance(payload_obj, list) else [payload_obj]
+        for task in tasks:
+            try:
+                outcome = execute_task(fn, task, stage)
+                doc = {
+                    "ok": True,
+                    "outcome": outcome,
+                    "worker": worker,
+                    "attempt": attempt,
+                }
+                payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                doc = {
+                    "ok": False,
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "worker": worker,
+                    "attempt": attempt,
+                }
+                try:
+                    doc["exception"] = pickle.dumps(
+                        exc, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except Exception:
+                    doc["exception"] = None
+                payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                atomic_write_bytes(
+                    qdir / "results" / _task_name(task.index, attempt), payload
+                )
+            except OSError:
+                pass  # queue closed under us; the attempt was re-issued
     finally:
         stop.set()
         beat.join(timeout=1.0)
-        ledger.release(idx)
+        ledger.release(head)
         try:
             claimed.unlink()
         except OSError:
@@ -656,8 +815,8 @@ def _drain_queue(qdir: Path, worker: str) -> int:
         stolen = _claim_next(qdir)
         if stolen is None:
             return count
-        claimed, idx, attempt = stolen
-        _run_claimed(qdir, fn, stage, worker, heartbeat, claimed, idx, attempt)
+        claimed, head, attempt = stolen
+        _run_claimed(qdir, fn, stage, worker, heartbeat, claimed, head, attempt)
         count += 1
 
 

@@ -40,14 +40,25 @@ __all__ = [
     "NakagamiFading",
     "RicianFading",
     "NoFading",
+    "draw_unit_multipliers",
     "simulate_sinr_patterns_with_model",
     "simulate_slots_with_model",
+    "sinr_from_unit_multipliers",
     "expected_successes_with_model",
 ]
 
 
 class FadingModel(abc.ABC):
     """Distribution of instantaneous power gains around their means."""
+
+    #: Whether :meth:`sample` consumes randomness element-sequentially —
+    #: i.e. drawing ``size=a`` then ``size=b`` rows yields the same rows
+    #: as one ``size=a+b`` draw.  True for the exponential/gamma/constant
+    #: families (numpy fills those element by element); False for models
+    #: that draw whole auxiliary arrays per call (Rician draws the full
+    #: real field before the imaginary one).  The slot-loop engine uses
+    #: this to keep per-slot draws grouping-invariant.
+    elementwise_draws: bool = True
 
     @abc.abstractmethod
     def sample(
@@ -110,6 +121,10 @@ class RicianFading(FadingModel):
     Rayleigh exactly.
     """
 
+    # sample() draws the whole real field, then the whole imaginary one,
+    # so splitting a multi-slot draw changes which variates land where.
+    elementwise_draws = False
+
     def __init__(self, k_factor: float):
         if not np.isfinite(k_factor) or k_factor < 0.0:
             raise ValueError(f"Rician K must be finite and >= 0, got {k_factor}")
@@ -140,6 +155,62 @@ class NoFading(FadingModel):
     @property
     def name(self) -> str:
         return "nonfading"
+
+
+def draw_unit_multipliers(
+    model: FadingModel, n: int, rng, num_slots: int
+) -> np.ndarray:
+    """``(num_slots, n)`` unit-mean fading multipliers, drawn so the
+    result is identical under any grouping of slots into calls.
+
+    Elementwise models draw the whole block in one ``sample`` call;
+    models whose multi-slot draws are not grouping-invariant
+    (``elementwise_draws = False``) draw one slot at a time — slower,
+    but the positional RNG contract of the slot-loop engine holds for
+    every fading family.
+    """
+    gen = as_generator(rng)
+    unit = np.ones(n, dtype=np.float64)
+    if num_slots <= 0:
+        return np.zeros((0, n), dtype=np.float64)
+    if model.elementwise_draws:
+        return model.sample(unit, gen, size=num_slots)
+    return np.concatenate(
+        [model.sample(unit, gen, size=1) for _ in range(num_slots)], axis=0
+    )
+
+
+def sinr_from_unit_multipliers(
+    instance: SINRInstance,
+    patterns: np.ndarray,
+    draws: np.ndarray,
+    *,
+    counterfactual: bool = False,
+) -> np.ndarray:
+    """Deterministic SINR evaluation of a pattern chunk against given
+    unit-mean multipliers ``F_j`` per (slot, sender).
+
+    The evaluation half of the common-random-numbers kernel: callers
+    that cache draws (the slot-loop engine's field buffers) re-evaluate
+    corrected patterns against the same multipliers through this
+    function, and :func:`simulate_sinr_patterns_with_model` is its
+    draw-then-evaluate composition.
+    """
+    chunk = np.asarray(patterns)
+    t, n = chunk.shape
+    gains_op = instance.gains_operator(keep_diagonal=True)
+    own = instance.signal
+    act = chunk.astype(np.float64)
+    # includes j = i when i is active
+    total = gains_op.matmul((act * draws).astype(gains_op.dtype, copy=False))
+    signal = own * draws
+    denom = total - act * signal + instance.noise
+    where = np.ones_like(chunk) if counterfactual else chunk
+    sinr = np.zeros((t, n), dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.divide(signal, denom, out=sinr, where=where & (denom > 0.0))
+    sinr[where & (denom <= 0.0)] = np.inf
+    return sinr
 
 
 def simulate_sinr_patterns_with_model(
@@ -180,26 +251,15 @@ def simulate_sinr_patterns_with_model(
     # Same CRN kernel as the Rayleigh fast path: the product includes the
     # own-signal term, so the operator keeps the exact diagonal in top-k
     # mode; the default config wraps `instance.gains` byte-identically.
-    gains_op = instance.gains_operator(keep_diagonal=True)
-    own = instance.signal
     unit = np.ones(n, dtype=np.float64)
     block = max(1, 12_000_000 // max(1, n))
     done = 0
     while done < num_slots:
         t = min(block, num_slots - done)
-        chunk = pats[done : done + t]
-        act = chunk.astype(np.float64)
         draws = model.sample(unit, gen, size=t)  # F_j per (slot, sender)
-        # includes j = i when i is active
-        total = gains_op.matmul((act * draws).astype(gains_op.dtype, copy=False))
-        signal = own * draws
-        denom = total - act * signal + instance.noise
-        where = np.ones_like(chunk) if counterfactual else chunk
-        sinr = np.zeros((t, n), dtype=np.float64)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            np.divide(signal, denom, out=sinr, where=where & (denom > 0.0))
-        sinr[where & (denom <= 0.0)] = np.inf
-        out[done : done + t] = sinr
+        out[done : done + t] = sinr_from_unit_multipliers(
+            instance, pats[done : done + t], draws, counterfactual=counterfactual
+        )
         done += t
     return out
 

@@ -41,6 +41,12 @@ __all__ = [
 ]
 
 
+# Interferers per receiver kept in the screening tables: enough that the
+# retained log factors already drive the bound to e^{-large} on dense
+# slots, small enough that a screen costs far less than an exact entry.
+_SCREEN_TOPK = 16
+
+
 def _beta_vector(beta, n: int) -> np.ndarray:
     arr = np.asarray(beta, dtype=np.float64)
     if arr.ndim == 0:
@@ -82,6 +88,8 @@ class Theorem1Kernel:
         "_weights",
         "_log_factors",
         "_ops",
+        "_screen_cache",
+        "_hit_ema",
     )
 
     def __init__(self, instance: SINRInstance, beta):
@@ -93,6 +101,8 @@ class Theorem1Kernel:
         self._weights: "np.ndarray | None" = None
         self._log_factors: "np.ndarray | None" = None
         self._ops: "dict[tuple, object]" = {}
+        self._screen_cache: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._hit_ema = 0.5
 
     @property
     def n(self) -> int:
@@ -225,6 +235,133 @@ class Theorem1Kernel:
         return self._guard(
             np.exp(self._binary_log_p(pats)), "theorem1.conditional_batch"
         )
+
+    @property
+    def supports_entry_gather(self) -> bool:
+        """Whether the exact entry-level paths (:meth:`conditional_at`,
+        :meth:`screen_bound`) apply under the active backend config —
+        they read the raw float64 ``log_factors``, so top-k / reduced
+        dtype configs must route through :meth:`conditional_batch`."""
+        op = self._operator("log_factors")
+        return not op.is_sparse and op.dtype == np.float64
+
+    @property
+    def screen_cutoff(self) -> int:
+        """Active-count above which :meth:`screen_bound` screening is
+        cheaper than evaluating every entry exactly.
+
+        A screen costs ``K`` lookups against an exact cost of ``a``, and
+        pays only when the bound rejects most entries — i.e. when entry
+        success probabilities run low.  The observed hit rate of recent
+        exact evaluations (:meth:`note_hit_rate`) picks between an
+        aggressive cutoff near ``K`` (low-success contention, where the
+        bound rejects nearly everything) and a conservative ``3K`` (a
+        well-tuned protocol whose entries succeed often, making screens
+        pure overhead).  Cutoff choice only moves work between the
+        screened and exact paths — outcomes are identical either way —
+        so this adaptivity cannot affect results or their block-size
+        invariance."""
+        return _SCREEN_TOPK if self._hit_ema < 0.25 else 3 * _SCREEN_TOPK
+
+    def note_hit_rate(self, evaluated: int, hits: int) -> None:
+        """Feed back the success rate of exactly evaluated entries; an
+        exponential moving average steers :attr:`screen_cutoff`."""
+        if evaluated > 0:
+            self._hit_ema = 0.8 * self._hit_ema + 0.2 * (hits / evaluated)
+
+    def _screen_tables(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-receiver top-``K`` strongest interferers (most negative
+        log factors), as ``(K, n)`` index and value tables."""
+        tables = self._screen_cache
+        if tables is None:
+            k = min(_SCREEN_TOPK, self.n)
+            # Partition along contiguous rows of the transpose — roughly
+            # twice as fast as a strided axis-0 partition at this size.
+            lt = np.ascontiguousarray(self.log_factors.T)
+            part = np.argpartition(lt, k - 1, axis=1)[:, :k]
+            vals = np.take_along_axis(lt, part, axis=1)
+            tables = (part.T, vals.T)
+            self._screen_cache = tables
+        return tables
+
+    def screen_bound(
+        self, patterns: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Cheap upper bound on the conditional success probability at
+        the given transmitting entries.
+
+        Every log factor is ≤ 0, so dropping all interferers except the
+        receiver's ``K`` strongest *transmitting* ones can only raise the
+        probability: ``p(r, i) ≤ exp(Σ_{j ∈ topK(i) ∩ A_r} L[j, i] −
+        βν/S̄ii)``.  The bound costs ``K`` table lookups per entry —
+        independent of the active count — which makes it the fast path
+        for dense slots (a protocol sweeping ``q`` toward 1/2), where
+        hundreds of interferers drive ``p`` to ``e^{-100}``-scale and
+        almost every entry can be rejected against its uniform draw
+        without the exact ``a²`` evaluation.  A ``1e-9`` log-space
+        inflation swallows the (≤ K + 1)-term float rounding, so
+        ``u ≥ bound`` implies ``u ≥ p`` for the *exactly computed* ``p``
+        too: screening can never flip an outcome, only skip work.
+        """
+        idx, vals = self._screen_tables()
+        present = patterns[rows[None, :], idx[:, cols]]
+        s = np.einsum("ke,ke->e", vals[:, cols], present)
+        _metrics.add("theorem1.screened_entries", rows.size)
+        return np.exp(s - self._noise_exponent[cols] + 1e-9)
+
+    def conditional_at(
+        self,
+        patterns: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        *,
+        actives: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """Exact conditional success probabilities at selected
+        transmitting entries of a 0/1 batch.
+
+        For binary patterns, silent links contribute exactly 0 to the
+        log-probability sum, so entry ``(r, i)`` needs only
+        ``Σ_{j ∈ A_r} log_factors[j, i]`` over the row's own active set
+        ``A_r`` — a ragged gather of ``a_r`` elements per requested
+        entry, independent of ``n`` and of which other rows or entries
+        share the call.  Each entry sums its row's active set in
+        ascending index order (via ``add.reduceat``), so values are
+        identical however slots are grouped: the determinism clause
+        behind the slot-loop engine's block-size-invariance guarantee.
+
+        ``actives`` optionally passes the precomputed
+        ``(np.nonzero(patterns) + (row counts,))`` triple when the
+        caller already holds it, sparing a second scan of the batch.
+        """
+        pats = np.asarray(patterns)
+        if pats.ndim != 2 or pats.shape[1] != self.n:
+            raise ValueError(f"patterns must be (B, {self.n}), got {pats.shape}")
+        if rows.size == 0:
+            return np.empty(0, dtype=np.float64)
+        _metrics.add("theorem1.entry_calls")
+        if actives is not None:
+            frows, fcols, fcounts = actives
+        else:
+            frows, fcols = np.nonzero(pats)
+            fcounts = np.bincount(frows, minlength=pats.shape[0])
+        frow_start = np.zeros(fcounts.size, dtype=np.intp)
+        np.cumsum(fcounts[:-1], out=frow_start[1:])
+        # Pair space: requested entry e owns a block of a_e = |A_row(e)|
+        # consecutive positions, one per interferer j ∈ A_row(e)
+        # (ascending).
+        a_e = fcounts[rows]
+        starts = np.zeros(rows.size, dtype=np.intp)
+        np.cumsum(a_e[:-1], out=starts[1:])
+        total = int(starts[-1] + a_e[-1])
+        intra = np.arange(total, dtype=np.intp) - np.repeat(starts, a_e)
+        j_flat = fcols[np.repeat(frow_start[rows], a_e) + intra]
+        i_flat = np.repeat(cols, a_e)
+        vals = self.log_factors[j_flat, i_flat]
+        _metrics.add("theorem1.entry_gathered", vals.size)
+        sums = np.add.reduceat(vals, starts)
+        p = np.exp(sums - self._noise_exponent[cols])
+        return self._guard(p, "theorem1.conditional_at")
 
 
 def success_probability_conditional(

@@ -16,6 +16,12 @@ Rayleigh fading:
 (requests relayed over intermediate nodes), as in [6], [9], [10];
 :mod:`~repro.latency.schedule` holds the schedule data type and its
 validity checks.
+
+All schedulers execute on the shared slot-loop engine
+(:mod:`~repro.latency.slotloop`): per-slot randomness is pre-drawn
+positionally in speculative blocks and settled in place, so results are
+identical for every ``slot_block`` — the block size is purely a
+throughput knob (process default via :func:`set_default_slot_block`).
 """
 
 from repro.latency.aloha import aloha_latency
@@ -27,15 +33,33 @@ from repro.latency.multihop import (
 )
 from repro.latency.repeated_max import repeated_max_latency
 from repro.latency.schedule import Schedule, replay_schedule, validate_schedule
+from repro.latency.slotloop import (
+    ContentionResult,
+    SlotFieldBuffer,
+    get_default_slot_block,
+    iter_slot_blocks,
+    resolve_slot_block,
+    run_contention,
+    run_fixed_pattern,
+    set_default_slot_block,
+)
 
 __all__ = [
+    "ContentionResult",
     "MultiHopRequest",
     "Schedule",
+    "SlotFieldBuffer",
     "aloha_latency",
     "decay_latency",
+    "get_default_slot_block",
+    "iter_slot_blocks",
     "multihop_latency",
     "multihop_lower_bound",
     "repeated_max_latency",
     "replay_schedule",
+    "resolve_slot_block",
+    "run_contention",
+    "run_fixed_pattern",
+    "set_default_slot_block",
     "validate_schedule",
 ]

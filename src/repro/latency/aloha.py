@@ -20,6 +20,12 @@ peeling approximation of the maximum average affectance — documented
 2-approximation), or ``"adaptive"`` (restart-doubling: a standard guess-
 and-double wrapper that needs no global knowledge, mirroring the
 distributed flavour of [9]).
+
+Execution runs on the shared slot-loop engine
+(:func:`repro.latency.slotloop.run_contention`): slots are speculated in
+blocks, evaluated against pre-drawn per-slot channel fields, and
+invalid speculation is settled in place — the trajectory is identical
+for every block size, so ``slot_block`` is purely a throughput knob.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.channel.spec import make_channel
 from repro.core.affectance import affectance_matrix, max_average_affectance
 from repro.core.sinr import SINRInstance
 from repro.latency.schedule import Schedule
+from repro.latency.slotloop import run_contention
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -76,42 +83,6 @@ def _auto_probability(instance: SINRInstance, beta: float) -> float:
     return min(0.5, 1.0 / (2.0 * abar))
 
 
-def _run_protocol(
-    channel: Channel,
-    q: float,
-    repeats: int,
-    gen: np.random.Generator,
-    max_steps: int,
-) -> "tuple[bool, list[np.ndarray], np.ndarray]":
-    """One protocol phase at fixed ``q``.
-
-    Returns ``(finished, slots, served_at)``; on hitting the step cap,
-    ``finished`` is False and the slots already spent are still returned
-    (they occupied air time and must count toward the total latency of
-    multi-phase runs).
-    """
-    n = channel.n
-    unserved = np.ones(n, dtype=bool)
-    served_at = np.full(n, -1, dtype=np.int64)
-    slots: list[np.ndarray] = []
-    steps = 0
-    while unserved.any():
-        if steps >= max_steps:
-            return False, slots, served_at
-        steps += 1
-        executions = 1 if channel.is_deterministic else repeats
-        for _ in range(executions):
-            transmit = unserved & (gen.random(n) < q)
-            slots.append(np.flatnonzero(transmit))
-            if not transmit.any():
-                continue
-            ok = channel.realize(transmit, gen)
-            newly = ok & unserved
-            served_at[newly] = len(slots) - 1
-            unserved &= ~ok
-    return True, slots, served_at
-
-
 def aloha_latency(
     instance: SINRInstance,
     beta: float,
@@ -122,6 +93,7 @@ def aloha_latency(
     channel: "Channel | str | None" = None,
     repeats: int = 4,
     max_steps_factor: int = 200,
+    slot_block: "int | None" = None,
 ) -> AlohaResult:
     """Run contention resolution until every link has been served.
 
@@ -146,6 +118,11 @@ def aloha_latency(
     max_steps_factor:
         Per-phase step budget is ``max_steps_factor · n / q`` protocol
         steps (generous; only pathological probabilities exhaust it).
+    slot_block:
+        Speculative block size of the slot-loop engine (``None`` → the
+        process default, :func:`repro.latency.slotloop.get_default_slot_block`).
+        Any value yields identical results; it only trades throughput
+        against wasted speculation.
 
     Returns
     -------
@@ -172,13 +149,19 @@ def aloha_latency(
     all_slots: list[np.ndarray] = []
     for q_phase in candidates:
         budget = int(max_steps_factor * instance.n / q_phase)
+        executions = 1 if ch.is_deterministic else repeats
         ch.reset()
-        finished, slots, served_at = _run_protocol(
-            ch, q_phase, repeats, gen, budget
+        result = run_contention(
+            ch,
+            lambda step, qp=q_phase: qp,
+            gen,
+            executions=executions,
+            max_steps=budget,
+            slot_block=slot_block,
         )
         offset = len(all_slots)
-        all_slots.extend(slots)
-        if finished:
+        all_slots.extend(result.slots)
+        if result.finished:
             schedule = Schedule(slots=tuple(all_slots), n=instance.n)
             return AlohaResult(
                 schedule=schedule,
@@ -186,7 +169,7 @@ def aloha_latency(
                 protocol_steps=(
                     schedule.length if ch.is_deterministic else schedule.length // repeats
                 ),
-                served_at=served_at + offset,
+                served_at=result.served_at + offset,
                 q_used=q_phase,
             )
         # Failed phase still occupied air time; its slots stay in the

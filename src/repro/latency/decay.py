@@ -13,7 +13,10 @@ protocol in :mod:`repro.latency.aloha`.
 
 Service is evaluated through a :class:`~repro.channel.base.Channel`;
 under any stochastic channel each slot is executed ``repeats``-fold per
-the Section-4 transformation.
+the Section-4 transformation.  Execution runs on the shared slot-loop
+engine (:func:`repro.latency.slotloop.run_contention`) with the sweep
+expressed as a per-step probability function — results are identical
+for every speculative block size.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
 from repro.latency.aloha import AlohaResult
 from repro.latency.schedule import Schedule
+from repro.latency.slotloop import run_contention
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -42,6 +46,7 @@ def decay_latency(
     channel: "Channel | str | None" = None,
     repeats: int = 4,
     max_sweeps: "int | None" = None,
+    slot_block: "int | None" = None,
 ) -> AlohaResult:
     """Serve every link with the probability-sweeping decay protocol.
 
@@ -61,6 +66,9 @@ def decay_latency(
         Physical executions per protocol slot under stochastic channels.
     max_sweeps:
         Safety cap (default ``50 · n``).
+    slot_block:
+        Speculative block size of the slot-loop engine (``None`` → the
+        process default); results are identical for every value.
 
     Returns
     -------
@@ -77,36 +85,23 @@ def decay_latency(
     n = instance.n
     sweep_length = max(1, int(math.ceil(math.log2(max(n, 2)))) + 1)
     cap = max_sweeps if max_sweeps is not None else 50 * n
+    executions = 1 if ch.is_deterministic else repeats
 
-    unserved = np.ones(n, dtype=bool)
-    served_at = np.full(n, -1, dtype=np.int64)
-    slots: list[np.ndarray] = []
-    protocol_steps = 0
-    sweeps = 0
-    while unserved.any():
-        if sweeps >= cap:
-            raise RuntimeError(f"decay protocol exceeded {cap} sweeps")
-        sweeps += 1
-        for j in range(sweep_length):
-            q = 2.0 ** (-(j + 1))
-            protocol_steps += 1
-            executions = 1 if ch.is_deterministic else repeats
-            for _ in range(executions):
-                transmit = unserved & (gen.random(n) < q)
-                slots.append(np.flatnonzero(transmit))
-                if not transmit.any():
-                    continue
-                ok = ch.realize(transmit, gen)
-                newly = ok & unserved
-                served_at[newly] = len(slots) - 1
-                unserved &= ~ok
-            if not unserved.any():
-                break
-    schedule = Schedule(slots=tuple(slots), n=n)
+    result = run_contention(
+        ch,
+        lambda step, sl=sweep_length: 2.0 ** (-((step % sl) + 1)),
+        gen,
+        executions=executions,
+        max_steps=cap * sweep_length,
+        slot_block=slot_block,
+    )
+    if not result.finished:
+        raise RuntimeError(f"decay protocol exceeded {cap} sweeps")
+    schedule = Schedule(slots=tuple(result.slots), n=n)
     return AlohaResult(
         schedule=schedule,
         latency=schedule.length,
-        protocol_steps=protocol_steps,
-        served_at=served_at,
+        protocol_steps=len(result.slots) // executions,
+        served_at=result.served_at,
         q_used=2.0**(-sweep_length),
     )

@@ -12,6 +12,14 @@ head hop of every unfinished request enters a single-hop latency problem,
 solved by any of the single-hop schedulers; finished hops advance their
 request's frontier.  The returned latency is the makespan (slots until
 every request's last hop is served).
+
+Between two frontier advances the instance — and hence the chosen
+transmit set — cannot change, so those repeated slots form a *frontier
+epoch* evaluated in blocks on the slot-loop engine's fixed-pattern path
+(:func:`repro.latency.slotloop.run_fixed_pattern`): per-slot channel
+fields are pre-drawn positionally and the epoch is truncated at the
+first slot serving any hop.  Results are identical for every
+``slot_block``.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.channel.spec import make_channel
 from repro.core.network import Network
 from repro.core.power import PowerAssignment, UniformPower
 from repro.core.sinr import SINRInstance
+from repro.latency.slotloop import SlotFieldBuffer, run_fixed_pattern
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -118,6 +127,7 @@ def multihop_latency(
     channel: "str | None" = None,
     rng=None,
     max_slots: "int | None" = None,
+    slot_block: "int | None" = None,
 ) -> MultiHopResult:
     """Schedule all requests hop-by-hop with a moving frontier.
 
@@ -137,11 +147,16 @@ def multihop_latency(
         Power assignment for relay transmissions (default uniform 1).
     model, channel, rng:
         Like the single-hop schedulers — except ``channel`` must be a
-        *spec string*: the frontier instance changes every slot, so a
-        fresh channel is built per slot (block-fading coherence does not
-        carry across frontier changes).
+        *spec string*: the frontier instance changes when a hop is
+        served, so a fresh channel is built per frontier epoch
+        (block-fading coherence carries within an epoch, not across
+        frontier advances).
     max_slots:
         Safety cap (default ``50 · total hops``).
+    slot_block:
+        Speculative block cap of the fixed-pattern engine path
+        (``None`` → the process default); results are identical for
+        every value.
 
     Returns
     -------
@@ -178,8 +193,16 @@ def multihop_latency(
             chosen = np.array([int(np.argmax(inst.signal))], dtype=np.intp)
         mask = np.zeros(inst.n, dtype=bool)
         mask[chosen] = True
-        ok = make_channel(spec, inst, beta).realize(mask, gen)
-        slot += 1
+        ch = make_channel(spec, inst, beta)
+        fields = SlotFieldBuffer(ch, gen)
+        if ch.is_deterministic:
+            ok = fields.apply(0, mask[None])[0] & mask
+            used = 1
+        else:
+            used, ok = run_fixed_pattern(
+                fields, 0, mask, max_rows=cap - slot, slot_block=slot_block
+            )
+        slot += used
         for local, k in enumerate(active_requests):
             if ok[local]:
                 progress[k] += 1

@@ -17,6 +17,12 @@ no interference, so this matches per-subinstance evaluation exactly):
   slots; exactly the "repeated application" transfer of Section 4
   (capacity per slot drops by at most the constant of Lemma 2, hence
   expected latency grows by a constant factor).
+
+Channel randomness flows through the slot-loop engine's per-slot field
+buffer (:class:`~repro.latency.slotloop.SlotFieldBuffer`): fields are
+pre-drawn positionally in blocks — they never depend on the transmit
+masks — and each slot's data-dependent mask is evaluated against its
+own row, so results are identical for every ``slot_block``.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.channel.base import Channel
 from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
 from repro.latency.schedule import Schedule
+from repro.latency.slotloop import SlotFieldBuffer, run_fixed_pattern
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -65,6 +72,7 @@ def repeated_max_latency(
     algorithm: "Callable[[SINRInstance, float], np.ndarray] | None" = None,
     rng=None,
     max_slots: "int | None" = None,
+    slot_block: "int | None" = None,
 ) -> RepeatedMaxResult:
     """Serve every link via repeated single-slot maximization.
 
@@ -89,6 +97,13 @@ def repeated_max_latency(
         Safety cap; defaults to ``50 n`` for stochastic channels, ``2 n``
         for deterministic ones (both far above anything the algorithms
         need).
+    slot_block:
+        Speculative block cap of the fixed-pattern engine path
+        (``None`` → the process default); results are identical for
+        every value.  Between two services the unserved set — and hence
+        the (deterministic) capacity algorithm's choice — cannot change,
+        so the chosen set is re-planned only after a service and the
+        repeated slots in between are evaluated in blocks.
 
     Returns
     -------
@@ -111,6 +126,7 @@ def repeated_max_latency(
     remaining = np.arange(n)
     served_at = np.full(n, -1, dtype=np.int64)
     slots: list[np.ndarray] = []
+    fields = SlotFieldBuffer(ch, gen)
     while remaining.size:
         if len(slots) >= cap:
             raise RuntimeError(
@@ -125,11 +141,22 @@ def repeated_max_latency(
             # progress is guaranteed.
             local = np.array([int(np.argmax(sub.signal))], dtype=np.intp)
         chosen = remaining[local]
-        slots.append(np.sort(chosen))
         mask = np.zeros(n, dtype=bool)
         mask[chosen] = True
-        ok_local = ch.realize(mask, gen)[chosen]
-        served = chosen[ok_local]
+        if ch.is_deterministic:
+            # One slot decides everything: the outcome is the same every
+            # slot, so speculation buys nothing and an infeasible set
+            # must be caught immediately.
+            ok = fields.apply(len(slots), mask[None])[0] & mask
+            used = 1
+        else:
+            used, ok = run_fixed_pattern(
+                fields, len(slots), mask, max_rows=cap - len(slots), slot_block=slot_block
+            )
+        sorted_chosen = np.sort(chosen)
+        slots.extend([sorted_chosen] * used)
+        fields.release(len(slots))
+        served = np.flatnonzero(ok)
         served_at[served] = len(slots) - 1
         if ch.is_deterministic and served.size == 0:
             # A feasible-set algorithm always serves its whole set; an

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.sinr import SINRInstance
 from repro.fading.success import success_probability
+from repro.latency.slotloop import iter_slot_blocks, resolve_replay_block
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive, check_probability_vector
 
@@ -80,6 +81,7 @@ def estimate_step_success_nonfading(
     rng=None,
     *,
     num_samples: int = 2000,
+    slot_block: "int | None" = None,
 ) -> np.ndarray:
     """Monte-Carlo estimate of the *non-fading* per-step success
     probability ``p_i = Pr_X[i ∈ X and γ_i^nf(X) ≥ β]`` under random
@@ -88,7 +90,9 @@ def estimate_step_success_nonfading(
     Unlike the Rayleigh side there is no closed form (the probability is
     a sum over exponentially many patterns), so the E10 comparison
     estimates it by batched pattern sampling — one ``(B, n) @ (n, n)``
-    product per batch.
+    product per batch.  ``slot_block`` bounds the rows per batch (the
+    engine's replay block, default floored at 512); estimates are
+    identical for any value because patterns draw element-sequentially.
     """
     check_positive(beta, "beta")
     if num_samples <= 0:
@@ -96,12 +100,8 @@ def estimate_step_success_nonfading(
     gen = as_generator(rng)
     qv = check_probability_vector(q, instance.n)
     counts = np.zeros(instance.n, dtype=np.int64)
-    batch = 512
-    done = 0
-    while done < num_samples:
-        t = min(batch, num_samples - done)
-        patterns = gen.random((t, instance.n)) < qv
+    for lo, hi in iter_slot_blocks(num_samples, resolve_replay_block(slot_block)):
+        patterns = gen.random((hi - lo, instance.n)) < qv
         sinr = instance.sinr_batch(patterns)
         counts += (sinr >= beta).sum(axis=0)
-        done += t
     return counts / num_samples

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.channel.spec import make_channel
 from repro.core.sinr import SINRInstance
+from repro.latency.slotloop import iter_slot_blocks, resolve_replay_block
 from repro.utils.logstar import b_sequence
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive, check_probability_vector
@@ -122,6 +123,7 @@ def simulate_rayleigh_optimum(
     repeats: int = PAPER_REPEATS_PER_STAGE,
     damping: float = PAPER_DAMPING,
     channel: "str | None" = None,
+    slot_block: "int | None" = None,
 ) -> SimulationOutcome:
     """Execute Algorithm 1, by default on the non-fading engine.
 
@@ -136,6 +138,10 @@ def simulate_rayleigh_optimum(
     ``"nakagami:m=2"`` asks how Algorithm 1's coupling fares when the
     real channel is not the one Lemma 3 assumes; the default ``None``
     is the paper's deterministic engine.
+
+    ``slot_block`` bounds the rows evaluated per vectorized pass (the
+    engine's replay block, default floored at 512) — patterns are drawn
+    element-sequentially, so any chunking yields identical outcomes.
     """
     check_positive(beta, "beta")
     qv = check_probability_vector(q, instance.n)
@@ -146,17 +152,19 @@ def simulate_rayleigh_optimum(
     success = np.zeros(n, dtype=bool)
     best_sinr = np.zeros(n, dtype=np.float64)
     slot_counts: list[int] = []
+    block = resolve_replay_block(slot_block)
     for _b_k, stage_q, reps in plan:
-        patterns = gen.random((reps, n)) < stage_q
-        sinr = instance.sinr_batch(patterns) if ch is None else ch.sinr_batch(patterns, gen)
-        if sinr is not None:
-            finite_best = np.where(np.isinf(sinr), np.finfo(np.float64).max, sinr)
-            best_sinr = np.maximum(best_sinr, finite_best.max(axis=0))
-            hits = sinr >= beta
-        else:
-            hits = ch.realize_batch(patterns, gen)
-        success |= hits.any(axis=0)
-        slot_counts.extend(hits.sum(axis=1).tolist())
+        for lo, hi in iter_slot_blocks(reps, block):
+            patterns = gen.random((hi - lo, n)) < stage_q
+            sinr = instance.sinr_batch(patterns) if ch is None else ch.sinr_batch(patterns, gen)
+            if sinr is not None:
+                finite_best = np.where(np.isinf(sinr), np.finfo(np.float64).max, sinr)
+                best_sinr = np.maximum(best_sinr, finite_best.max(axis=0))
+                hits = sinr >= beta
+            else:
+                hits = ch.realize_batch(patterns, gen)
+            success |= hits.any(axis=0)
+            slot_counts.extend(hits.sum(axis=1).tolist())
     return SimulationOutcome(
         success=success,
         best_sinr=best_sinr,

@@ -8,6 +8,7 @@ uses, minus the network filesystem.
 
 import json
 import os
+import pickle
 import signal
 import subprocess
 import sys
@@ -40,6 +41,12 @@ def _double(task: Task) -> int:
 
 def _boom(task: Task) -> int:
     raise ValueError(f"rejected payload {task.payload}")
+
+
+def _boom_on_three(task: Task) -> int:
+    if task.payload == 3:
+        raise ValueError("rejected payload 3")
+    return task.payload * 2
 
 
 def _spawn_worker(root, name: str) -> subprocess.Popen:
@@ -114,6 +121,78 @@ class TestDispatchBasics:
         monkeypatch.setenv("REPRO_DISPATCH_ROOT", str(tmp_path / "env-root"))
         backend = resolve_executor("dispatch", 1, 1)
         assert backend.root == tmp_path / "env-root"
+
+
+class TestDispatchChunking:
+    """Per-claim task chunking: workers claim work units of consecutive
+    tasks, stream one envelope per member, and results stay byte-
+    identical to the serial backend at every chunk size."""
+
+    def test_rejects_chunk_below_one(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk"):
+            DispatchBackend(tmp_path, chunk=0)
+
+    def test_auto_chunk_scales_with_tasks_and_workers(self, tmp_path):
+        auto = DispatchBackend(tmp_path, local_workers=2)
+        assert auto._resolve_chunk(4) == 1  # fewer tasks than 4x workers
+        assert auto._resolve_chunk(64) == 8
+        assert auto._resolve_chunk(10_000) == 16  # clamped
+        explicit = DispatchBackend(tmp_path, chunk=5)
+        assert explicit._resolve_chunk(10_000) == 5
+
+    @pytest.mark.parametrize("chunk", [1, 3, 16, None])
+    def test_results_byte_identical_to_serial(self, tmp_path, chunk):
+        tasks = make_tasks(range(10), root_seed=7)
+        expected = map_tasks(_double, tasks, executor="serial", stage="chunked")
+        backend = DispatchBackend(
+            tmp_path / "runs", local_workers=2, poll=0.02, chunk=chunk
+        )
+        try:
+            out = map_tasks(_double, tasks, executor=backend, stage="chunked")
+        finally:
+            backend.close()
+        assert pickle.dumps(out) == pickle.dumps(expected)
+
+    def test_failed_member_does_not_poison_unit_siblings(self, tmp_path):
+        # Index 3 fails inside a 4-task unit; its siblings' envelopes
+        # settle normally and only index 3 carries a failure.
+        backend = DispatchBackend(
+            tmp_path / "runs", local_workers=1, poll=0.02, chunk=4
+        )
+        try:
+            out = map_tasks(
+                _boom_on_three, make_tasks(range(6)), executor=backend,
+                on_error="skip",
+            )
+        finally:
+            backend.close()
+        assert [out[i] for i in (0, 1, 2, 4, 5)] == [0, 2, 4, 8, 10]
+        assert is_failure(out[3]) and out[3].error_type == "ValueError"
+
+    def test_chunked_worker_lost_reissues_survivors(self, tmp_path):
+        """Kill a worker mid-unit: already-streamed member envelopes
+        stand, the unfinished members are re-issued as singleton units,
+        and the sweep still matches serial bytes."""
+        tasks = make_tasks(range(5), root_seed=13)
+        expected = map_tasks(_double, tasks, executor="serial", stage="clean")
+        chaos.install(
+            ChaosPlan(
+                state_dir=str(tmp_path / "chaos"),
+                faults=(Fault(kind="worker-lost", stage="wl-chunk", index=2),),
+            )
+        )
+        backend = DispatchBackend(
+            tmp_path / "runs", local_workers=2, lease_timeout=0.8, poll=0.02,
+            chunk=3,
+        )
+        try:
+            with pytest.warns(UserWarning, match="stopped heartbeating"):
+                out = map_tasks(_double, tasks, executor=backend,
+                                stage="wl-chunk")
+        finally:
+            backend.close()
+            chaos.uninstall()
+        assert pickle.dumps(out) == pickle.dumps(expected)
 
 
 class TestDispatchFaults:

@@ -1,0 +1,63 @@
+"""The perf-regression gate in ``benchmarks/run_all.py``.
+
+The bench harness is a script, not a package module, so it is loaded by
+file path.  These tests pin the ``--check`` floor semantics: a measured
+speedup below its per-kernel floor (default 1.0 — a fast path must not
+lose to its reference) is a failure, and only kernels explicitly
+annotated ``floor: None`` in ``KERNEL_EXPECTATIONS`` are exempt.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_RUN_ALL = Path(__file__).resolve().parents[1] / "benchmarks" / "run_all.py"
+
+
+@pytest.fixture(scope="module")
+def run_all():
+    spec = importlib.util.spec_from_file_location("bench_run_all", _RUN_ALL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_synthetic_below_floor_entry_fails(run_all):
+    kernels = {"latency_aloha_n1000": {"before_s": 1.0, "after_s": 0.5, "speedup": 2.0}}
+    failures = run_all.check_speedup_floors(kernels)
+    assert len(failures) == 1
+    assert "latency_aloha_n1000" in failures[0]
+    assert "floor" in failures[0]
+
+
+def test_default_floor_is_must_improve(run_all):
+    # A kernel with no KERNEL_EXPECTATIONS entry must beat its reference.
+    assert run_all.check_speedup_floors({"unlisted_kernel": {"speedup": 0.9}})
+    assert not run_all.check_speedup_floors({"unlisted_kernel": {"speedup": 1.2}})
+
+
+def test_at_floor_passes(run_all):
+    floor = run_all.KERNEL_EXPECTATIONS["latency_decay_n1000"]["floor"]
+    assert not run_all.check_speedup_floors({"latency_decay_n1000": {"speedup": floor}})
+    assert run_all.check_speedup_floors(
+        {"latency_decay_n1000": {"speedup": floor - 0.01}}
+    )
+
+
+def test_dispatch_tradeoff_kernel_is_annotated_not_silent(run_all):
+    entry = run_all.KERNEL_EXPECTATIONS["executor_dispatch_vs_pool_32tasks"]
+    assert entry["floor"] is None
+    assert "note" in entry and entry["note"]
+    # Exempt by annotation: its known sub-1.0 speedup does not fail.
+    assert not run_all.check_speedup_floors(
+        {"executor_dispatch_vs_pool_32tasks": {"speedup": 0.71}}
+    )
+
+
+def test_enforced_latency_floors_present(run_all):
+    # The acceptance floors of the batched slot-loop work.
+    assert run_all.KERNEL_EXPECTATIONS["latency_aloha_n1000"]["floor"] >= 5.0
+    assert run_all.KERNEL_EXPECTATIONS["latency_decay_n1000"]["floor"] >= 5.0
+    assert run_all.KERNEL_EXPECTATIONS["latency_aloha_n300"]["floor"] >= 3.0
+    assert run_all.KERNEL_EXPECTATIONS["latency_decay_n300"]["floor"] >= 3.0
