@@ -174,6 +174,7 @@ def _build_policy(args, journal: "RunJournal | None" = None) -> ExecutionPolicy:
             timeout=args.task_timeout,
             journal=journal,
             executor=_build_executor(args),
+            quarantine_after=args.quarantine_after,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -341,6 +342,8 @@ def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
             "incomplete": bool(incomplete),
             "experiments": summary,
         }
+        if journal is not None:
+            doc["journal"] = journal.health()
         if telemetry is not None:
             doc["telemetry"] = {
                 "trace": TRACE_FILENAME if args.trace else None,
@@ -360,6 +363,7 @@ def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
                 "complete": not incomplete,
                 "incomplete_experiments": incomplete,
                 "experiments": summary,
+                "journal": journal.health(),
             }
         )
     if incomplete:
@@ -393,6 +397,17 @@ def _cmd_worker(args) -> int:
         )
     except KeyboardInterrupt:
         return 130
+
+
+def _cmd_doctor(args) -> int:
+    """Body of ``repro doctor``: audit (and repair) a runs root."""
+    from repro.engine.doctor import diagnose
+
+    report = diagnose(
+        args.runs_root, repair=args.repair, stale_after=args.stale_after
+    )
+    print(json.dumps(report, indent=2))
+    return 1 if report["unrepaired"] else 0
 
 
 def _cmd_stats(args) -> int:
@@ -522,6 +537,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="max attempts per task under --on-error retry (default 3)",
     )
     parser.add_argument(
+        "--quarantine-after", type=_retries_arg, default=3, metavar="K",
+        help="quarantine a task after it kills its worker K times "
+        "(default 3): it settles as a structured failure instead of "
+        "being re-issued forever, so the rest of the sweep completes",
+    )
+    parser.add_argument(
         "--task-timeout", type=_timeout_arg, default=None, metavar="SECONDS",
         help="wall-clock budget per sweep task (process backend only)",
     )
@@ -645,6 +666,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker_p.set_defaults(func=_cmd_worker)
 
+    doc_p = sub.add_parser(
+        "doctor",
+        help="audit a runs root for stale leases, orphaned claims, torn "
+        "records, and incomplete runs; --repair puts it right",
+    )
+    doc_p.add_argument(
+        "runs_root", nargs="?", default=DEFAULT_RUNS_ROOT,
+        help=f"the runs root to audit (default {DEFAULT_RUNS_ROOT})",
+    )
+    doc_p.add_argument(
+        "--repair", action="store_true",
+        help="release dead leases, re-queue orphaned claims, and "
+        "quarantine corrupt records into corrupt/ (default: report only)",
+    )
+    doc_p.add_argument(
+        "--stale-after", type=_timeout_arg, default=60.0, metavar="SECONDS",
+        help="age of heartbeat silence before a lease counts as stale "
+        "(default 60; keep it well above the run's --lease-timeout)",
+    )
+    doc_p.set_defaults(func=_cmd_doctor)
+
     stats_p = sub.add_parser(
         "stats", help="render a past run directory's telemetry and faults"
     )
@@ -666,7 +708,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    chaos.install_from_env()
+    try:
+        chaos.install_from_env()
+    except chaos.ChaosSpecError as exc:
+        raise SystemExit(str(exc)) from exc
     return args.func(args)
 
 

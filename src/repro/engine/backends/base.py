@@ -184,6 +184,9 @@ class RunState:
     journal: "RunJournal | None"
     report: "RunReport | None"
     n_jobs: int = 1
+    #: Poison-task circuit breaker: after this many fatal attempts
+    #: (worker deaths) a task is quarantined instead of re-issued.
+    quarantine_after: int = 3
 
 
 def settle_success(state: RunState, task: "Task", outcome: Any) -> Any:

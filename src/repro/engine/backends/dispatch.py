@@ -76,7 +76,7 @@ from repro.engine.backends.serial import attempt_serial
 from repro.engine.faults import TaskFailure, is_failure
 from repro.engine.journal import LeaseLedger
 from repro.obs import metrics as obs_metrics
-from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text, exhaustion_kind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.executor import Task
@@ -99,11 +99,6 @@ DISPATCH_ROOT_ENV = "REPRO_DISPATCH_ROOT"
 
 _MANIFEST_FORMAT = "repro-dispatch-queue"
 _MANIFEST_VERSION = 1
-
-#: A task whose workers keep dying is re-executed locally after this
-#: many losses (the dispatch analogue of the pool's degraded-serial
-#: recovery) — worker deaths never fail a run by themselves.
-_MAX_WORKER_LOSSES = 3
 
 #: Seconds without any claim before the dispatcher reminds the user
 #: that dispatch needs ``repro worker`` processes.
@@ -130,6 +125,19 @@ def sleep_echo_task(task: "Task") -> Any:
     if isinstance(payload, dict) and payload.get("sleep"):
         time.sleep(float(payload["sleep"]))
     return payload
+
+
+def seeded_norm_task(task: "Task") -> float:
+    """Soak-harness task function (module-level for the same reason as
+    :func:`sleep_echo_task`): draws from the task's *spawned seed* — the
+    determinism contract's randomness channel — so a re-executed attempt
+    (after a retry, a lost worker, or a quarantine near-miss) reproduces
+    the exact bytes of the first, on any backend at any worker count."""
+    import numpy as np
+
+    n = int(task.payload.get("n", 64)) if isinstance(task.payload, dict) else 64
+    values = np.random.default_rng(task.seed).standard_normal(n)
+    return float(np.sum(values * values))
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +228,7 @@ class DispatchBackend(ExecutionBackend):
         """Publish bundle + chunked todo units, then the manifest
         (workers only act once the manifest appears, so ordering makes
         the queue appear atomically complete)."""
+        chaos.on_write("dispatch.queue", state.stage)
         qdir = self._queue_dir(state.stage)
         for sub in ("todo", "claimed", "leases", "results"):
             (qdir / sub).mkdir(parents=True)
@@ -322,7 +331,20 @@ class DispatchBackend(ExecutionBackend):
         order = [t.index for t in pending]
         attempts: "dict[int, int]" = {}
         losses: "dict[int, int]" = {i: 0 for i in order}
+        if state.journal is not None:
+            for idx, count in state.journal.crash_counts(state.stage).items():
+                if idx in losses:
+                    losses[idx] = count
         terminal: "dict[int, tuple[str, Any]]" = {}
+        # A resumed run already knows its poison tasks: settle them up
+        # front instead of publishing them to a fresh worker fleet.
+        if state.on_error != "raise":
+            for idx in order:
+                if losses[idx] >= state.quarantine_after:
+                    terminal[idx] = (
+                        "fail", self._quarantine_failure(state, idx, losses[idx], 0)
+                    )
+        publish = [t for t in pending if t.index not in terminal]
         reissue_at: "dict[int, tuple[float, int]]" = {}
         # Work-unit state, keyed by the head task's index: live (still
         # unresolved) members, the unit's queue-file attempt, and its
@@ -336,8 +358,31 @@ class DispatchBackend(ExecutionBackend):
         started = time.monotonic()
         hinted = False
 
-        qdir = self._open_queue(state, pending, attempts, units, unit_attempt,
-                                unit_size)
+        try:
+            qdir = self._open_queue(state, publish, attempts, units,
+                                    unit_attempt, unit_size)
+        except OSError as exc:
+            kind = exhaustion_kind(exc)
+            if kind is None:
+                raise
+            # The queue root itself is exhausted: the degraded-local
+            # path (execute in the dispatcher process) beats crashing.
+            record_event(
+                state,
+                "degraded-serial",
+                f"cannot publish the dispatch queue ({kind}: {exc}); "
+                f"executing {len(publish)} task(s) in the dispatcher process",
+            )
+            for task in publish:
+                outcome = attempt_serial(state, task)
+                if is_failure(outcome):
+                    results[task.index] = settle_failure(state, outcome)
+                else:
+                    results[task.index] = settle_success(state, task, outcome)
+            for idx in order:
+                if idx in terminal and terminal[idx][0] == "fail":
+                    results[idx] = settle_failure(state, terminal[idx][1])
+            return
         ledger = LeaseLedger(qdir / "leases")
         self._ensure_workers()
         try:
@@ -350,9 +395,9 @@ class DispatchBackend(ExecutionBackend):
                                      losses, terminal, reissue_at, units,
                                      unit_attempt, unit_size, claim_seen,
                                      beat_seen, now)
-                self._issue_due(qdir, taskmap, attempts, reissue_at, units,
-                                unit_attempt, unit_size, claim_seen, beat_seen,
-                                now)
+                self._issue_due(state, qdir, taskmap, attempts, terminal,
+                                reissue_at, units, unit_attempt, unit_size,
+                                claim_seen, beat_seen, now)
                 while settle_ptr < len(order) and order[settle_ptr] in terminal:
                     idx = order[settle_ptr]
                     kind, payload = terminal.pop(idx)
@@ -610,27 +655,56 @@ class DispatchBackend(ExecutionBackend):
                          unit_size, claim_seen, beat_seen)
         for idx in members:
             losses[idx] += 1
-            if losses[idx] > _MAX_WORKER_LOSSES:
-                # Workers keep dying on this task — the dispatch analogue
-                # of a repeatedly broken pool: execute it locally instead
-                # of failing the run.
-                record_event(
-                    state,
-                    "degraded-serial",
-                    f"task {idx} lost {losses[idx]} workers; executing it "
-                    "in the dispatcher process",
-                    index=idx,
+            if state.journal is not None:
+                losses[idx] = max(
+                    losses[idx], state.journal.record_crash(state.stage, idx)
                 )
-                outcome = attempt_serial(state, taskmap[idx])
+            if losses[idx] >= state.quarantine_after:
+                # Workers keep dying on this task: quarantine it (never
+                # re-issue, never execute it in the dispatcher — it just
+                # proved it kills its host) and let the sweep complete.
+                if state.on_error == "raise":
+                    raise RuntimeError(
+                        f"task {idx} (stage {state.stage!r}) killed "
+                        f"{losses[idx]} worker(s) and was quarantined; re-run "
+                        "with --on-error skip or retry to let the remaining "
+                        "tasks complete without it"
+                    )
                 terminal[idx] = (
-                    ("fail", outcome) if is_failure(outcome) else ("ok", outcome)
+                    "fail",
+                    self._quarantine_failure(
+                        state, idx, losses[idx], attempts.get(idx, 0)
+                    ),
                 )
                 continue
             # Worker loss is not a task failure: re-issue the same attempt.
             reissue_at[idx] = (now, attempts[idx])
 
-    def _issue_due(self, qdir, taskmap, attempts, reissue_at, units,
-                   unit_attempt, unit_size, claim_seen, beat_seen, now) -> None:
+    @staticmethod
+    def _quarantine_failure(
+        state: RunState, idx: int, count: int, attempted: int
+    ) -> TaskFailure:
+        """Build (and count) the failure record of a quarantined task."""
+        obs_metrics.add("quarantine.tasks")
+        record_event(
+            state,
+            "quarantined",
+            f"task {idx} killed its worker {count} time(s) "
+            f"(quarantine-after={state.quarantine_after}); no longer re-issued",
+            index=idx,
+        )
+        return TaskFailure(
+            index=idx,
+            stage=state.stage,
+            kind="quarantined",
+            error_type="WorkerLost",
+            message=f"worker died {count} time(s) executing this task",
+            attempts=max(attempted, count),
+        )
+
+    def _issue_due(self, state, qdir, taskmap, attempts, terminal, reissue_at,
+                   units, unit_attempt, unit_size, claim_seen, beat_seen,
+                   now) -> None:
         """Re-issue due tasks as singleton units.  A task whose index
         still heads a live unit (its siblings remain in flight under that
         head) waits until the unit drains, so queue-file names and the
@@ -642,12 +716,29 @@ class DispatchBackend(ExecutionBackend):
             attempts[idx] = attempt
             obs_metrics.add("executor.dispatch.reissues")
             try:
+                chaos.on_write("dispatch.todo", state.stage, idx)
                 atomic_write_bytes(
                     qdir / "todo" / _task_name(idx, attempt),
                     pickle.dumps(taskmap[idx], protocol=pickle.HIGHEST_PROTOCOL),
                 )
-            except OSError:
-                reissue_at[idx] = (now, attempt)  # transient FS error; retry
+            except OSError as exc:
+                if exhaustion_kind(exc) is None:
+                    reissue_at[idx] = (now, attempt)  # transient FS error; retry
+                    continue
+                # The queue filesystem is exhausted — re-queueing cannot
+                # succeed, so fall back to the degraded-local path.
+                record_event(
+                    state,
+                    "degraded-serial",
+                    f"cannot re-issue task {idx} "
+                    f"({exhaustion_kind(exc)}: {exc}); executing it in the "
+                    "dispatcher process",
+                    index=idx,
+                )
+                outcome = attempt_serial(state, taskmap[idx])
+                terminal[idx] = (
+                    ("fail", outcome) if is_failure(outcome) else ("ok", outcome)
+                )
                 continue
             units[idx] = [idx]
             unit_attempt[idx] = attempt
@@ -776,6 +867,7 @@ def _run_claimed(qdir: Path, fn, stage: str, worker: str, heartbeat: float,
                     doc["exception"] = None
                 payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
             try:
+                chaos.on_write("dispatch.result", stage, task.index)
                 atomic_write_bytes(
                     qdir / "results" / _task_name(task.index, attempt), payload
                 )

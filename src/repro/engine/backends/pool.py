@@ -8,11 +8,26 @@ abandoned after its wall-clock budget (the pool is restarted so the
 remaining tasks keep running), and a broken pool (a worker died hard)
 is rebuilt a bounded number of times before degrading to re-executing
 the unfinished remainder on the serial backend.
+
+Poison-task quarantine: every submission runs under an *in-flight
+marker* (a file named for the task index, holding the worker's pid)
+that the worker removes when the task settles — so when a worker death
+breaks the pool, the surviving markers identify exactly which tasks
+were executing, and matching their pids against the dead workers'
+identifies which of those to blame.  Blamed tasks accumulate fatal-
+attempt counts (persisted in the journal's ``crashes.json`` so they
+survive rebuilds and ``--resume``); a task blamed
+``state.quarantine_after`` times is settled as
+``TaskFailure(kind="quarantined")`` instead of being re-submitted, so
+one deterministically crashing task can no longer pin the run in a
+rebuild loop.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -50,6 +65,32 @@ def _init_worker(bundle: tuple) -> None:
     set_worker_name(f"pool-{os.getpid()}")
 
 
+def _execute_marked(marker_dir: str, fn, task, stage: str):
+    """Run one task under an in-flight marker (executes in the worker).
+
+    The marker (named for the task index, holding this worker's pid) is
+    removed however the task settles — return or raise — so it survives
+    only a hard worker death (``SIGKILL``, ``os._exit``), which is
+    precisely the signal the dispatching process needs to blame the
+    right task when the pool breaks.  Marker I/O is best effort: a full
+    disk costs blame precision, never the task.
+    """
+    path = os.path.join(marker_dir, f"inflight-{int(task.index):06d}")
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(str(os.getpid()))
+    except OSError:
+        path = None
+    try:
+        return execute_task(fn, task, stage)
+    finally:
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down without waiting on hung or dead workers."""
     pool.shutdown(wait=False, cancel_futures=True)
@@ -73,8 +114,36 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> None:
         queue: "dict[int, Task]" = {t.index: t for t in pending}
         attempts: "dict[int, int]" = {t.index: 0 for t in pending}
+        losses: "dict[int, int]" = {}
+        if state.journal is not None:
+            for idx, count in state.journal.crash_counts(state.stage).items():
+                if idx in queue:
+                    losses[idx] = count
+        if state.on_error != "raise":
+            # A resumed run already knows its poison tasks: settle them
+            # up front instead of feeding them a fresh pool.
+            for idx in sorted(queue):
+                if losses.get(idx, 0) >= state.quarantine_after:
+                    self._quarantine(state, queue, attempts, results, idx, losses[idx])
+        marker_dir = tempfile.mkdtemp(prefix="repro-pool-inflight-")
+        try:
+            self._run_rounds(state, queue, attempts, losses, results, marker_dir)
+        finally:
+            shutil.rmtree(marker_dir, ignore_errors=True)
+
+    def _run_rounds(
+        self,
+        state: RunState,
+        queue: "dict[int, Task]",
+        attempts: "dict[int, int]",
+        losses: "dict[int, int]",
+        results: "dict[int, Any]",
+        marker_dir: str,
+    ) -> None:
         pool_breaks = 0
+        unresolved_at_break: "int | None" = None
         while queue:
+            self._clear_markers(marker_dir)
             submitted = sorted(queue)
             pool = ProcessPoolExecutor(
                 max_workers=min(max(state.n_jobs, 1), len(submitted)),
@@ -85,7 +154,7 @@ class ProcessPoolBackend(ExecutionBackend):
             for idx in submitted:
                 attempts[idx] += 1
                 futures[idx] = pool.submit(
-                    execute_task, state.fn, queue[idx], state.stage
+                    _execute_marked, marker_dir, state.fn, queue[idx], state.stage
                 )
             abort = None
             for idx in submitted:
@@ -136,8 +205,19 @@ class ProcessPoolBackend(ExecutionBackend):
                 pool.shutdown(wait=True)
             else:
                 self._harvest_done(state, futures, queue, results)
+                dead_pids = self._dead_pids(pool) if abort == "broken" else set()
                 _kill_pool(pool)
                 if abort == "broken":
+                    # The rebuild budget guards against a *stuck* loop,
+                    # not against many distinct transient deaths: a break
+                    # that arrives with fewer unresolved tasks than the
+                    # previous one means the run is advancing, so the
+                    # budget starts over.
+                    if unresolved_at_break is not None and (
+                        len(queue) < unresolved_at_break
+                    ):
+                        pool_breaks = 0
+                    unresolved_at_break = len(queue)
                     pool_breaks += 1
                     record_event(
                         state,
@@ -145,6 +225,31 @@ class ProcessPoolBackend(ExecutionBackend):
                         "a worker process died and broke the pool "
                         f"({len(queue)} task(s) unresolved)",
                     )
+                    blamed = self._blame(marker_dir, queue, dead_pids)
+                    quarantined = 0
+                    for idx in blamed:
+                        losses[idx] = losses.get(idx, 0) + 1
+                        if state.journal is not None:
+                            losses[idx] = max(
+                                losses[idx],
+                                state.journal.record_crash(state.stage, idx),
+                            )
+                        obs_metrics.add("executor.worker_losses")
+                        if (
+                            state.on_error == "retry"
+                            and losses[idx] >= state.quarantine_after
+                        ):
+                            self._quarantine(
+                                state, queue, attempts, results, idx, losses[idx]
+                            )
+                            quarantined += 1
+                    if quarantined:
+                        # The breaker tripped and removed the culprit:
+                        # that is forward progress, so the rebuild budget
+                        # starts over for the survivors.
+                        pool_breaks = 0
+                    if not queue:
+                        return
                     can_rebuild = (
                         state.on_error == "retry"
                         and pool_breaks <= _MAX_POOL_REBUILDS
@@ -168,6 +273,93 @@ class ProcessPoolBackend(ExecutionBackend):
                     obs_metrics.add("executor.pool_rebuilds")
             if state.on_error == "retry" and queue:
                 time.sleep(max(state.retry.delay(i, attempts[i]) for i in queue))
+
+    @staticmethod
+    def _dead_pids(pool: ProcessPoolExecutor) -> "set[int]":
+        """Pids of workers that died on their own (before the teardown)."""
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        return {p.pid for p in procs if p.exitcode not in (None, 0)}
+
+    @staticmethod
+    def _clear_markers(marker_dir: str) -> None:
+        """Drop stale in-flight markers (e.g. left by a timeout teardown)."""
+        try:
+            names = os.listdir(marker_dir)
+        except OSError:
+            return
+        for name in names:
+            try:
+                os.unlink(os.path.join(marker_dir, name))
+            except OSError:
+                pass
+
+    @staticmethod
+    def _blame(
+        marker_dir: str, queue: "dict[int, Task]", dead_pids: "set[int]"
+    ) -> "list[int]":
+        """Unresolved task indices whose in-flight marker survived the
+        break — narrowed to markers held by a worker that actually died,
+        when the dead workers are identifiable (innocent tasks that were
+        merely co-resident in the pool are not blamed)."""
+        marked: "dict[int, int | None]" = {}
+        try:
+            names = os.listdir(marker_dir)
+        except OSError:
+            return []
+        for name in names:
+            if not name.startswith("inflight-"):
+                continue
+            path = os.path.join(marker_dir, name)
+            idx: "int | None" = None
+            pid: "int | None" = None
+            try:
+                idx = int(name.split("-", 1)[1])
+                with open(path, "r", encoding="utf-8") as fh:
+                    pid = int(fh.read().strip() or "0")
+            except (OSError, ValueError):
+                pass
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            if idx is not None and idx in queue:
+                marked[idx] = pid
+        if not marked:
+            return []
+        blamed = [i for i, pid in marked.items() if pid in dead_pids]
+        return sorted(blamed if blamed else marked)
+
+    @staticmethod
+    def _quarantine(
+        state: RunState,
+        queue: "dict[int, Task]",
+        attempts: "dict[int, int]",
+        results: "dict[int, Any]",
+        idx: int,
+        count: int,
+    ) -> None:
+        """Settle a poison task: it has killed ``count`` workers, which
+        meets the ``quarantine_after`` budget, so it is never re-issued."""
+        obs_metrics.add("quarantine.tasks")
+        record_event(
+            state,
+            "quarantined",
+            f"task {idx} killed its worker {count} time(s) "
+            f"(quarantine-after={state.quarantine_after}); no longer re-issued",
+            index=idx,
+        )
+        queue.pop(idx, None)
+        results[idx] = settle_failure(
+            state,
+            TaskFailure(
+                index=idx,
+                stage=state.stage,
+                kind="quarantined",
+                error_type="WorkerLost",
+                message=f"worker died {count} time(s) executing this task",
+                attempts=max(attempts.get(idx, 0), count),
+            ),
+        )
 
     @staticmethod
     def _task_error(

@@ -18,7 +18,11 @@ every recovery path of the engine exercisable on demand.  A
   process it downgrades to a :class:`ChaosError`;
 * ``kind="nan"`` — a numerical kernel's output array is corrupted with
   NaNs at chosen link positions, exercising the
-  :mod:`~repro.engine.guards` layer.
+  :mod:`~repro.engine.guards` layer;
+* ``kind="enospc"`` — a best-effort disk write (journal checkpoint,
+  status file, dispatch queue protocol — the sites in
+  :data:`FAULT_SITES`) raises ``OSError(ENOSPC)``, exercising the
+  resource-exhaustion degradation ladder.
 
 Faults match on the executor stage name and task index (either may be
 ``None`` = any), and are **once-only by default**: the first attempt
@@ -27,6 +31,15 @@ that reaches the fault claims a marker file in ``state_dir`` (atomic
 processes) and later attempts run clean — exactly the transient-fault
 shape retry/backoff is built for.  Set ``once=False`` for a persistent
 fault.
+
+Beyond hand-placed faults, a plan may carry a seeded
+:class:`RandomSchedule` — the soak harness's fault generator: each
+``(stage, index)`` pair deterministically draws whether its *first*
+attempt raises, hangs, dies as a worker, or hits an injected ENOSPC
+(probabilities per fault, seeded, so two runs of the same schedule
+inject identical faults).  Schedule faults are always once-only, which
+is what lets a soak run assert byte-identity with a clean serial run:
+every injected fault is recoverable by design.
 
 Plans are plain JSON: the CLI and pool workers load them from the
 ``REPRO_CHAOS`` environment variable (a path to a plan file), and the
@@ -39,11 +52,13 @@ single module-level ``None`` check.
 
 from __future__ import annotations
 
+import errno
 import json
 import multiprocessing
 import os
+import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any
 
@@ -54,7 +69,11 @@ from repro.obs import metrics as _metrics
 __all__ = [
     "ChaosError",
     "ChaosPlan",
+    "ChaosSpecError",
+    "FAULT_KINDS",
+    "FAULT_SITES",
     "Fault",
+    "RandomSchedule",
     "active",
     "corrupt",
     "current_plan",
@@ -64,6 +83,7 @@ __all__ = [
     "install_from_file",
     "is_worker_process",
     "on_task_start",
+    "on_write",
     "set_current_task",
     "uninstall",
 ]
@@ -71,11 +91,35 @@ __all__ = [
 #: Environment variable naming a JSON chaos-plan file.
 CHAOS_ENV = "REPRO_CHAOS"
 
-FAULT_KINDS = ("raise", "exit", "hang", "nan", "worker-lost")
+FAULT_KINDS = ("raise", "exit", "hang", "nan", "worker-lost", "enospc")
+
+#: Site names a fault's ``site`` may target, for error messages: the
+#: guarded kernel outputs (``nan`` faults) and the best-effort write
+#: sites (``enospc`` faults).
+FAULT_SITES = (
+    # numerical-guard sites (kind="nan")
+    "theorem1.conditional",
+    "theorem1.conditional_binary",
+    "theorem1.conditional_batch",
+    "theorem1.conditional_at",
+    # best-effort write sites (kind="enospc")
+    "journal.record",
+    "journal.status",
+    "journal.failures",
+    "journal.crashes",
+    "journal.lease",
+    "dispatch.queue",
+    "dispatch.todo",
+    "dispatch.result",
+)
 
 
 class ChaosError(RuntimeError):
     """The exception an injected ``raise`` (or downgraded ``exit``) fault throws."""
+
+
+class ChaosSpecError(ValueError):
+    """A ``REPRO_CHAOS`` plan file does not parse into a valid plan."""
 
 
 @dataclass(frozen=True)
@@ -96,9 +140,16 @@ class Fault:
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
-            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+            raise ValueError(
+                f"fault kind must be one of {', '.join(FAULT_KINDS)}, "
+                f"got {self.kind!r}"
+            )
         if self.kind == "nan" and not self.site:
-            raise ValueError("nan faults need a site (the kernel call site name)")
+            raise ValueError(
+                "nan faults need a site (a kernel call site name such as "
+                + " or ".join(repr(s) for s in FAULT_SITES if s.startswith("theorem1"))
+                + ")"
+            )
 
     def matches_task(self, stage: str, index: int) -> bool:
         return (self.stage is None or self.stage == stage) and (
@@ -118,6 +169,17 @@ class Fault:
 
     @classmethod
     def from_dict(cls, doc: "dict[str, Any]") -> "Fault":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+        if "kind" not in doc:
+            raise ValueError(
+                f"fault needs a 'kind' (one of {', '.join(FAULT_KINDS)})"
+            )
         return cls(
             kind=doc["kind"],
             stage=doc.get("stage"),
@@ -130,23 +192,137 @@ class Fault:
 
 
 @dataclass(frozen=True)
+class RandomSchedule:
+    """A seeded probabilistic fault schedule — the soak harness's engine.
+
+    Each executor task ``(stage, index)`` deterministically draws one
+    uniform variate from ``seed`` and fires at most one fault on its
+    *first* attempt: ``raise`` with probability ``p_raise``, ``hang``
+    with ``p_hang``, ``worker-lost`` with ``p_worker_lost``, ``exit``
+    with ``p_exit`` (cumulative, in that order).  Independently, the
+    task's journal-checkpoint write fails with ``OSError(ENOSPC)`` with
+    probability ``p_enospc``.  Every schedule fault is once-only (a
+    marker in the plan's ``state_dir``), so a run under
+    ``on_error="retry"`` recovers from all of them and stays
+    byte-identical to a clean run — the soak invariant.
+    """
+
+    seed: int
+    p_raise: float = 0.0
+    p_hang: float = 0.0
+    p_worker_lost: float = 0.0
+    p_exit: float = 0.0
+    p_enospc: float = 0.0
+    stage: "str | None" = None
+    hang_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        probs = (self.p_raise, self.p_hang, self.p_worker_lost, self.p_exit)
+        if any(p < 0.0 for p in probs + (self.p_enospc,)):
+            raise ValueError("schedule probabilities must be non-negative")
+        if sum(probs) > 1.0:
+            raise ValueError(
+                "p_raise + p_hang + p_worker_lost + p_exit must not exceed 1"
+            )
+        if self.p_enospc > 1.0:
+            raise ValueError("p_enospc must not exceed 1")
+
+    def task_fault(self, stage: str, index: int) -> "str | None":
+        """The fault kind this schedule injects into a task, if any.
+
+        Pure function of ``(seed, stage, index)`` — string seeding uses
+        a stable hash, so the draw is identical in every process and on
+        every run of the same schedule.
+        """
+        if self.stage is not None and self.stage != stage:
+            return None
+        u = random.Random(f"{self.seed}:task:{stage}:{index}").random()
+        for kind, p in (
+            ("raise", self.p_raise),
+            ("hang", self.p_hang),
+            ("worker-lost", self.p_worker_lost),
+            ("exit", self.p_exit),
+        ):
+            if u < p:
+                return kind
+            u -= p
+        return None
+
+    def write_fault(self, stage: str, index: int) -> bool:
+        """Whether this task's checkpoint write draws an injected ENOSPC."""
+        if self.p_enospc <= 0.0:
+            return False
+        if self.stage is not None and self.stage != stage:
+            return False
+        u = random.Random(f"{self.seed}:write:{stage}:{index}").random()
+        return u < self.p_enospc
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "seed": self.seed,
+            "p_raise": self.p_raise,
+            "p_hang": self.p_hang,
+            "p_worker_lost": self.p_worker_lost,
+            "p_exit": self.p_exit,
+            "p_enospc": self.p_enospc,
+            "stage": self.stage,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: "dict[str, Any]") -> "RandomSchedule":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown schedule field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+        if "seed" not in doc:
+            raise ValueError("a random schedule needs a 'seed'")
+        return cls(
+            seed=int(doc["seed"]),
+            p_raise=float(doc.get("p_raise", 0.0)),
+            p_hang=float(doc.get("p_hang", 0.0)),
+            p_worker_lost=float(doc.get("p_worker_lost", 0.0)),
+            p_exit=float(doc.get("p_exit", 0.0)),
+            p_enospc=float(doc.get("p_enospc", 0.0)),
+            stage=doc.get("stage"),
+            hang_seconds=float(doc.get("hang_seconds", 2.0)),
+        )
+
+
+@dataclass(frozen=True)
 class ChaosPlan:
     """A set of faults plus the marker directory for once-only claims."""
 
     state_dir: str
     faults: "tuple[Fault, ...]" = field(default_factory=tuple)
+    #: Optional seeded probabilistic schedule, layered on top of the
+    #: hand-placed faults (the soak harness's knob).
+    schedule: "RandomSchedule | None" = None
 
     def to_dict(self) -> "dict[str, Any]":
-        return {
+        doc: "dict[str, Any]" = {
             "state_dir": self.state_dir,
             "faults": [f.to_dict() for f in self.faults],
         }
+        if self.schedule is not None:
+            doc["schedule"] = self.schedule.to_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, doc: "dict[str, Any]") -> "ChaosPlan":
+        if "state_dir" not in doc:
+            raise ValueError(
+                "a chaos plan needs a 'state_dir' (the marker directory "
+                "for once-only fault claims)"
+            )
+        sched = doc.get("schedule")
         return cls(
             state_dir=str(doc["state_dir"]),
             faults=tuple(Fault.from_dict(f) for f in doc.get("faults", ())),
+            schedule=None if sched is None else RandomSchedule.from_dict(sched),
         )
 
 
@@ -190,9 +366,29 @@ def current_plan() -> "ChaosPlan | None":
 
 
 def install_from_file(path) -> ChaosPlan:
-    """Load and install a JSON plan file; returns the plan."""
-    doc = json.loads(Path(path).read_text(encoding="utf-8"))
-    plan = ChaosPlan.from_dict(doc)
+    """Load and install a JSON plan file; returns the plan.
+
+    A malformed plan raises :class:`ChaosSpecError` naming the file,
+    the problem, and the valid fault kinds and site names — mirroring
+    the channel-spec error style, so a typo in a ``REPRO_CHAOS`` plan
+    is a one-line fix instead of a bare traceback.
+    """
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ChaosSpecError(f"cannot read chaos plan {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ChaosSpecError(
+            f"chaos plan {path} is not valid JSON: {exc}"
+        ) from exc
+    try:
+        plan = ChaosPlan.from_dict(doc)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ChaosSpecError(
+            f"bad chaos plan {path}: {exc}; "
+            f"valid fault kinds: {', '.join(FAULT_KINDS)}; "
+            f"valid sites: {', '.join(FAULT_SITES)}"
+        ) from exc
     install(plan)
     return plan
 
@@ -228,46 +424,108 @@ def set_current_task(stage: "str | None", index: "int | None") -> None:
     _CURRENT_TASK = None if stage is None else (stage, int(index))
 
 
+def _fire_task_fault(kind: str, stage: str, index: int,
+                     hang_seconds: float) -> None:
+    """Execute one task-level fault kind in the current process."""
+    _metrics.add("chaos.faults_fired")
+    if kind == "raise":
+        raise ChaosError(f"injected crash in task {index} (stage {stage!r})")
+    if kind == "hang":
+        time.sleep(hang_seconds)
+        return
+    if kind == "exit":
+        if multiprocessing.parent_process() is None:
+            # Hard-killing the main process would take the harness
+            # down with the fault; degrade to an ordinary crash.
+            raise ChaosError(
+                f"injected worker death in task {index} (stage {stage!r}) "
+                "downgraded to an exception in the main process"
+            )
+        os._exit(43)
+    if kind == "worker-lost":
+        # Kill any kind of worker — a dispatch worker (its own
+        # top-level process, so ``exit`` would not reach it) dies
+        # holding its task lease, which is exactly the stale-lease
+        # shape the dispatcher's re-issue path recovers from.
+        if _WORKER_PROCESS or multiprocessing.parent_process() is not None:
+            os._exit(44)
+        raise ChaosError(
+            f"injected worker loss in task {index} (stage {stage!r}) "
+            "downgraded to an exception in the main process"
+        )
+
+
 def on_task_start(stage: str, index: int) -> None:
     """Fire any crash/hang fault aimed at this task.
 
     Called by the executor at the top of every task execution (every
-    attempt), in the process that runs the task.
+    attempt), in the process that runs the task.  Hand-placed faults
+    fire first, then the plan's :class:`RandomSchedule` (always
+    once-only) draws for the task.
     """
     plan = _PLAN
     if plan is None:
         return
     for pos, fault in enumerate(plan.faults):
-        if fault.kind == "nan" or not fault.matches_task(stage, index):
+        if fault.kind in ("nan", "enospc") or not fault.matches_task(stage, index):
             continue
         if not _should_fire(plan, fault, pos, f"{fault.kind}-{stage}-{index}"):
             continue
+        _fire_task_fault(fault.kind, stage, index, fault.hang_seconds)
+        return
+    sched = plan.schedule
+    if sched is None:
+        return
+    kind = sched.task_fault(stage, index)
+    if kind is None:
+        return
+    if not _claim(plan, f"sched-{kind}-{stage}-{index}"):
+        return
+    _fire_task_fault(kind, stage, index, sched.hang_seconds)
+
+
+def on_write(site: str, stage: "str | None" = None,
+             index: "int | None" = None) -> None:
+    """Fire any ``enospc`` fault aimed at a best-effort write site.
+
+    Called by the journal and the dispatch queue protocol immediately
+    before a write, with the site name (one of :data:`FAULT_SITES`) and
+    — where the write belongs to one task — the stage and index.
+    Raises ``OSError(ENOSPC)`` when a fault fires, which the caller's
+    degradation path then has to absorb; a no-op without a plan.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    for pos, fault in enumerate(plan.faults):
+        if fault.kind != "enospc":
+            continue
+        if fault.site is not None and fault.site != site:
+            continue
+        if fault.stage is not None or fault.index is not None:
+            if stage is None or index is None:
+                continue
+            if not fault.matches_task(stage, index):
+                continue
+        if not _should_fire(plan, fault, pos, f"enospc-{site}-{stage}-{index}"):
+            continue
         _metrics.add("chaos.faults_fired")
-        if fault.kind == "raise":
-            raise ChaosError(f"injected crash in task {index} (stage {stage!r})")
-        if fault.kind == "hang":
-            time.sleep(fault.hang_seconds)
-            return
-        if fault.kind == "exit":
-            if multiprocessing.parent_process() is None:
-                # Hard-killing the main process would take the harness
-                # down with the fault; degrade to an ordinary crash.
-                raise ChaosError(
-                    f"injected worker death in task {index} (stage {stage!r}) "
-                    "downgraded to an exception in the main process"
-                )
-            os._exit(43)
-        if fault.kind == "worker-lost":
-            # Kill any kind of worker — a dispatch worker (its own
-            # top-level process, so ``exit`` would not reach it) dies
-            # holding its task lease, which is exactly the stale-lease
-            # shape the dispatcher's re-issue path recovers from.
-            if _WORKER_PROCESS or multiprocessing.parent_process() is not None:
-                os._exit(44)
-            raise ChaosError(
-                f"injected worker loss in task {index} (stage {stage!r}) "
-                "downgraded to an exception in the main process"
-            )
+        raise OSError(
+            errno.ENOSPC, f"chaos: injected ENOSPC at {site} "
+            f"(stage {stage!r}, index {index})"
+        )
+    sched = plan.schedule
+    if sched is None or stage is None or index is None:
+        return
+    if site != "journal.record" or not sched.write_fault(stage, index):
+        return
+    if not _claim(plan, f"sched-enospc-{stage}-{index}"):
+        return
+    _metrics.add("chaos.faults_fired")
+    raise OSError(
+        errno.ENOSPC,
+        f"chaos: scheduled ENOSPC at {site} (stage {stage!r}, index {index})",
+    )
 
 
 def corrupt(site: str, arr: np.ndarray) -> np.ndarray:

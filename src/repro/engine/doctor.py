@@ -1,0 +1,253 @@
+"""Run-state doctor — audit (and repair) a runs root after an incident.
+
+A messy multi-host incident — dispatch workers OOM-killed, a dispatcher
+host rebooted, a disk filled mid-checkpoint — leaves debris under the
+runs root: leases whose worker will never heartbeat again, claimed
+queue files no worker owns, torn journal records, stage directories
+holding indices the current config cannot produce, and runs whose
+``status.json`` never said "complete".  None of that debris is
+individually fatal (every reader tolerates it), but it hides real
+state: ``repro doctor <runs-root>`` makes it visible, and with
+``--repair`` puts it right.
+
+Findings (each a ``{kind, path, detail, repaired}`` record):
+
+``stale-lease``
+    A ``lease-*.json`` whose mtime (the worker's heartbeat) is older
+    than ``--stale-after`` seconds.  Repair: delete the lease — the
+    worker is dead, and a fresh claim must not inherit its heartbeat.
+``orphaned-claim``
+    A claimed work unit with no live lease: its worker died between
+    claiming and heartbeating.  Repair: rename the unit back into
+    ``todo/`` so a live worker (or a future dispatcher) can steal it.
+``corrupt-record``
+    A journal ``task-*.json`` that fails parsing or its SHA-256
+    checksum (a torn write).  Repair: quarantine the file into the run
+    directory's ``corrupt/`` folder — the task simply re-runs on
+    resume, and the evidence is preserved for forensics.
+``index-out-of-range``
+    A record whose index exceeds the stage's task count recorded in
+    ``status.json`` — the journal was written by a different
+    config/scale/seed.  Repair: quarantine into ``corrupt/``.
+``incomplete-run``
+    A run directory with no ``status.json`` (it never finished) or one
+    marked incomplete.  Not repairable by the doctor — resume it with
+    ``repro run ... --resume <run-id>``.
+
+Repairs are counted on the ``doctor.repairs`` metric.  The report is a
+plain JSON document, so fleet tooling can diff it between sweeps.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["diagnose"]
+
+#: Default seconds of heartbeat silence before a lease counts as stale —
+#: generous next to the dispatcher's 10 s lease timeout, so the doctor
+#: never races a live run.
+DEFAULT_STALE_AFTER = 60.0
+
+_RECORD_FORMAT = "repro-journal-record"
+
+
+def _finding(kind: str, path: Path, detail: str) -> "dict[str, Any]":
+    return {"kind": kind, "path": str(path), "detail": detail, "repaired": False}
+
+
+def _quarantine_record(run_dir: Path, path: Path) -> bool:
+    """Move a bad record into ``<run_dir>/corrupt/`` (structure kept)."""
+    rel = path.relative_to(run_dir)
+    target = run_dir / "corrupt" / rel
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target)
+    except OSError:
+        return False
+    return True
+
+
+def _audit_records(
+    run_dir: Path, stage_counts: "dict[str, int]", repair: bool
+) -> "list[dict[str, Any]]":
+    findings: "list[dict[str, Any]]" = []
+    stages_dir = run_dir / "stages"
+    if not stages_dir.is_dir():
+        return findings
+    for path in sorted(stages_dir.rglob("task-*.json")):
+        problem = None
+        doc: "dict[str, Any]" = {}
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if doc.get("format") != _RECORD_FORMAT:
+                raise ValueError("not a journal record")
+            payload = base64.b64decode(doc["pickle_b64"])
+            if hashlib.sha256(payload).hexdigest() != doc["sha256"]:
+                raise ValueError("checksum mismatch")
+            int(doc["index"])
+        except (OSError, ValueError, KeyError) as exc:
+            problem = _finding(
+                "corrupt-record", path, f"torn or invalid record ({exc})"
+            )
+        if problem is None:
+            stage = str(doc.get("stage", ""))
+            expected = stage_counts.get(stage)
+            index = int(doc["index"])
+            if expected is not None and not (0 <= index < expected):
+                problem = _finding(
+                    "index-out-of-range",
+                    path,
+                    f"index {index} outside stage {stage!r} "
+                    f"({expected} task(s)) — written by another config",
+                )
+        if problem is None:
+            continue
+        if repair:
+            problem["repaired"] = _quarantine_record(run_dir, path)
+        findings.append(problem)
+    return findings
+
+
+def _audit_run(run_dir: Path, repair: bool) -> "list[dict[str, Any]]":
+    findings: "list[dict[str, Any]]" = []
+    status_path = run_dir / "status.json"
+    stage_counts: "dict[str, int]" = {}
+    if not status_path.is_file():
+        findings.append(
+            _finding(
+                "incomplete-run",
+                run_dir,
+                "no status.json — the run never finished; resume it with "
+                f"--resume {run_dir.name}",
+            )
+        )
+    else:
+        try:
+            status = json.loads(status_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            status = {}
+            findings.append(
+                _finding("corrupt-record", status_path, f"unreadable status.json ({exc})")
+            )
+        stage_counts = {
+            str(k): int(v)
+            for k, v in (status.get("journal") or {}).get("stages", {}).items()
+        }
+        if status and not status.get("complete", True):
+            findings.append(
+                _finding(
+                    "incomplete-run",
+                    run_dir,
+                    "status.json marks the run incomplete; resume it with "
+                    f"--resume {run_dir.name}",
+                )
+            )
+    findings.extend(_audit_records(run_dir, stage_counts, repair))
+    return findings
+
+
+def _audit_queue(
+    qdir: Path, stale_after: float, repair: bool
+) -> "list[dict[str, Any]]":
+    findings: "list[dict[str, Any]]" = []
+    now = time.time()
+    stale: "set[int]" = set()
+    leases_dir = qdir / "leases"
+    if leases_dir.is_dir():
+        for lease in sorted(leases_dir.glob("lease-*.json")):
+            try:
+                age = now - lease.stat().st_mtime
+                index = int(lease.stem.split("-", 1)[1])
+            except (OSError, ValueError):
+                continue
+            if age <= stale_after:
+                continue
+            stale.add(index)
+            finding = _finding(
+                "stale-lease",
+                lease,
+                f"no heartbeat for {age:.0f}s (> {stale_after:g}s) — "
+                "its worker is gone",
+            )
+            if repair:
+                try:
+                    lease.unlink()
+                    finding["repaired"] = True
+                except OSError:
+                    pass
+            findings.append(finding)
+    claimed_dir = qdir / "claimed"
+    if claimed_dir.is_dir():
+        for claim in sorted(claimed_dir.glob("task-*.pkl")):
+            try:
+                head = int(claim.name.split("-")[1])
+            except (ValueError, IndexError):
+                continue
+            lease = leases_dir / f"lease-{head:06d}.json"
+            if lease.is_file() and head not in stale:
+                continue  # a live worker holds it
+            finding = _finding(
+                "orphaned-claim",
+                claim,
+                f"claimed work unit {head} has no live lease — its worker "
+                "died between claim and heartbeat",
+            )
+            if repair:
+                try:
+                    os.replace(claim, qdir / "todo" / claim.name)
+                    finding["repaired"] = True
+                except OSError:
+                    pass
+            findings.append(finding)
+    return findings
+
+
+def diagnose(
+    runs_root,
+    *,
+    repair: bool = False,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> "dict[str, Any]":
+    """Audit every run directory and dispatch queue under ``runs_root``.
+
+    Returns the machine-readable report: scanned-entity counts, the
+    findings (with ``repaired`` flags when ``repair=True``), and the
+    repair total (also added to the ``doctor.repairs`` metric).
+    """
+    root = Path(runs_root)
+    findings: "list[dict[str, Any]]" = []
+    runs = 0
+    queues = 0
+    if root.is_dir():
+        for run_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            if run_dir.name == "queues":
+                continue
+            if not (run_dir / "meta.json").is_file():
+                continue
+            runs += 1
+            findings.extend(_audit_run(run_dir, repair))
+        queues_root = root / "queues"
+        if queues_root.is_dir():
+            for qdir in sorted(p for p in queues_root.iterdir() if p.is_dir()):
+                queues += 1
+                findings.extend(_audit_queue(qdir, stale_after, repair))
+    repairs = sum(1 for f in findings if f["repaired"])
+    if repairs:
+        _metrics.add("doctor.repairs", repairs)
+    return {
+        "runs_root": str(root),
+        "runs": runs,
+        "queues": queues,
+        "findings": findings,
+        "repairs": repairs,
+        "unrepaired": sum(1 for f in findings if not f["repaired"]),
+    }

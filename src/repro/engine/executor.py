@@ -163,6 +163,7 @@ def map_tasks(
     retry: "RetryPolicy | None" = None,
     journal: "RunJournal | None" = None,
     executor: Any = None,
+    quarantine_after: "int | None" = None,
 ) -> list[Any]:
     """Apply ``fn`` to every task, returning results in task order.
 
@@ -207,6 +208,11 @@ def map_tasks(
         A :class:`~repro.engine.journal.RunJournal`: completed results
         are checkpointed as they land, previously recorded results are
         replayed without re-execution, and only missing tasks run.
+    ``quarantine_after``
+        Poison-task circuit breaker (``--quarantine-after``): a task
+        whose execution kills its worker this many times is settled as
+        ``TaskFailure(kind="quarantined")`` instead of being re-issued,
+        so the rest of the sweep completes.
     """
     from repro.engine.backends import resolve_executor
     from repro.engine.backends.base import RunState
@@ -220,6 +226,10 @@ def map_tasks(
     journal = journal if journal is not None else (policy.journal if policy else None)
     if executor is None:
         executor = policy.executor if policy is not None else "auto"
+    if quarantine_after is None:
+        quarantine_after = policy.quarantine_after if policy else 3
+    if quarantine_after < 1:
+        raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
 
     items = list(tasks)
     results: "dict[int, Any]" = {}
@@ -243,6 +253,7 @@ def map_tasks(
             journal=journal,
             report=policy.report if policy else None,
             n_jobs=n_jobs,
+            quarantine_after=int(quarantine_after),
         )
         backend = resolve_executor(executor, n_jobs, len(pending))
         obs_metrics.add("executor.tasks_executed", len(pending))

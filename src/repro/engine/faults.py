@@ -65,8 +65,11 @@ class TaskFailure:
         The ``map_tasks`` stage name the task belonged to.
     kind:
         ``"error"`` (the task function raised), ``"timeout"`` (the
-        process backend's wall-clock budget expired), or ``"crash"``
-        (the worker process died and broke the pool).
+        process backend's wall-clock budget expired), ``"crash"``
+        (the worker process died and broke the pool), or
+        ``"quarantined"`` (the task killed its worker
+        ``quarantine_after`` times and is no longer re-issued — the
+        poison-task circuit breaker).
     error_type, message:
         Exception class name and message, where one exists.
     attempts:
@@ -204,6 +207,13 @@ class ExecutionPolicy:
     #: or a configured ExecutionBackend instance (e.g. one
     #: DispatchBackend shared by every stage of a run).
     executor: Any = "auto"
+    #: Poison-task circuit breaker (``--quarantine-after``): a task that
+    #: kills its worker this many times is quarantined — settled as a
+    #: ``TaskFailure(kind="quarantined")`` instead of being re-issued
+    #: forever — so one deterministically crashing task can never pin a
+    #: run.  Counts persist in the journal across pool rebuilds and
+    #: resumes.
+    quarantine_after: int = 3
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -212,6 +222,10 @@ class ExecutionPolicy:
             )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
         if isinstance(self.executor, str) and self.executor not in EXECUTOR_MODES:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_MODES} or a backend "

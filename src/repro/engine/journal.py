@@ -49,8 +49,9 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.engine import chaos
 from repro.obs import metrics as _metrics
-from repro.utils.atomic import atomic_write_text
+from repro.utils.atomic import atomic_write_text, exhaustion_kind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.faults import TaskFailure
@@ -87,15 +88,36 @@ class LeaseLedger:
 
     def __init__(self, directory):
         self.directory = Path(directory)
+        self._degraded = False
 
     def _path(self, index: int) -> Path:
         return self.directory / f"lease-{int(index):06d}.json"
 
     def claim(self, index: int, attempt: int, worker: str) -> None:
-        """Record that ``worker`` holds attempt ``attempt`` of a task."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Record that ``worker`` holds attempt ``attempt`` of a task.
+
+        Best effort: a claim that cannot be written (full disk,
+        read-only filesystem) degrades to a warning instead of killing
+        the worker — the dispatcher then sees no heartbeat and recovers
+        through its ordinary re-issue path, which is strictly better
+        than losing the worker process to an ``ENOSPC``.
+        """
         doc = {"index": int(index), "attempt": int(attempt), "worker": str(worker)}
-        atomic_write_text(self._path(index), json.dumps(doc))
+        try:
+            chaos.on_write("journal.lease", index=index)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self._path(index), json.dumps(doc))
+        except OSError as exc:
+            _metrics.add("journal.degraded_writes")
+            if not self._degraded:
+                self._degraded = True
+                warnings.warn(
+                    f"cannot write lease records under {self.directory} "
+                    f"({exc}); continuing without leases — tasks will be "
+                    "recovered via re-issue instead of heartbeats",
+                    stacklevel=2,
+                )
+            return
         _metrics.add("journal.leases")
 
     def heartbeat(self, index: int) -> None:
@@ -113,10 +135,15 @@ class LeaseLedger:
             pass
 
     def load(self, index: int) -> "dict[str, Any] | None":
-        """The lease record of a task, or ``None`` when unclaimed."""
+        """The lease record of a task, or ``None`` when unclaimed.
+
+        A torn or garbled lease (the writer died mid-rename, the disk
+        filled, cosmic rays) reads as "unclaimed" — ``ValueError``
+        covers both bad JSON and bytes that are not UTF-8 at all.
+        """
         try:
             return json.loads(self._path(index).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
             return None
 
     def mtime(self, index: int) -> "float | None":
@@ -135,6 +162,16 @@ class RunJournal:
         self.meta = meta
         self._namespace = ""
         self._loaded_stages: "set[str]" = set()
+        #: Corrupt/torn records skipped (and re-run) by :meth:`load_stage`.
+        self.corrupt_records = 0
+        #: Checkpoint/status writes dropped because the filesystem was
+        #: exhausted — the run continued, merely un-checkpointed.
+        self.degraded_writes = 0
+        #: Task count of every stage this run opened (full stage name →
+        #: expected count); recorded into ``status.json`` so offline
+        #: auditors (``repro doctor``) can detect out-of-range records.
+        self.stage_counts: "dict[str, int]" = {}
+        self._degraded_warned = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -204,11 +241,41 @@ class RunJournal:
     def _full_stage(self, stage: str) -> str:
         return f"{self._namespace}/{stage}" if self._namespace else stage
 
+    # -- degradation -------------------------------------------------------
+
+    def _degrade(self, what: str, exc: OSError) -> None:
+        """Absorb a failed best-effort write: count it, warn once.
+
+        Checkpoint, status, and crash-count writes are diagnostics plus
+        resume capital — never correctness — so a full or read-only
+        filesystem downgrades them to "un-checkpointed" instead of
+        failing the run.  The count lands in ``status.json`` (when that
+        file is still writable) and in the ``journal.degraded_writes``
+        counter, so the degradation is visible after the fact.
+        """
+        self.degraded_writes += 1
+        _metrics.add("journal.degraded_writes")
+        if not self._degraded_warned:
+            self._degraded_warned = True
+            kind = exhaustion_kind(exc) or "write-error"
+            warnings.warn(
+                f"journal write failed ({kind}: {exc}) — continuing "
+                f"without checkpointing {what}; results stay correct but "
+                "the run is no longer resumable past this point",
+                stacklevel=3,
+            )
+
     # -- records -----------------------------------------------------------
 
     def record(self, stage: str, index: int, result: Any) -> None:
-        """Journal one completed task result (atomic, checksummed)."""
-        payload = pickle.dumps(result, protocol=4)
+        """Journal one completed task result (atomic, checksummed).
+
+        Records are pickled at ``pickle.HIGHEST_PROTOCOL`` (matching the
+        dispatch queue); :meth:`load_stage` reads any protocol, so
+        journals written by older versions (protocol 4) still resume.
+        Best effort under resource exhaustion: see :meth:`_degrade`.
+        """
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         doc = {
             "format": _RECORD_FORMAT,
             "version": _RECORD_VERSION,
@@ -217,9 +284,14 @@ class RunJournal:
             "sha256": hashlib.sha256(payload).hexdigest(),
             "pickle_b64": base64.b64encode(payload).decode("ascii"),
         }
-        stage_dir = self._stage_dir(stage)
-        stage_dir.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(stage_dir / f"task-{index:06d}.json", json.dumps(doc))
+        try:
+            chaos.on_write("journal.record", self._full_stage(stage), int(index))
+            stage_dir = self._stage_dir(stage)
+            stage_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(stage_dir / f"task-{index:06d}.json", json.dumps(doc))
+        except OSError as exc:
+            self._degrade(f"task {index} (stage {stage!r})", exc)
+            return
         _metrics.add("journal.records")
 
     def load_stage(self, stage: str, expected_count: int) -> "dict[int, Any]":
@@ -237,6 +309,7 @@ class RunJournal:
                 "map_tasks call a distinct stage name"
             )
         self._loaded_stages.add(full)
+        self.stage_counts[full] = int(expected_count)
         stage_dir = self._stage_dir(stage)
         results: "dict[int, Any]" = {}
         if not stage_dir.is_dir():
@@ -252,6 +325,7 @@ class RunJournal:
                     raise ValueError("checksum mismatch")
                 value = pickle.loads(payload)
             except (OSError, ValueError, KeyError, pickle.UnpicklingError) as exc:
+                self.corrupt_records += 1
                 _metrics.add("journal.corrupt_records")
                 warnings.warn(
                     f"journal record {path} is corrupt ({exc}); the task "
@@ -268,6 +342,45 @@ class RunJournal:
             results[index] = value
         return results
 
+    # -- crash counts (poison-task quarantine) -----------------------------
+
+    def _crashes_path(self, stage: str) -> Path:
+        return self._stage_dir(stage) / "crashes.json"
+
+    def crash_counts(self, stage: str) -> "dict[int, int]":
+        """Fatal-attempt counts per task index, persisted per stage.
+
+        Survives pool rebuilds, dispatcher restarts, and ``--resume``:
+        a task that killed its worker K times in a previous incarnation
+        of the run starts this incarnation already at K.
+        """
+        try:
+            doc = json.loads(self._crashes_path(stage).read_text(encoding="utf-8"))
+            return {int(k): int(v) for k, v in doc.items()}
+        except (OSError, ValueError, json.JSONDecodeError):
+            return {}
+
+    def record_crash(self, stage: str, index: int) -> int:
+        """Bump a task's fatal-attempt count; returns the new count.
+
+        Best effort on disk (see :meth:`_degrade`) but always counted in
+        memory via the returned value, so quarantine still trips within
+        one process even when the filesystem is exhausted.
+        """
+        counts = self.crash_counts(stage)
+        counts[int(index)] = counts.get(int(index), 0) + 1
+        try:
+            chaos.on_write("journal.crashes", self._full_stage(stage), int(index))
+            stage_dir = self._stage_dir(stage)
+            stage_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self._crashes_path(stage),
+                json.dumps({str(k): v for k, v in sorted(counts.items())}),
+            )
+        except OSError as exc:
+            self._degrade(f"crash count of task {index} (stage {stage!r})", exc)
+        return counts[int(index)]
+
     # -- run status --------------------------------------------------------
 
     def log_failure(self, failure: "TaskFailure") -> None:
@@ -275,13 +388,26 @@ class RunJournal:
         doc = dict(failure.to_dict())
         doc["stage"] = self._full_stage(failure.stage)
         try:
+            chaos.on_write("journal.failures", doc["stage"], failure.index)
             with open(self.run_dir / "failures.jsonl", "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(doc) + "\n")
-        except OSError:  # diagnostics must never take the run down
-            pass
+        except OSError as exc:  # diagnostics must never take the run down
+            self._degrade("failure log", exc)
 
     def write_status(self, doc: "dict[str, Any]") -> None:
-        """Atomically (re)write the run's ``status.json``."""
-        atomic_write_text(
-            self.run_dir / "status.json", json.dumps(doc, indent=2) + "\n"
-        )
+        """Atomically (re)write the run's ``status.json`` (best effort)."""
+        try:
+            chaos.on_write("journal.status")
+            atomic_write_text(
+                self.run_dir / "status.json", json.dumps(doc, indent=2) + "\n"
+            )
+        except OSError as exc:
+            self._degrade("status.json", exc)
+
+    def health(self) -> "dict[str, Any]":
+        """Journal-health block for ``status.json``/``summary.json``."""
+        return {
+            "corrupt_records": self.corrupt_records,
+            "degraded_writes": self.degraded_writes,
+            "stages": dict(sorted(self.stage_counts.items())),
+        }

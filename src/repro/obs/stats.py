@@ -135,6 +135,21 @@ def render_run_dir(run_dir) -> str:
         if summary.get("incomplete"):
             status += " (INCOMPLETE)"
         lines.append(f"status: {status}")
+        health = summary.get("journal")
+        if isinstance(health, dict):
+            corrupt = int(health.get("corrupt_records", 0) or 0)
+            degraded = int(health.get("degraded_writes", 0) or 0)
+            if corrupt:
+                lines.append(
+                    f"journal: {corrupt} corrupt record(s) skipped on "
+                    "resume — those tasks silently re-ran"
+                )
+            if degraded:
+                lines.append(
+                    f"journal: {degraded} checkpoint write(s) degraded "
+                    "(resource exhaustion) — results correct, resume "
+                    "coverage reduced"
+                )
 
     for entry in (summary or {}).get("experiments", []):
         exp_id = str(entry.get("experiment_id"))
