@@ -15,7 +15,12 @@
     python -m repro run E1 --out r/ --trace --metrics   # telemetry, same bytes
     python -m repro run E1 --executor dispatch          # multi-host queue
     python -m repro worker .repro-runs        # serve dispatch queues
+    python -m repro run E1 --monitor --out r/ # live event bus + metrics.prom
+    python -m repro top .repro-runs           # live fleet dashboard (files only)
+    python -m repro tail .repro-runs --follow # stream the event bus
     python -m repro stats r/                  # render a past run's telemetry
+    python -m repro stats r/ --json           # machine-readable document
+    python -m repro stats r/ --format openmetrics   # Prometheus exposition
     python -m repro report --out EXPERIMENTS.md
 
 Experiments are discovered through :mod:`repro.engine.registry` — each
@@ -42,7 +47,19 @@ hierarchical spans (run → experiment → stage → task) to
 ``metrics.json``, and ``--profile`` dumps per-stage cProfile files —
 all inside the ``--out`` directory, which these flags therefore
 require.  Telemetry never changes result bytes, at any ``--jobs``.
-``repro stats <run-dir>`` renders what a past run left behind.
+``repro stats <run-dir>`` renders what a past run left behind
+(``--json`` for the machine-readable document, ``--format openmetrics``
+for the Prometheus text exposition of ``metrics.json``).
+
+Live observability (see DESIGN.md, "Live fleet observability"):
+``--monitor`` appends structured events (task lifecycle, leases,
+re-issues, quarantines, degraded writes, chaos faults, heartbeats) to
+``<runs-root>/events/`` and — when ``--out`` is given — refreshes a
+``metrics.prom`` OpenMetrics snapshot during the run.  ``repro top
+<runs-root>`` is the refreshing files-only dashboard (stage progress,
+ETAs, worker health with stale-heartbeat warnings); ``repro tail
+<runs-root> --follow`` streams the merged event bus.  Both work from
+any host mounting the runs root.  Events never change result bytes.
 
 Array backend (see DESIGN.md, "Array backend & dtype policy"):
 ``--backend numpy|numba`` picks the kernel engine (numba is
@@ -69,6 +86,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -78,9 +96,10 @@ from repro.engine.executor import resolve_jobs
 from repro.engine.faults import EXECUTOR_MODES, ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
 from repro.engine.journal import JournalError, RunJournal
 from repro.engine.registry import ExperimentSpec, all_specs, get_spec
-from repro.obs import METRICS_FILENAME, TRACE_FILENAME, Telemetry, obs_scope, span
+from repro.obs import METRICS_FILENAME, TRACE_FILENAME, MetricsRegistry, Telemetry, obs_scope, span
+from repro.obs import events as obs_events
 from repro.obs import profile as obs_profile
-from repro.obs.stats import RunDirError, render_run_dir
+from repro.obs.stats import RunDirError, render_run_dir, stats_doc
 from repro.utils.atomic import atomic_write_text
 
 __all__ = ["main", "build_parser"]
@@ -310,6 +329,29 @@ def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
         if out_dir is not None
         else None
     )
+    snapshotter = None
+    if args.monitor:
+        # The event bus lives under the *runs root* (not --out) so that
+        # dispatch workers on other hosts append to the same directory
+        # and `repro top`/`repro tail` see the whole fleet.  Opening is
+        # lazy and degraded writes are absorbed, so --monitor can never
+        # take a run down or change result bytes.
+        bus = obs_events.EventBus(
+            Path(args.runs_root) / obs_events.EVENTS_DIRNAME,
+            obs_events.default_source("run"),
+        )
+        if telemetry is None:
+            telemetry = Telemetry(events=bus)
+        else:
+            telemetry.events = bus
+        if out_dir is not None:
+            from repro.obs.openmetrics import SNAPSHOT_FILENAME, MetricsSnapshotter
+
+            if telemetry.metrics is None:  # --monitor implies metrics
+                telemetry.metrics = MetricsRegistry()
+            snapshotter = MetricsSnapshotter(
+                telemetry.metrics, out_dir / SNAPSHOT_FILENAME
+            ).start()
     summary: "list[dict[str, object]]" = []
 
     def on_result(spec: ExperimentSpec, result) -> None:
@@ -322,10 +364,14 @@ def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
             _write_text(out_dir / f"{exp_id}.json", result.to_json())
         summary.append(_summary_entry(spec, result))
 
-    with obs_scope(telemetry):
-        with span("run", kind="run", experiments=args.experiment):
-            failures = _run_specs(args, on_result, policy)
-        profile_files = obs_profile.profile_dumps()
+    try:
+        with obs_scope(telemetry):
+            with span("run", kind="run", experiments=args.experiment):
+                failures = _run_specs(args, on_result, policy)
+            profile_files = obs_profile.profile_dumps()
+    finally:
+        if snapshotter is not None:
+            snapshotter.stop()
     incomplete = [
         str(entry["experiment_id"]) for entry in summary if entry.get("incomplete")
     ]
@@ -347,9 +393,13 @@ def _cmd_run_scoped(args, backend_config, journal, policy) -> int:
         if telemetry is not None:
             doc["telemetry"] = {
                 "trace": TRACE_FILENAME if args.trace else None,
-                "metrics": METRICS_FILENAME if args.metrics else None,
+                "metrics": METRICS_FILENAME if telemetry.metrics is not None else None,
                 "profile": profile_files,
                 "backend": backend_config.describe(),
+                "events": (
+                    str(telemetry.events.path) if telemetry.events is not None else None
+                ),
+                "prom": "metrics.prom" if snapshotter is not None else None,
             }
         _write_text(out_dir / "summary.json", json.dumps(doc, indent=2) + "\n")
         if telemetry is not None and telemetry.metrics is not None:
@@ -394,6 +444,7 @@ def _cmd_worker(args) -> int:
             name=args.name,
             poll=args.poll,
             max_idle=args.max_idle,
+            heartbeat=args.heartbeat,
         )
     except KeyboardInterrupt:
         return 130
@@ -410,9 +461,45 @@ def _cmd_doctor(args) -> int:
     return 1 if report["unrepaired"] else 0
 
 
+def _cmd_top(args) -> int:
+    """Body of ``repro top``: the live files-only fleet dashboard."""
+    from repro.obs.live import top
+
+    return top(
+        args.runs_root,
+        once=args.once,
+        interval=args.interval,
+        stale_after=args.stale_after,
+    )
+
+
+def _cmd_tail(args) -> int:
+    """Body of ``repro tail``: print/stream the merged event bus."""
+    from repro.obs.live import tail
+
+    return tail(args.runs_root, follow=args.follow, interval=args.interval)
+
+
 def _cmd_stats(args) -> int:
+    fmt = "json" if args.json else args.format
     try:
-        print(render_run_dir(args.run_dir))
+        if fmt == "json":
+            print(json.dumps(stats_doc(args.run_dir), indent=2))
+        elif fmt == "openmetrics":
+            metrics_path = Path(args.run_dir) / METRICS_FILENAME
+            try:
+                doc = json.loads(metrics_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RunDirError(
+                    f"cannot read {metrics_path} ({exc}); the openmetrics "
+                    "format renders metrics.json — run with --metrics or "
+                    "--monitor"
+                ) from exc
+            from repro.obs.openmetrics import render
+
+            sys.stdout.write(render(doc))
+        else:
+            print(render_run_dir(args.run_dir))
     except RunDirError as exc:
         raise SystemExit(str(exc)) from exc
     return 0
@@ -484,6 +571,19 @@ def _timeout_arg(value: str) -> float:
         raise argparse.ArgumentTypeError(f"timeout must be a number, got {value!r}")
     if seconds <= 0:
         raise argparse.ArgumentTypeError(f"timeout must be positive, got {value}")
+    return seconds
+
+
+def _period_arg(value: str) -> float:
+    """A seconds period where 0 means "disabled" (unlike _timeout_arg)."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"period must be a number, got {value!r}")
+    if seconds < 0:
+        raise argparse.ArgumentTypeError(
+            f"period must be >= 0 (0 disables), got {value}"
+        )
     return seconds
 
 
@@ -632,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out directory",
     )
     run_p.add_argument(
+        "--monitor", action="store_true",
+        help="append live structured events (task lifecycle, leases, "
+        "heartbeats, faults) under <runs-root>/events/ for repro "
+        "top/tail, and refresh a metrics.prom OpenMetrics snapshot in "
+        "--out during the run; never changes result bytes",
+    )
+    run_p.add_argument(
         "--run-id", default=None, metavar="ID",
         help="journal completed tasks under this id (makes the run resumable)",
     )
@@ -664,7 +771,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-idle", type=_timeout_arg, default=None, metavar="SECONDS",
         help="exit after this long with no work (default: serve forever)",
     )
+    worker_p.add_argument(
+        "--heartbeat", type=_period_arg,
+        default=obs_events.DEFAULT_HEARTBEAT_PERIOD, metavar="SECONDS",
+        help="period of liveness events (host/pid/RSS/tasks-per-second) "
+        "on the runs root's event bus, once a monitored run creates it "
+        f"(default {obs_events.DEFAULT_HEARTBEAT_PERIOD:g}; 0 disables)",
+    )
     worker_p.set_defaults(func=_cmd_worker)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live files-only dashboard of in-flight runs under a runs "
+        "root: stage progress and ETAs, worker health, queue depths",
+    )
+    top_p.add_argument(
+        "runs_root", nargs="?", default=DEFAULT_RUNS_ROOT,
+        help=f"the runs root to watch (default {DEFAULT_RUNS_ROOT})",
+    )
+    top_p.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (for scripts and CI)",
+    )
+    top_p.add_argument(
+        "--interval", type=_timeout_arg, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2)",
+    )
+    top_p.add_argument(
+        "--stale-after", type=_timeout_arg, default=10.0, metavar="SECONDS",
+        help="heartbeat silence before a worker is flagged STALE "
+        "(default 10)",
+    )
+    top_p.set_defaults(func=_cmd_top)
+
+    tail_p = sub.add_parser(
+        "tail",
+        help="print the merged event bus of a runs root, one line per "
+        "event; --follow streams new events as they append",
+    )
+    tail_p.add_argument(
+        "runs_root", nargs="?", default=DEFAULT_RUNS_ROOT,
+        help=f"the runs root to read (default {DEFAULT_RUNS_ROOT})",
+    )
+    tail_p.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    tail_p.add_argument(
+        "--interval", type=_timeout_arg, default=0.5, metavar="SECONDS",
+        help="poll period under --follow (default 0.5)",
+    )
+    tail_p.set_defaults(func=_cmd_tail)
 
     doc_p = sub.add_parser(
         "doctor",
@@ -693,6 +850,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument(
         "run_dir", help="a --out directory written by a previous repro run"
     )
+    stats_p.add_argument(
+        "--format", choices=("human", "json", "openmetrics"), default="human",
+        help="human (default), json (the full machine-readable document), "
+        "or openmetrics (the Prometheus text exposition of metrics.json)",
+    )
+    stats_p.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json",
+    )
     stats_p.set_defaults(func=_cmd_stats)
 
     rep_p = sub.add_parser("report", help="run experiments into one markdown report")
@@ -712,7 +878,14 @@ def main(argv: "list[str] | None" = None) -> int:
         chaos.install_from_env()
     except chaos.ChaosSpecError as exc:
         raise SystemExit(str(exc)) from exc
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # A downstream reader closed the pipe early (`repro tail | head`,
+        # `repro top --once | grep -q ...`): exit quietly, like ls/git.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

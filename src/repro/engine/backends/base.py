@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro import backend as array_backend
 from repro.engine import chaos, guards
 from repro.engine.faults import RetryPolicy, RunReport, TaskFailure
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -100,17 +101,23 @@ def set_worker_name(name: "str | None") -> None:
 
 def observing() -> bool:
     """Whether task executions should ship telemetry envelopes: metrics
-    are being collected, or a tracer wants per-task spans."""
-    return obs_metrics.collecting() or obs_trace.current_tracer() is not None
+    are being collected, or a tracer wants per-task spans (directly or
+    via cross-process span collection)."""
+    return (
+        obs_metrics.collecting()
+        or obs_trace.current_tracer() is not None
+        or obs_trace.span_collection()
+    )
 
 
 def worker_bundle(context: Any) -> tuple:
     """Everything a worker process must install before running tasks:
     the shared context, the guard strictness, any chaos plan, whether to
-    buffer telemetry metrics for shipping back, and the array-backend
+    buffer telemetry metrics for shipping back, the array-backend
     configuration (so workers — pool or dispatch, local or remote —
     compute under the parent's backend/dtype/top-k policy and the
-    determinism invariant holds)."""
+    determinism invariant holds), whether to collect task spans for
+    trace stitching, and the event-bus directory of a monitored run."""
     plan = chaos.current_plan()
     return (
         context,
@@ -118,18 +125,31 @@ def worker_bundle(context: Any) -> tuple:
         None if plan is None else plan.to_dict(),
         observing(),
         array_backend.get_config().to_dict(),
+        obs_trace.current_tracer() is not None or obs_trace.span_collection(),
+        obs_events.current_events_dir(),
     )
 
 
 def install_worker_bundle(bundle: tuple) -> None:
     """Install a :func:`worker_bundle` in this process: shared context,
-    guards, chaos, the metrics switch, and the array-backend config."""
-    context, guard_mode, chaos_doc, metrics_on, backend_doc = bundle
+    guards, chaos, the metrics switch, the array-backend config, the
+    span-collection switch, and (for monitored runs) the event bus."""
+    context, guard_mode, chaos_doc, metrics_on, backend_doc, trace_on, events_dir = (
+        bundle
+    )
     set_worker_context(context)
     guards.set_guard_mode(guard_mode)
     chaos.install(None if chaos_doc is None else chaos.ChaosPlan.from_dict(chaos_doc))
     obs_metrics.set_collection(metrics_on)
     array_backend.set_config(array_backend.BackendConfig.from_dict(backend_doc))
+    # A forked pool worker inherits the parent's TraceWriter (and its
+    # file descriptor) — drop it: workers must *buffer* spans for the
+    # dispatcher to stitch, never write the trace file themselves, or
+    # their forked id counters would collide with the parent's.
+    obs_trace.install_tracer(None)
+    obs_trace.set_span_collection(trace_on)
+    if events_dir is not None:
+        obs_events.ensure_bus(events_dir, role="worker")
 
 
 @dataclass
@@ -148,6 +168,13 @@ class TaskEnvelope:
     metrics: "obs_metrics.MetricsRegistry | None"
     seconds: float
     worker: "str | None" = None
+    #: Spans collected where the task executed, for cross-process trace
+    #: stitching: ``None`` = this process did not collect (the settler
+    #: falls back to a synthesized task span), ``[]`` = the task span
+    #: was already emitted in place (a real tracer was installed), a
+    #: non-empty list = a :class:`~repro.obs.trace.SpanCollector` buffer
+    #: for :func:`~repro.obs.trace.emit_subtree`.
+    spans: "list[dict[str, Any]] | None" = None
 
 
 def execute_task(fn: "Callable[[Task], Any]", task: "Task", stage: str) -> Any:
@@ -155,20 +182,46 @@ def execute_task(fn: "Callable[[Task], Any]", task: "Task", stage: str) -> Any:
     the worker).  Successful executions return a :class:`TaskEnvelope`
     when metrics are being collected; failed attempts drop their buffer
     (only metrics of executions that produced a result are aggregated,
-    which keeps the merged totals identical across worker counts)."""
+    which keeps the merged totals identical across worker counts).
+
+    When tracing is on, the task's span is opened *here*, in the
+    executing process: with a local tracer (serial backend) it emits in
+    place; in a worker it is buffered by a
+    :class:`~repro.obs.trace.SpanCollector` — together with any spans
+    the task function itself opened — and shipped back on the envelope
+    for stitching, so distributed traces keep every worker's subtree.
+    """
     chaos.set_current_task(stage, task.index)
     collect = observing()
     previous = obs_metrics.begin_task() if collect else None
+    collector: "obs_trace.SpanCollector | None" = None
+    prev_tracer = None
     start = time.perf_counter()
     try:
+        obs_events.emit("task-start", stage=stage, index=task.index)
         chaos.on_task_start(stage, task.index)
-        value = fn(task)
+        if obs_trace.current_tracer() is None and obs_trace.span_collection():
+            collector = obs_trace.SpanCollector()
+            prev_tracer = obs_trace.install_tracer(collector)
+        if obs_trace.current_tracer() is not None:
+            meta: "dict[str, Any]" = {"index": task.index, "stage": stage}
+            if _WORKER_NAME is not None:
+                meta["worker"] = _WORKER_NAME
+            with obs_trace.span(f"task-{task.index}", kind="task", **meta):
+                value = fn(task)
+        else:
+            value = fn(task)
     finally:
+        if collector is not None:
+            obs_trace.install_tracer(prev_tracer)
         chaos.set_current_task(None, None)
         delta = obs_metrics.end_task(previous) if collect else None
     if not collect:
         return value
-    return TaskEnvelope(value, delta, time.perf_counter() - start, _WORKER_NAME)
+    spans = collector.records if collector is not None else (
+        [] if obs_trace.current_tracer() is not None else None
+    )
+    return TaskEnvelope(value, delta, time.perf_counter() - start, _WORKER_NAME, spans)
 
 
 @dataclass
@@ -198,14 +251,36 @@ def settle_success(state: RunState, task: "Task", outcome: Any) -> Any:
         value = outcome.value
         obs_metrics.merge_task_metrics(outcome.metrics)
         obs_metrics.observe("executor.task_seconds", outcome.seconds)
-        meta: "dict[str, Any]" = {"index": task.index, "stage": state.stage}
-        if outcome.worker is not None:
-            meta["worker"] = outcome.worker
-        obs_trace.record_complete(
-            "task-" + str(task.index), "task", outcome.seconds, **meta
+        if outcome.spans:
+            # A worker collected the task's span subtree: stitch it into
+            # the local trace with fresh ids under the open stage span.
+            obs_trace.emit_subtree(outcome.spans)
+        elif outcome.spans is None:
+            # Legacy envelope (no collection where it ran): synthesize
+            # the task span from the shipped duration.
+            meta: "dict[str, Any]" = {"index": task.index, "stage": state.stage}
+            if outcome.worker is not None:
+                meta["worker"] = outcome.worker
+            obs_trace.record_complete(
+                "task-" + str(task.index), "task", outcome.seconds, **meta
+            )
+        # spans == [] means the span already emitted where it executed.
+        obs_events.emit(
+            "task-done",
+            stage=state.stage,
+            index=task.index,
+            seconds=round(outcome.seconds, 6),
+            worker=outcome.worker,
+            experiment=obs_trace.current_experiment(),
         )
     else:
         value = outcome
+        obs_events.emit(
+            "task-done",
+            stage=state.stage,
+            index=task.index,
+            experiment=obs_trace.current_experiment(),
+        )
     if state.journal is not None:
         state.journal.record(state.stage, task.index, value)
     return value
@@ -214,6 +289,15 @@ def settle_success(state: RunState, task: "Task", outcome: Any) -> Any:
 def settle_failure(state: RunState, failure: TaskFailure) -> TaskFailure:
     """Record a terminal task failure everywhere it must be visible."""
     obs_metrics.add("executor.task_failures")
+    obs_events.emit(
+        "task-failed",
+        stage=failure.stage,
+        index=failure.index,
+        fail_kind=failure.kind,
+        error_type=failure.error_type,
+        attempts=failure.attempts,
+        experiment=obs_trace.current_experiment(),
+    )
     if state.report is not None:
         state.report.record_failure(failure)
     if state.journal is not None:
@@ -225,6 +309,7 @@ def settle_failure(state: RunState, failure: TaskFailure) -> TaskFailure:
 def record_event(state: RunState, kind: str, detail: str, **extra) -> None:
     """Record a degradation event (timeout, pool-broken, worker-lost...)."""
     obs_metrics.add("executor.events." + kind)
+    obs_events.emit(kind, stage=state.stage, detail=detail, **extra)
     warnings.warn(f"{kind}: {detail}", stacklevel=3)
     if state.report is not None:
         state.report.record_event(kind, detail, stage=state.stage, **extra)

@@ -75,6 +75,7 @@ from repro.engine.backends.base import (
 from repro.engine.backends.serial import attempt_serial
 from repro.engine.faults import TaskFailure, is_failure
 from repro.engine.journal import LeaseLedger
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.utils.atomic import atomic_write_bytes, atomic_write_text, exhaustion_kind
 
@@ -267,6 +268,13 @@ class DispatchBackend(ExecutionBackend):
         }
         atomic_write_text(qdir / "manifest.json", json.dumps(manifest, indent=2) + "\n")
         obs_metrics.add("executor.dispatch.queues")
+        obs_events.emit(
+            "queue-open",
+            queue=qdir.name,
+            stage=state.stage,
+            tasks=len(pending),
+            chunk=chunk,
+        )
         return qdir
 
     @staticmethod
@@ -278,6 +286,7 @@ class DispatchBackend(ExecutionBackend):
         except OSError:
             pass
         shutil.rmtree(qdir, ignore_errors=True)
+        obs_events.emit("queue-closed", queue=qdir.name)
 
     # -- local convenience workers ----------------------------------------
 
@@ -385,9 +394,14 @@ class DispatchBackend(ExecutionBackend):
             return
         ledger = LeaseLedger(qdir / "leases")
         self._ensure_workers()
+        pulse = obs_events.Heartbeat(
+            "dispatcher", period=min(2.0, max(0.5, self.lease_timeout / 4.0))
+        )
         try:
             while settle_ptr < len(order):
                 now = time.monotonic()
+                pulse.beat(tasks=settle_ptr, stage=state.stage,
+                           inflight=len(claim_seen))
                 self._harvest(state, qdir, ledger, taskmap, attempts, terminal,
                               reissue_at, units, unit_attempt, unit_size,
                               claim_seen, beat_seen, now)
@@ -715,6 +729,9 @@ class DispatchBackend(ExecutionBackend):
             del reissue_at[idx]
             attempts[idx] = attempt
             obs_metrics.add("executor.dispatch.reissues")
+            obs_events.emit(
+                "reissue", stage=state.stage, index=idx, attempt=attempt
+            )
             try:
                 chaos.on_write("dispatch.todo", state.stage, idx)
                 atomic_write_bytes(
@@ -883,7 +900,12 @@ def _run_claimed(qdir: Path, fn, stage: str, worker: str, heartbeat: float,
             pass
 
 
-def _drain_queue(qdir: Path, worker: str) -> int:
+def _drain_queue(
+    qdir: Path,
+    worker: str,
+    pulse: "obs_events.Heartbeat | None" = None,
+    done_before: int = 0,
+) -> int:
     """Steal and execute tasks from one queue until its todo pile is
     empty; returns how many tasks this worker executed."""
     try:
@@ -910,6 +932,8 @@ def _drain_queue(qdir: Path, worker: str) -> int:
         claimed, head, attempt = stolen
         _run_claimed(qdir, fn, stage, worker, heartbeat, claimed, head, attempt)
         count += 1
+        if pulse is not None:
+            pulse.beat(tasks=done_before + count, worker=worker)
 
 
 def worker_loop(
@@ -918,6 +942,7 @@ def worker_loop(
     name: "str | None" = None,
     poll: float = 0.1,
     max_idle: "float | None" = None,
+    heartbeat: float = obs_events.DEFAULT_HEARTBEAT_PERIOD,
 ) -> int:
     """Serve dispatch queues under ``root`` until told to stop.
 
@@ -926,19 +951,45 @@ def worker_loop(
     envelopes back.  Exits 0 after ``max_idle`` seconds with nothing to
     do (``None`` = serve forever).  Chaos ``worker-lost`` faults may
     kill this process hard — that is the point of them.
+
+    When the runs root has an ``events/`` directory (a monitored run is
+    or was live), the worker joins the event bus: a ``worker-start``
+    line, periodic ``heartbeat`` lines carrying host/pid/RSS and the
+    tasks-per-second rate (every ``heartbeat`` seconds; ``0`` disables),
+    and a ``worker-exit`` line on a clean idle exit.  A SIGKILLed worker
+    simply stops heartbeating — which is exactly what ``repro top``'s
+    stale-heartbeat warning and the dispatcher's lease timeout detect.
     """
     root = Path(root)
     worker = name or f"{socket.gethostname()}-{os.getpid()}"
     chaos.declare_worker_process()
     set_worker_name(worker)
+    events_dir = root / obs_events.EVENTS_DIRNAME
+    pulse = obs_events.Heartbeat("worker", period=heartbeat)
+    total = 0
     idle_since = time.monotonic()
-    while True:
-        processed = 0
-        for qdir in _scan_queues(root):
-            processed += _drain_queue(qdir, worker)
-        if processed:
-            idle_since = time.monotonic()
-        else:
-            if max_idle is not None and time.monotonic() - idle_since >= max_idle:
-                return 0
-            time.sleep(poll)
+    try:
+        while True:
+            if obs_events.current_bus() is None and events_dir.is_dir():
+                # A monitored run appeared (or was live before we
+                # started): join the bus under our worker identity.
+                obs_events.install(
+                    obs_events.EventBus(events_dir, f"worker-{worker}")
+                )
+                obs_events.emit("worker-start", worker=worker)
+            pulse.beat(tasks=total, worker=worker)
+            processed = 0
+            for qdir in _scan_queues(root):
+                processed += _drain_queue(qdir, worker, pulse, total)
+            total += processed
+            if processed:
+                idle_since = time.monotonic()
+            else:
+                if max_idle is not None and time.monotonic() - idle_since >= max_idle:
+                    obs_events.emit("worker-exit", worker=worker, tasks=total)
+                    return 0
+                time.sleep(poll)
+    finally:
+        bus = obs_events.install(None)
+        if bus is not None:
+            bus.close()

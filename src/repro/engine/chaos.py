@@ -64,6 +64,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 __all__ = [
@@ -428,6 +429,7 @@ def _fire_task_fault(kind: str, stage: str, index: int,
                      hang_seconds: float) -> None:
     """Execute one task-level fault kind in the current process."""
     _metrics.add("chaos.faults_fired")
+    _events.emit("chaos-fault", fault=kind, stage=stage, index=index)
     if kind == "raise":
         raise ChaosError(f"injected crash in task {index} (stage {stage!r})")
     if kind == "hang":
@@ -510,6 +512,8 @@ def on_write(site: str, stage: "str | None" = None,
         if not _should_fire(plan, fault, pos, f"enospc-{site}-{stage}-{index}"):
             continue
         _metrics.add("chaos.faults_fired")
+        _events.emit("chaos-fault", fault="enospc", site=site, stage=stage,
+                     index=index)
         raise OSError(
             errno.ENOSPC, f"chaos: injected ENOSPC at {site} "
             f"(stage {stage!r}, index {index})"
@@ -522,6 +526,7 @@ def on_write(site: str, stage: "str | None" = None,
     if not _claim(plan, f"sched-enospc-{stage}-{index}"):
         return
     _metrics.add("chaos.faults_fired")
+    _events.emit("chaos-fault", fault="enospc", site=site, stage=stage, index=index)
     raise OSError(
         errno.ENOSPC,
         f"chaos: scheduled ENOSPC at {site} (stage {stage!r}, index {index})",

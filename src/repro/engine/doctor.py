@@ -50,7 +50,7 @@ from typing import Any
 
 from repro.obs import metrics as _metrics
 
-__all__ = ["diagnose"]
+__all__ = ["diagnose", "iter_jsonl", "read_json"]
 
 #: Default seconds of heartbeat silence before a lease counts as stale —
 #: generous next to the dispatcher's 10 s lease timeout, so the doctor
@@ -58,6 +58,44 @@ __all__ = ["diagnose"]
 DEFAULT_STALE_AFTER = 60.0
 
 _RECORD_FORMAT = "repro-journal-record"
+
+
+# -- torn-tolerant readers ---------------------------------------------------
+# The doctor audits runs roots that may be *live*: a writer can be
+# mid-rename, mid-append, or dead mid-line at any moment.  These two
+# readers encode the tolerance policy once — unreadable JSON reads as
+# "absent", a torn JSONL tail reads as "not yet written" — and are
+# shared by the live views (``repro top`` / ``repro tail``), which watch
+# exactly the same in-flight state.
+
+
+def read_json(path) -> "dict[str, Any] | None":
+    """A JSON document, or ``None`` when missing, torn, or garbled."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def iter_jsonl(path) -> "list[dict[str, Any]]":
+    """Whole records of a JSONL file; torn or garbled lines (a writer
+    died mid-append, or is appending right now) are silently skipped."""
+    records: "list[dict[str, Any]]" = []
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(doc, dict):
+            records.append(doc)
+    return records
 
 
 def _finding(kind: str, path: Path, detail: str) -> "dict[str, Any]":

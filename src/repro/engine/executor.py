@@ -59,7 +59,9 @@ from repro.engine.faults import (
     RetryPolicy,
     current_policy,
 )
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.trace import StageTimer  # re-export: spans subsume stage timing
 from repro.utils.rng import RngFactory
 
@@ -260,5 +262,20 @@ def map_tasks(
         # No per-backend counter here: counters are jobs-invariant by
         # contract, and the backend choice depends on --jobs.  Which
         # backend ran is recorded in summary.json and on task spans.
+        obs_events.emit(
+            "stage-start",
+            stage=stage,
+            tasks=len(items),
+            pending=len(pending),
+            replayed=len(items) - len(pending),
+            backend=backend.name,
+            experiment=obs_trace.current_experiment(),
+        )
         backend.run(state, pending, results)
+        obs_events.emit(
+            "stage-done",
+            stage=stage,
+            tasks=len(items),
+            experiment=obs_trace.current_experiment(),
+        )
     return [results[t.index] for t in items]

@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.engine import chaos
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.utils.atomic import atomic_write_text, exhaustion_kind
 
@@ -109,6 +110,9 @@ class LeaseLedger:
             atomic_write_text(self._path(index), json.dumps(doc))
         except OSError as exc:
             _metrics.add("journal.degraded_writes")
+            _events.emit(
+                "degraded-write", what="lease", cause=exhaustion_kind(exc)
+            )
             if not self._degraded:
                 self._degraded = True
                 warnings.warn(
@@ -119,6 +123,8 @@ class LeaseLedger:
                 )
             return
         _metrics.add("journal.leases")
+        _events.emit("lease-claim", index=int(index), attempt=int(attempt),
+                     worker=str(worker))
 
     def heartbeat(self, index: int) -> None:
         """Touch the lease so its mtime shows the worker is alive."""
@@ -255,6 +261,9 @@ class RunJournal:
         """
         self.degraded_writes += 1
         _metrics.add("journal.degraded_writes")
+        _events.emit(
+            "degraded-write", what=what, cause=exhaustion_kind(exc) or "write-error"
+        )
         if not self._degraded_warned:
             self._degraded_warned = True
             kind = exhaustion_kind(exc) or "write-error"

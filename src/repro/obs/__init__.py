@@ -12,6 +12,15 @@ pieces:
   regardless of ``--jobs``.
 * :mod:`repro.obs.profile` — optional per-stage cProfile dumps.
 * :mod:`repro.obs.stats` — the ``repro stats <run-dir>`` renderer.
+* :mod:`repro.obs.events` — the live JSONL event bus a monitored run
+  (``--monitor``) appends under ``<runs-root>/events/``: task
+  lifecycle, lease grants, re-issues, quarantines, degraded writes,
+  chaos faults, worker heartbeats.
+* :mod:`repro.obs.live` — ``repro top`` / ``repro tail``, the
+  files-only live views over the event bus.
+* :mod:`repro.obs.openmetrics` — the Prometheus text exposition
+  (``repro stats --format openmetrics`` and the ``metrics.prom``
+  snapshot a monitored run refreshes).
 
 Everything is wired up by :func:`obs_scope`, which installs a
 :class:`Telemetry` bundle as ambient state for the duration of a run —
@@ -31,13 +40,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
+from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import StageTimer, TraceWriter, span
 
 __all__ = [
+    "EventBus",
     "MetricsRegistry",
     "StageTimer",
     "Telemetry",
@@ -59,6 +71,7 @@ class Telemetry:
     tracer: "TraceWriter | None" = None
     metrics: "MetricsRegistry | None" = None
     profile_dir: "Path | None" = None
+    events: "EventBus | None" = None
 
     @classmethod
     def for_run_dir(
@@ -81,6 +94,7 @@ class Telemetry:
             self.tracer is not None
             or self.metrics is not None
             or self.profile_dir is not None
+            or self.events is not None
         )
 
 
@@ -99,15 +113,19 @@ def obs_scope(telemetry: "Telemetry | None"):
         return
     prev_tracer = _trace.install_tracer(telemetry.tracer)
     prev_metrics = _metrics.install(telemetry.metrics)
+    prev_events = _events.install(telemetry.events)
     _profile.install_profile_dir(telemetry.profile_dir)
     try:
         yield telemetry
     finally:
         _trace.install_tracer(prev_tracer)
         _metrics.install(prev_metrics)
+        _events.install(prev_events)
         _profile.install_profile_dir(None)
         if telemetry.tracer is not None:
             telemetry.tracer.close()
+        if telemetry.events is not None:
+            telemetry.events.close()
 
 
 @contextmanager

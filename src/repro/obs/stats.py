@@ -8,6 +8,14 @@ Pretty-printing past faults lives here too: ``summary.json`` has carried
 per-experiment fault metadata since the fault-tolerance work, and this
 command is its reader.
 
+Three output shapes since the live-observability work:
+``--format human`` (the default report, now with a *fleet* section
+summing the dispatch counters and the per-worker task tally stitched
+into the trace), ``--format json`` (:func:`stats_doc` — the full
+machine-readable document: counters, spans summary, faults, degraded
+writes), and ``--format openmetrics`` (the Prometheus text exposition
+of ``metrics.json``, rendered by :mod:`repro.obs.openmetrics`).
+
 Everything is file-based and read-only: ``repro stats`` re-runs nothing
 and works on any machine the run directory was copied to.
 """
@@ -18,7 +26,18 @@ import json
 from pathlib import Path
 from typing import Any
 
-__all__ = ["RunDirError", "render_run_dir"]
+__all__ = ["RunDirError", "render_run_dir", "stats_doc"]
+
+#: Counter names summed across scopes into the fleet section.
+FLEET_COUNTERS = (
+    "executor.dispatch.queues",
+    "executor.dispatch.reissues",
+    "executor.dispatch.workers_lost",
+    "executor.events.worker-lost",
+    "quarantine.tasks",
+    "journal.degraded_writes",
+    "events.degraded_writes",
+)
 
 
 class RunDirError(RuntimeError):
@@ -101,6 +120,105 @@ def _counter_lines(
     return lines
 
 
+def _fleet_totals(grouped: "dict[str, dict[str, Any]]") -> "dict[str, int]":
+    """Dispatch/fleet counters summed across every scope, zero-dropped."""
+    totals: "dict[str, int]" = {}
+    for name in FLEET_COUNTERS:
+        value = sum(counters.get(name, 0) for counters in grouped.values())
+        if value:
+            totals[name] = value
+    return totals
+
+
+def _worker_tasks(spans: "list[dict[str, Any]]") -> "dict[str, int]":
+    """Tasks per worker, read off the stitched task spans' metadata."""
+    tally: "dict[str, int]" = {}
+    for sp in spans:
+        if sp.get("kind") != "task":
+            continue
+        worker = (sp.get("meta") or {}).get("worker")
+        if worker:
+            tally[str(worker)] = tally.get(str(worker), 0) + 1
+    return dict(sorted(tally.items()))
+
+
+def _fleet_lines(
+    grouped: "dict[str, dict[str, Any]]", spans: "list[dict[str, Any]]"
+) -> "list[str]":
+    """The dedicated fleet section: dispatch counters + worker roster."""
+    totals = _fleet_totals(grouped)
+    workers = _worker_tasks(spans)
+    if not totals and not workers:
+        return []
+    lines = ["", "fleet:"]
+    if totals:
+        width = max(len(name) for name in totals)
+        for name, value in totals.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if workers:
+        roster = ", ".join(f"{w} ({n} tasks)" for w, n in workers.items())
+        lines.append(f"  workers: {roster}")
+    return lines
+
+
+def _spans_summary(spans: "list[dict[str, Any]]") -> "dict[str, Any]":
+    by_kind: "dict[str, int]" = {}
+    for sp in spans:
+        kind = str(sp.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "total": len(spans),
+        "by_kind": dict(sorted(by_kind.items())),
+        "workers": _worker_tasks(spans),
+    }
+
+
+def stats_doc(run_dir) -> "dict[str, Any]":
+    """The machine-readable ``repro stats --json`` document.
+
+    Everything the human renderer knows, as one JSON object: run flags
+    and status, per-experiment checks/timings/faults, the full counter/
+    gauge/histogram document, a spans summary (with the per-worker task
+    tally), the fleet totals, and the degraded-write counts.
+    """
+    base = Path(run_dir)
+    summary = _load_json(base / "summary.json")
+    metrics = _load_json(base / "metrics.json")
+    spans = _load_spans(base / "trace.jsonl")
+    profiles = sorted(p.name for p in base.glob("profile-*.pstats"))
+    if summary is None and metrics is None and not spans:
+        raise RunDirError(
+            f"{base} holds no summary.json, metrics.json, or trace.jsonl; "
+            "create one with `repro run ... --out DIR [--trace --metrics]`"
+        )
+    grouped = (metrics or {}).get("counters", {})
+    health = (summary or {}).get("journal") or {}
+    doc: "dict[str, Any]" = {
+        "run_dir": str(base),
+        "flags": {
+            key: (summary or {}).get(key)
+            for key in ("scale", "seed", "jobs", "channel", "executor", "run_id")
+        },
+        "backend": (summary or {}).get("backend"),
+        "passed": (summary or {}).get("passed"),
+        "incomplete": bool((summary or {}).get("incomplete")),
+        "experiments": (summary or {}).get("experiments", []),
+        "metrics": metrics,
+        "spans": _spans_summary(spans),
+        "fleet": _fleet_totals(grouped),
+        "degraded_writes": {
+            "journal": int(health.get("degraded_writes", 0) or 0),
+            "counted": sum(
+                counters.get(name, 0)
+                for counters in grouped.values()
+                for name in ("journal.degraded_writes", "events.degraded_writes")
+            ),
+        },
+        "profiles": profiles,
+    }
+    return doc
+
+
 def render_run_dir(run_dir) -> str:
     """One readable report of everything the run directory recorded."""
     base = Path(run_dir)
@@ -172,6 +290,8 @@ def render_run_dir(run_dir) -> str:
             lines.append("")
             lines.append(f"[{scope}]")
             lines.extend(_counter_lines(grouped, scope))
+
+    lines.extend(_fleet_lines(grouped, spans))
 
     run_counters = _counter_lines(grouped, "run")
     gauges = (metrics or {}).get("gauges", {})

@@ -32,12 +32,16 @@ from typing import Any, TextIO
 
 __all__ = [
     "Span",
+    "SpanCollector",
     "StageTimer",
     "TraceWriter",
     "current_experiment",
+    "emit_subtree",
     "install_tracer",
     "record_complete",
+    "set_span_collection",
     "span",
+    "span_collection",
 ]
 
 SPAN_KINDS = ("run", "experiment", "stage", "task")
@@ -104,9 +108,49 @@ class TraceWriter:
             self._fh = None
 
 
+class SpanCollector:
+    """A tracer that *buffers* spans instead of writing them.
+
+    Worker processes (pool and dispatch) have no trace file — the
+    writer lives with the dispatching process — but tasks executed in
+    them still open spans.  When span collection is on (shipped on the
+    worker bundle, like the metrics switch), :func:`execute_task`
+    installs a collector as this process's tracer for the duration of
+    one task; the closed spans accumulate here with start times
+    *relative to the collector's epoch*, travel back to the dispatcher
+    on the task's result envelope, and :func:`emit_subtree` re-emits
+    them into the real trace with fresh ids and cross-process parent
+    links.  That is what makes ``--trace`` complete under
+    ``--executor dispatch``: every worker's task spans — persisted
+    per-attempt in the queue's result files — get stitched into one
+    coherent run trace.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = perf_counter()
+        self.records: "list[dict[str, Any]]" = []
+
+    def emit(self, sp: Span) -> None:
+        self.records.append(
+            {
+                "name": sp.name,
+                "kind": sp.kind,
+                "id": sp.span_id,
+                "parent": sp.parent_id,
+                "rel": sp.start - self.epoch,
+                "dur": sp.duration,
+                "meta": sp.meta or {},
+            }
+        )
+
+
 _TRACER: "TraceWriter | None" = None
 _STACK: "list[Span]" = []
 _NEXT_ID = 1
+#: Worker-process switch (shipped on the worker bundle, mirroring the
+#: metrics ``set_collection`` flag): buffer task spans for stitching
+#: even though this process has no trace writer.
+_COLLECT_SPANS = False
 
 
 def install_tracer(tracer: "TraceWriter | None") -> "TraceWriter | None":
@@ -119,6 +163,55 @@ def install_tracer(tracer: "TraceWriter | None") -> "TraceWriter | None":
 
 def current_tracer() -> "TraceWriter | None":
     return _TRACER
+
+
+def set_span_collection(flag: bool) -> None:
+    """Worker-process switch: buffer task spans for cross-process
+    stitching even without a trace writer (see :class:`SpanCollector`)."""
+    global _COLLECT_SPANS
+    _COLLECT_SPANS = bool(flag)
+
+
+def span_collection() -> bool:
+    """Whether this process should collect task spans for shipping."""
+    return _COLLECT_SPANS
+
+
+def emit_subtree(records: "list[dict[str, Any]]") -> None:
+    """Stitch a worker's collected span subtree into the local trace.
+
+    ``records`` is a :class:`SpanCollector` buffer shipped back on a
+    task's result envelope.  Worker-local span ids are remapped through
+    this process's id counter (two workers may both have used id 7),
+    parentless spans are grafted under the currently open span (the
+    stage span, since settling happens inside the driver's stage
+    block), and relative times are placed so the subtree *ends* at the
+    moment of settling — the same convention :func:`record_complete`
+    uses for worker-timed durations.  No-op untraced.
+    """
+    global _NEXT_ID
+    tracer = _TRACER
+    if tracer is None or not records:
+        return
+    top = _STACK[-1].span_id if _STACK else None
+    idmap: "dict[int, int]" = {}
+    for rec in records:
+        idmap[rec["id"]] = _NEXT_ID
+        _NEXT_ID += 1
+    end = max(rec["rel"] + rec["dur"] for rec in records)
+    base = perf_counter() - end
+    for rec in records:
+        parent = rec.get("parent")
+        sp = Span(
+            rec["name"],
+            rec["kind"],
+            idmap[rec["id"]],
+            idmap.get(parent, top) if parent is not None else top,
+            dict(rec.get("meta") or {}),
+        )
+        sp.start = base + rec["rel"]
+        sp.duration = rec["dur"]
+        tracer.emit(sp)
 
 
 def current_experiment() -> "str | None":

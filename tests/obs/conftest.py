@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
@@ -13,4 +14,8 @@ def _clean_obs_state():
     obs_metrics.install(None)
     obs_metrics.set_collection(False)
     obs_trace.install_tracer(None)
+    obs_trace.set_span_collection(False)
     obs_profile.install_profile_dir(None)
+    bus = obs_events.install(None)
+    if bus is not None:
+        bus.close()

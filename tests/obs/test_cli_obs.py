@@ -47,6 +47,55 @@ class TestTelemetryFlags:
         assert any(s["kind"] == "experiment" and s["name"] == "E7" for s in spans)
 
 
+class TestMonitorFlag:
+    def test_monitored_run_is_byte_identical_at_any_jobs(self, tmp_path, capsys):
+        # E1 drives a real task sweep, so the event bus sees the full
+        # lifecycle (stage-start, task-*, stage-done) on every backend.
+        plain = tmp_path / "plain"
+        assert main(["run", "E1", "--out", str(plain)]) == 0
+        for jobs, name in ((1, "m1"), (4, "m4")):
+            out = tmp_path / name
+            root = tmp_path / f"root-{name}"
+            assert main([
+                "run", "E1", "--monitor", "--trace", "--jobs", str(jobs),
+                "--out", str(out), "--runs-root", str(root),
+            ]) == 0
+            capsys.readouterr()
+            # The invariant extends to the live plane: events, the prom
+            # snapshot, and stitched traces never touch result bytes.
+            assert (out / "E1.json").read_bytes() == (plain / "E1.json").read_bytes()
+            events = list((root / "events").glob("*.jsonl"))
+            assert events and any(p.stat().st_size for p in events)
+            assert (out / "metrics.prom").read_text().endswith("# EOF\n")
+            summary = json.loads((out / "summary.json").read_text())
+            assert summary["telemetry"]["events"]
+            assert summary["telemetry"]["prom"] == "metrics.prom"
+            # --monitor implies a metrics registry even without --metrics.
+            assert summary["telemetry"]["metrics"] == "metrics.json"
+
+    def test_monitor_without_out_still_events(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert main([
+            "run", "E1", "--monitor", "--runs-root", str(root),
+        ]) == 0
+        capsys.readouterr()
+        assert list((root / "events").glob("*.jsonl"))
+
+    def test_top_and_tail_render_the_monitored_run(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert main([
+            "run", "E1", "--monitor", "--runs-root", str(root),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(root), "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "repro top" in frame
+        assert "100%" in frame
+        assert main(["tail", str(root)]) == 0
+        stream = capsys.readouterr().out
+        assert "stage-start" in stream and "task-done" in stream
+
+
 class TestStatsCommand:
     def test_stats_renders_observed_run(self, tmp_path, capsys):
         out = tmp_path / "run"
@@ -64,3 +113,54 @@ class TestStatsCommand:
     def test_stats_on_empty_directory_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["stats", str(tmp_path)])
+
+    def test_stats_json_document(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(
+            ["run", "E11", "--out", str(out), "--trace", "--metrics"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert doc["flags"]["scale"] == "quick"
+        assert doc["metrics"]["counters"]
+        assert doc["spans"]["total"] > 0
+        assert "experiment" in doc["spans"]["by_kind"]
+        assert doc["degraded_writes"] == {"journal": 0, "counted": 0}
+        assert [e["experiment_id"] for e in doc["experiments"]] == ["E11"]
+
+    def test_stats_openmetrics_exposition(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(["run", "E11", "--out", str(out), "--metrics"]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out), "--format", "openmetrics"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE" in text
+        assert text.endswith("# EOF\n")
+        assert 'scope="E11"' in text
+
+    def test_stats_openmetrics_without_metrics_fails(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(["run", "E11", "--out", str(out), "--trace"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="metrics.json"):
+            main(["stats", str(out), "--format", "openmetrics"])
+
+    def test_stats_renders_fleet_section_for_dispatch_run(self, tmp_path, capsys):
+        out, root = tmp_path / "run", tmp_path / "root"
+        assert main([
+            "run", "E1", "--out", str(out), "--trace", "--metrics",
+            "--executor", "dispatch", "--dispatch-workers", "2",
+            "--runs-root", str(root),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "fleet:" in report
+        assert "executor.dispatch.queues" in report
+        assert "workers:" in report
+        assert main(["stats", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fleet"]["executor.dispatch.queues"] >= 1
+        assert doc["spans"]["workers"]

@@ -84,6 +84,53 @@ class TestJobsDeterminism:
         assert sum(1 for d in docs if d["kind"] == "task") == 4
 
 
+class TestDispatchChunkDeterminism:
+    """Metrics merged from chunked dispatch work units must equal the
+    serial totals — chunking batches *claims*, never settle order."""
+
+    TASK_COUNTERS = (
+        "demo.calls", "demo.work", "executor.tasks", "executor.tasks_executed",
+    )
+
+    def _task_counters(self, counters: dict) -> dict:
+        # Infrastructure counters (queues, leases) legitimately depend
+        # on the backend; the determinism contract covers everything a
+        # task function reports plus the executor's task totals.
+        return {
+            name: counters["EX"][name]
+            for name in self.TASK_COUNTERS
+            if name in counters.get("EX", {})
+        }
+
+    @pytest.mark.parametrize("chunk", [2, 4])
+    def test_chunked_dispatch_counters_match_serial(self, tmp_path, chunk):
+        from repro.engine.backends import DispatchBackend
+
+        serial_out, serial_counters = _run_with_registry(1)
+
+        backend = DispatchBackend(
+            tmp_path / "root", local_workers=2, lease_timeout=10.0,
+            poll=0.01, chunk=chunk,
+        )
+        reg = MetricsRegistry()
+        obs_metrics.install(reg)
+        try:
+            with obs_metrics.prefix_scope("EX"):
+                out = map_tasks(
+                    _instrumented_task, make_tasks(range(9)),
+                    executor=backend, stage="sweep",
+                )
+        finally:
+            obs_metrics.install(None)
+            backend.close()
+        assert out == serial_out
+        chunked = reg.grouped_counters()
+        assert self._task_counters(chunked) == self._task_counters(serial_counters)
+        # Histogram counts (one task_seconds sample per task) also match.
+        hists = reg.to_dict()["histograms"]
+        assert hists["EX"]["executor.task_seconds"]["count"] == 9
+
+
 class TestChaosRetryCounters:
     @pytest.fixture(autouse=True)
     def _clean_chaos(self):

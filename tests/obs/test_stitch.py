@@ -1,0 +1,117 @@
+"""Distributed-trace stitching: every worker's task spans land in one
+coherent run trace, on the pool and on the dispatch backend alike."""
+
+import json
+
+import pytest
+
+from repro.engine.backends import DispatchBackend
+from repro.engine.executor import Task, make_tasks, map_tasks
+from repro.obs import trace as obs_trace
+from repro.obs.trace import SpanCollector, TraceWriter, emit_subtree, span
+
+N_TASKS = 8
+
+
+def _traced_task(task: Task) -> int:
+    # A nested span inside the task function — stitched traces must
+    # keep it parented under its task span across the process boundary.
+    with obs_trace.span("inner-kernel", kind="stage"):
+        return task.payload * 2
+
+
+def _read(path) -> list:
+    return [
+        json.loads(line) for line in path.read_text().splitlines() if line.strip()
+    ]
+
+
+def _run_traced(tmp_path, **kwargs) -> list:
+    tracer = TraceWriter(tmp_path / "trace.jsonl")
+    obs_trace.install_tracer(tracer)
+    try:
+        with span("sweep", kind="stage"):
+            out = map_tasks(_traced_task, make_tasks(range(N_TASKS)),
+                            stage="sweep", **kwargs)
+    finally:
+        obs_trace.install_tracer(None)
+        tracer.close()
+    assert out == [i * 2 for i in range(N_TASKS)]
+    return _read(tmp_path / "trace.jsonl")
+
+
+def _check_stitched(spans, *, expect_workers: bool) -> None:
+    stage = [s for s in spans if s["kind"] == "stage" and s["name"] == "sweep"]
+    assert len(stage) == 1
+    tasks = [s for s in spans if s["kind"] == "task"]
+    # One span per task, every index present, all under the stage span.
+    assert sorted(t["meta"]["index"] for t in tasks) == list(range(N_TASKS))
+    assert all(t["parent"] == stage[0]["id"] for t in tasks)
+    inner = [s for s in spans if s["name"] == "inner-kernel"]
+    assert len(inner) == N_TASKS
+    task_ids = {t["id"] for t in tasks}
+    assert all(s["parent"] in task_ids for s in inner)
+    # Remapped ids stay unique across the whole stitched document.
+    ids = [s["id"] for s in spans]
+    assert len(ids) == len(set(ids))
+    if expect_workers:
+        workers = {t["meta"].get("worker") for t in tasks}
+        assert workers and None not in workers
+
+
+class TestSerialBaseline:
+    def test_serial_trace_is_complete(self, tmp_path):
+        spans = _run_traced(tmp_path, jobs=1, executor="serial")
+        _check_stitched(spans, expect_workers=False)
+
+
+class TestPoolStitching:
+    def test_pool_workers_task_spans_are_stitched(self, tmp_path):
+        spans = _run_traced(tmp_path, jobs=2, executor="pool")
+        _check_stitched(spans, expect_workers=False)
+
+
+class TestDispatchStitching:
+    @pytest.mark.parametrize("chunk", [1, 3])
+    def test_every_workers_spans_land_in_one_trace(self, tmp_path, chunk):
+        backend = DispatchBackend(
+            tmp_path / "root", local_workers=2, lease_timeout=10.0,
+            poll=0.01, chunk=chunk,
+        )
+        try:
+            spans = _run_traced(tmp_path, executor=backend)
+        finally:
+            backend.close()
+        _check_stitched(spans, expect_workers=True)
+        tasks = [s for s in spans if s["kind"] == "task"]
+        assert all(s["meta"]["stage"] == "sweep" for s in tasks)
+
+
+class TestEmitSubtree:
+    def test_noop_without_tracer(self):
+        emit_subtree([{"name": "x", "kind": "task", "id": 1, "parent": None,
+                       "rel": 0.0, "dur": 0.1, "meta": {}}])  # must not raise
+
+    def test_collector_buffer_grafts_under_current_span(self, tmp_path):
+        collector = SpanCollector()
+        prev = obs_trace.install_tracer(collector)
+        try:
+            with span("task-0", kind="task", index=0):
+                with span("deep", kind="stage"):
+                    pass
+        finally:
+            obs_trace.install_tracer(prev)
+        assert [r["name"] for r in collector.records] == ["deep", "task-0"]
+
+        tracer = TraceWriter(tmp_path / "trace.jsonl")
+        obs_trace.install_tracer(tracer)
+        try:
+            with span("stage-x", kind="stage"):
+                emit_subtree(collector.records)
+        finally:
+            obs_trace.install_tracer(None)
+            tracer.close()
+        spans = {s["name"]: s for s in _read(tmp_path / "trace.jsonl")}
+        assert spans["task-0"]["parent"] == spans["stage-x"]["id"]
+        assert spans["deep"]["parent"] == spans["task-0"]["id"]
+        assert spans["deep"]["dur"] <= spans["task-0"]["dur"] + 1e-9
